@@ -1,0 +1,47 @@
+// Ablation — the DiD decision threshold on alpha (§3.2.4: "for a service
+// which is sensitive to KPI change ... the threshold of alpha can be set to
+// a small value like 0.5. Otherwise, the threshold can be set larger").
+//
+// Sweeps the alpha threshold and reports FUNNEL's precision/recall on the
+// labeled dataset — the precision/recall trade-off the paper describes
+// qualitatively.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "common/strings.h"
+#include "common/table.h"
+
+using namespace funnel;
+
+int main(int argc, char** argv) {
+  const bool quick = bench::quick_mode(argc, argv);
+  bench::print_header("Ablation: DiD alpha threshold sweep");
+
+  evalkit::DatasetParams p = bench::paper_dataset_params(true);
+  if (!quick) {
+    p.services = 10;
+    p.positive_changes = 24;
+    p.negative_changes = 24;
+  }
+  std::printf("building dataset...\n");
+  const auto ds = evalkit::build_dataset(p);
+
+  Table t({"alpha threshold", "precision", "recall", "TNR", "accuracy"});
+  for (double threshold : {0.1, 0.25, 0.5, 1.0, 2.0, 4.0}) {
+    core::FunnelConfig cfg = bench::funnel_config();
+    cfg.did.alpha_threshold = threshold;
+    const auto result =
+        evalkit::evaluate_funnel(*ds, cfg, bench::kNegativeScale);
+    const auto cm = result.total();
+    t.add_row({format_fixed(threshold, 2), format_percent(cm.precision()),
+               format_percent(cm.recall()), format_percent(cm.tnr()),
+               format_percent(cm.accuracy())});
+  }
+  std::printf("\n%s\n", t.to_string().c_str());
+  std::printf("expected shape: recall stays ~flat until the threshold "
+              "approaches the injected effect size (several sigma), while "
+              "precision/TNR improve as the threshold grows — 0.5 (the "
+              "paper's change-sensitive setting) already rejects nearly all "
+              "confounders.\n");
+  return 0;
+}

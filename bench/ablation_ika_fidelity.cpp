@@ -1,0 +1,64 @@
+// Ablation — fidelity and speed of the Implicit Krylov Approximation
+// (§3.2.3) against the exact-SVD improved SST it approximates.
+//
+// Reports score correlation and mean absolute deviation over long mixed
+// series, plus the per-window cost of each path and the speedup.
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.h"
+#include "common/stats.h"
+#include "common/strings.h"
+#include "common/table.h"
+#include "detect/sliding.h"
+#include "workload/generators.h"
+#include "workload/stream.h"
+
+using namespace funnel;
+
+int main(int argc, char** argv) {
+  const bool quick = bench::quick_mode(argc, argv);
+  bench::print_header("Ablation: IKA (Lanczos+QL) vs exact SVD fidelity");
+
+  Table t({"KPI class", "corr(ika, exact)", "mean |diff|",
+           "exact us/window", "ika us/window", "speedup"});
+  const int len = quick ? 400 : 1200;
+
+  for (int c = 0; c < 3; ++c) {
+    const auto cls = static_cast<tsdb::KpiClass>(c);
+    workload::KpiStream stream(
+        workload::make_default(cls, Rng(10 + static_cast<unsigned>(c))));
+    stream.add_effect(workload::LevelShift{len / 3, 10.0});
+    stream.add_effect(
+        workload::Ramp{2 * len / 3, 2 * len / 3 + 25, -8.0});
+    const auto series = workload::render(stream, 0, len);
+
+    const detect::SstGeometry g{.omega = 9, .eta = 3};
+    detect::ImprovedSst exact(g);
+    detect::IkaSst ika(g);
+    const auto se = detect::score_series(exact, series);
+    const auto si = detect::score_series(ika, series);
+
+    double mad_sum = 0.0;
+    for (std::size_t i = 0; i < se.size(); ++i) {
+      mad_sum += std::abs(se[i] - si[i]);
+    }
+
+    detect::ImprovedSst exact_t(g);
+    detect::IkaSst ika_t(g);
+    const double us_exact =
+        evalkit::mean_score_micros(exact_t, series, 2000);
+    const double us_ika = evalkit::mean_score_micros(ika_t, series, 2000);
+
+    t.add_row({tsdb::to_string(cls), format_fixed(correlation(se, si), 3),
+               format_fixed(mad_sum / static_cast<double>(se.size()), 4),
+               format_fixed(us_exact, 1), format_fixed(us_ika, 1),
+               format_fixed(us_exact / us_ika, 2) + "x"});
+  }
+  std::printf("\n%s\n", t.to_string().c_str());
+  std::printf("expected shape: correlation > 0.85 on every class — the "
+              "warm-started Krylov path preserves the improved score — at a "
+              "fraction of the exact decomposition's cost.\n");
+  return 0;
+}

@@ -1,0 +1,100 @@
+// Ablation — what the §3.2.2 robustness work buys: classic SST vs the
+// improved (eta-direction, Eq. 11-damped) variant vs the IKA-accelerated
+// variant, across noise levels.
+//
+// The paper's claim: plain SST "degrades fast in terms of accuracy when the
+// input time-series includes significant noises"; the improved score fixes
+// that without losing detection power, and the Krylov approximation keeps
+// the improved score's behavior.
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "bench_common.h"
+#include "common/stats.h"
+#include "common/strings.h"
+#include "common/table.h"
+#include "detect/sliding.h"
+#include "workload/generators.h"
+#include "workload/stream.h"
+
+using namespace funnel;
+
+namespace {
+
+struct Outcome {
+  int fa = 0;
+  int detected = 0;
+};
+
+template <typename Scorer>
+Outcome run(double noise, double threshold, int trials) {
+  const detect::SstGeometry g{.omega = 9, .eta = 3};
+  const detect::AlarmPolicy policy{
+      .threshold = threshold, .persistence = 7, .patience = 10};
+  Outcome out;
+  for (int r = 0; r < trials; ++r) {
+    workload::StationaryParams p;
+    p.noise_sigma = noise;
+    workload::KpiStream quiet(
+        workload::make_stationary(p, Rng(100 + static_cast<unsigned>(r))));
+    const auto qs = workload::render(quiet, 0, 240);
+    Scorer s1(g);
+    const auto q_scores = detect::score_series(s1, qs);
+    for (const auto& a :
+         detect::all_alarms(q_scores, s1.window_size(), 0, policy)) {
+      if (a.minute >= 120) {
+        ++out.fa;
+        break;
+      }
+    }
+    workload::KpiStream shifted(
+        workload::make_stationary(p, Rng(300 + static_cast<unsigned>(r))));
+    shifted.add_effect(workload::LevelShift{120, 5.0 * noise});
+    const auto ss = workload::render(shifted, 0, 240);
+    Scorer s2(g);
+    const auto s_scores = detect::score_series(s2, ss);
+    for (const auto& a :
+         detect::all_alarms(s_scores, s2.window_size(), 0, policy)) {
+      if (a.minute >= 120) {
+        ++out.detected;
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool quick = bench::quick_mode(argc, argv);
+  const int trials = quick ? 15 : 40;
+  bench::print_header(
+      "Ablation: robustness of classic vs improved vs IKA SST");
+
+  // Thresholds tuned per method (classic scores live in [0, 1]; improved
+  // scores in robust-sigma units).
+  Table t({"noise sigma", "method", "false alarms", "detected (5-sigma)"});
+  for (double noise : {0.5, 1.0, 2.0, 4.0}) {
+    const Outcome classic =
+        run<detect::ClassicSst>(noise, 0.95, trials);
+    const Outcome improved =
+        run<detect::ImprovedSst>(noise, 0.4, trials);
+    const Outcome ika = run<detect::IkaSst>(noise, 0.35, trials);
+    auto row = [&](const char* name, const Outcome& o) {
+      t.add_row({format_fixed(noise, 1), name,
+                 std::to_string(o.fa) + "/" + std::to_string(trials),
+                 std::to_string(o.detected) + "/" + std::to_string(trials)});
+    };
+    row("classic SST", classic);
+    row("improved SST", improved);
+    row("FUNNEL IKA-SST", ika);
+  }
+  std::printf("\n%s\n", t.to_string().c_str());
+  std::printf("expected shape: classic SST cannot separate shifts from "
+              "noise at any level (high FA and/or low detection); the "
+              "improved variants detect reliably with few false alarms, and "
+              "IKA matches improved closely.\n");
+  return 0;
+}

@@ -1,0 +1,88 @@
+// Fig. 5 — CCDFs of detection delay for FUNNEL, CUSUM and MRLS.
+//
+// For every item whose KPI change was correctly attributed, the delay is
+// the gap between the labeled change start and the alarm minute (§4.4; the
+// computational cost is excluded — it is evaluated separately in Table 2).
+// The bench prints gnuplot-ready CCDF columns plus the medians and the
+// paper's headline reductions.
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.h"
+#include "common/stats.h"
+#include "common/strings.h"
+#include "common/table.h"
+
+using namespace funnel;
+
+int main(int argc, char** argv) {
+  const bool quick = bench::quick_mode(argc, argv);
+  bench::print_header("Fig. 5: CCDF of detection delay (minutes)");
+
+  std::printf("building the labeled dataset (%s)...\n",
+              quick ? "quick" : "paper scale");
+  const auto ds = evalkit::build_dataset(bench::paper_dataset_params(quick));
+
+  std::printf("running the three methods...\n");
+  const evalkit::MethodResult funnel_result =
+      evalkit::evaluate_funnel(*ds, bench::funnel_config());
+  const evalkit::MethodResult cusum_result =
+      evalkit::evaluate_detector(*ds, bench::cusum_spec());
+  const evalkit::MethodResult mrls_result =
+      evalkit::evaluate_detector(*ds, bench::mrls_spec());
+
+  struct Series {
+    const char* name;
+    const std::vector<double>* delays;
+    double paper_median;
+  };
+  const Series series[3] = {{"FUNNEL", &funnel_result.delays, 13.2},
+                            {"CUSUM", &cusum_result.delays, 37.7},
+                            {"MRLS", &mrls_result.delays, 21.3}};
+
+  // CCDF on a 0..60-minute grid (the assessment horizon).
+  std::vector<double> grid;
+  for (int m = 0; m <= 60; ++m) grid.push_back(static_cast<double>(m));
+
+  std::printf("\n# delay_minute  ccdf_funnel  ccdf_cusum  ccdf_mrls\n");
+  std::vector<std::vector<double>> ccdfs;
+  for (const Series& s : series) ccdfs.push_back(ccdf(*s.delays, grid));
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    std::printf("%5.0f  %.4f  %.4f  %.4f\n", grid[i], ccdfs[0][i],
+                ccdfs[1][i], ccdfs[2][i]);
+  }
+
+  Table t({"method", "detections", "median delay", "p90 delay", "max delay",
+           "paper median"});
+  for (const Series& s : series) {
+    if (s.delays->empty()) {
+      t.add_row({s.name, "0", "-", "-", "-", format_fixed(s.paper_median, 1)});
+      continue;
+    }
+    t.add_row({s.name, std::to_string(s.delays->size()),
+               format_fixed(median(*s.delays), 1),
+               format_fixed(quantile(*s.delays, 0.9), 1),
+               format_fixed(max_value(*s.delays), 1),
+               format_fixed(s.paper_median, 1)});
+  }
+  std::printf("\n%s\n", t.to_string().c_str());
+
+  if (!funnel_result.delays.empty() && !cusum_result.delays.empty() &&
+      !mrls_result.delays.empty()) {
+    const double f = median(funnel_result.delays);
+    const double c = median(cusum_result.delays);
+    const double m = median(mrls_result.delays);
+    std::printf("FUNNEL vs MRLS:  %+.2f%% median delay (paper: -38.02%%)\n",
+                100.0 * (f - m) / m);
+    std::printf("FUNNEL vs CUSUM: %+.2f%% median delay (paper: -64.99%%)\n",
+                100.0 * (f - c) / c);
+    std::printf(
+        "concentration (p90 - median): FUNNEL %.1f, CUSUM %.1f, MRLS %.1f — "
+        "the paper highlights FUNNEL's tighter distribution\n",
+        quantile(funnel_result.delays, 0.9) - f,
+        quantile(cusum_result.delays, 0.9) - c,
+        quantile(mrls_result.delays, 0.9) - m);
+  }
+  return 0;
+}

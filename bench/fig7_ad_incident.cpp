@@ -1,0 +1,126 @@
+// Fig. 7 — the advertising-system incident (§5.2).
+//
+// A software upgrade breaks the anti-cheating JSON check on iPhone
+// browsers: every iPhone click is misclassified as a cheat and the
+// "effective clicks" KPI — strongly seasonal — drops sharply. The
+// operations team found it manually after 1.5 hours; FUNNEL's online
+// assessor must attribute it within ~10 minutes. When the team remedies
+// the bug 90 minutes later, the KPI recovers with a positive level shift.
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.h"
+#include "funnel/online.h"
+#include "workload/generators.h"
+#include "workload/stream.h"
+
+using namespace funnel;
+
+int main(int, char**) {
+  bench::print_header("Fig. 7: unexpected drop in effective ad clicks");
+
+  topology::ServiceTopology topo;
+  changes::ChangeLog log;
+  tsdb::MetricStore store;
+
+  const std::string svc = "ads.serving";
+  const int n_servers = 8;
+  std::vector<std::string> servers;
+  for (int i = 0; i < n_servers; ++i) {
+    servers.push_back("ads-" + std::to_string(i));
+    topo.add_server(svc, servers.back());
+  }
+  // The anti-cheating service is related to ads (it inspects every click).
+  topo.add_server("ads.anticheat", "ac-0");
+  topo.add_server("ads.anticheat", "ac-1");
+  topo.add_relation(svc, "ads.anticheat");
+
+  const int history_days = 31;
+  const MinuteTime tc = history_days * kMinutesPerDay + 660;
+  const MinuteTime recovery = tc + 90;
+  const MinuteTime horizon_end = tc + 121;
+
+  changes::SoftwareChange ch;
+  ch.service = svc;
+  ch.servers = servers;
+  ch.time = tc;
+  ch.mode = changes::LaunchMode::kFull;
+  ch.type = changes::ChangeType::kSoftwareUpgrade;
+  ch.description = "ad-serving performance upgrade (breaks iPhone JSON check)";
+  const changes::ChangeId id = log.record(ch, topo);
+
+  // Effective clicks per instance: strongly seasonal. The bug wipes out the
+  // iPhone share (~40%) of effective clicks; remediation restores it.
+  Rng rng(71);
+  std::vector<std::pair<tsdb::MetricId,
+                        std::unique_ptr<workload::KpiStream>>> streams;
+  for (const auto& s : servers) {
+    workload::SeasonalParams p;
+    p.base = 100.0;
+    p.daily_amplitude = 45.0;
+    p.second_harmonic = 15.0;
+    p.noise_sigma = 2.5;
+    auto stream = std::make_unique<workload::KpiStream>(
+        workload::make_seasonal(p, rng.split()));
+    stream->add_effect(workload::LevelShift{tc, -40.0});
+    stream->add_effect(workload::LevelShift{recovery, +40.0});
+    const tsdb::MetricId m =
+        tsdb::instance_metric(topology::instance_name(svc, s),
+                              "effective_clicks");
+    // History up to the change is in the store before the watch begins.
+    tsdb::TimeSeries series(0);
+    for (MinuteTime t = 0; t < tc; ++t) series.append(stream->sample(t));
+    store.insert(m, std::move(series));
+    streams.emplace_back(m, std::move(stream));
+  }
+
+  core::FunnelOnline online(bench::funnel_config(), topo, log, store);
+  MinuteTime first_attribution = -1;
+  std::size_t attributed = 0;
+  online.on_verdict([&](changes::ChangeId, const core::ItemVerdict& v) {
+    ++attributed;
+    if (first_attribution < 0 && v.alarm) {
+      first_attribution = v.alarm->minute;
+    }
+  });
+  std::vector<core::AssessmentReport> reports;
+  online.on_report(
+      [&](const core::AssessmentReport& r) { reports.push_back(r); });
+
+  online.watch(id);
+  std::printf("watching %zu KPIs in the impact set "
+              "(the paper's incident had 36752)...\n",
+              reports.empty() ? online.active_watches() : 0);
+
+  for (MinuteTime t = tc; t < horizon_end; ++t) {
+    for (auto& [m, stream] : streams) store.append(m, t, stream->sample(t));
+  }
+
+  std::printf("\nincident timeline (change at minute %lld):\n",
+              static_cast<long long>(tc));
+  if (first_attribution >= 0) {
+    std::printf("  FUNNEL attributed the KPI drop at minute %lld — "
+                "%lld minutes after the upgrade (paper: ~10 minutes)\n",
+                static_cast<long long>(first_attribution),
+                static_cast<long long>(first_attribution - tc));
+  } else {
+    std::printf("  FUNNEL did NOT attribute the drop — reproduction failed\n");
+  }
+  std::printf("  manual assessment took 1.5 h (90 minutes) in production\n");
+  std::printf("  KPI changes attributed: %zu of %d effective-clicks KPIs "
+              "(paper: 1141 of 36752 KPIs)\n",
+              attributed, n_servers);
+  if (!reports.empty()) {
+    std::printf("\n%s\n", reports[0].summary().c_str());
+  }
+
+  std::printf("# Fig. 7 series: one instance's effective clicks "
+              "(minute offset; change at 360)\n");
+  const auto series =
+      store.series(streams.front().first).slice(tc - 360, tc + 120);
+  std::printf("# offset  effective_clicks\n");
+  for (std::size_t i = 0; i < series.size(); i += 4) {
+    std::printf("%4zu %.2f\n", i, series[i]);
+  }
+  return 0;
+}

@@ -1,0 +1,118 @@
+// Table 1 — Precision, Recall, TNR and Accuracy of FUNNEL, Improved SST
+// (without DiD), CUSUM and MRLS on seasonal, stationary and variable items.
+//
+// Protocol (§4.1-§4.2): 72 software changes with injected KPI changes plus
+// 72 without, over 19 services; every (change, entity, KPI) pair in the
+// impact set is an item; counts from the no-effect changes are scaled x86
+// to extrapolate the sample to the full change population. Detection-only
+// methods declare "induced" on any post-change alarm; FUNNEL runs the full
+// Fig. 3 flow (improved IKA-SST + DiD).
+//
+// Run with --quick for a smaller dataset (6 services, 24 changes).
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.h"
+#include "common/strings.h"
+#include "common/table.h"
+
+using namespace funnel;
+
+namespace {
+
+struct PaperRow {
+  const char* type;
+  double precision, recall, tnr, accuracy;
+};
+
+const PaperRow kPaper[4][3] = {
+    {{"seasonal", 98.28, 100.00, 100.00, 100.00},
+     {"stationary", 100.00, 100.00, 100.00, 100.00},
+     {"variable", 68.47, 99.48, 99.88, 99.88}},
+    {{"seasonal", 1.10, 100.00, 81.93, 81.96},
+     {"stationary", 14.28, 100.00, 98.44, 98.44},
+     {"variable", 15.04, 99.48, 98.50, 98.50}},
+    {{"seasonal", 0.76, 84.21, 77.97, 77.98},
+     {"stationary", 10.34, 98.52, 97.78, 97.78},
+     {"variable", 17.92, 96.34, 98.82, 98.81}},
+    {{"seasonal", 100.00, 87.72, 100.00, 99.98},
+     {"stationary", 9.23, 97.33, 97.51, 97.51},
+     {"variable", 0.61, 97.04, 57.85, 57.95}}};
+
+void add_rows(Table& table, const evalkit::MethodResult& result,
+              const PaperRow* paper) {
+  const tsdb::KpiClass classes[3] = {tsdb::KpiClass::kSeasonal,
+                                     tsdb::KpiClass::kStationary,
+                                     tsdb::KpiClass::kVariable};
+  for (int c = 0; c < 3; ++c) {
+    const auto it = result.by_class.find(classes[c]);
+    if (it == result.by_class.end()) continue;
+    const evalkit::ConfusionMatrix& cm = it->second;
+    table.add_row({result.method, paper[c].type, std::to_string(cm.total()),
+                   format_percent(cm.precision()),
+                   format_percent(cm.recall()), format_percent(cm.tnr()),
+                   format_percent(cm.accuracy()),
+                   format_fixed(paper[c].precision, 2) + "/" +
+                       format_fixed(paper[c].recall, 2) + "/" +
+                       format_fixed(paper[c].tnr, 2) + "/" +
+                       format_fixed(paper[c].accuracy, 2)});
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool quick = bench::quick_mode(argc, argv);
+  bench::print_header(
+      "Table 1: accuracy of FUNNEL / Improved SST / CUSUM / MRLS by KPI type");
+
+  std::printf("building the labeled dataset (%s)...\n",
+              quick ? "quick" : "paper scale");
+  const auto ds = evalkit::build_dataset(bench::paper_dataset_params(quick));
+  std::printf("  %zu changes (%zu with injected effects), %zu items, "
+              "%zu metrics\n",
+              ds->log.size(), ds->positive_change_ids.size(),
+              ds->items.size(), ds->store.metric_count());
+
+  Table table({"method", "KPI type", "items(scaled)", "precision", "recall",
+               "TNR", "accuracy", "paper(P/R/TNR/A %)"});
+
+  std::printf("evaluating FUNNEL (improved IKA-SST + DiD)...\n");
+  const evalkit::MethodResult funnel_result = evalkit::evaluate_funnel(
+      *ds, bench::funnel_config(), bench::kNegativeScale);
+  evalkit::MethodResult named = funnel_result;
+  named.method = "FUNNEL";
+  add_rows(table, named, kPaper[0]);
+
+  std::printf("evaluating Improved SST (no DiD)...\n");
+  add_rows(table,
+           evalkit::evaluate_detector(*ds, bench::improved_sst_spec(), 60, 60,
+                                      bench::kNegativeScale),
+           kPaper[1]);
+
+  std::printf("evaluating CUSUM...\n");
+  add_rows(table,
+           evalkit::evaluate_detector(*ds, bench::cusum_spec(), 60, 60,
+                                      bench::kNegativeScale),
+           kPaper[2]);
+
+  std::printf("evaluating MRLS...\n");
+  add_rows(table,
+           evalkit::evaluate_detector(*ds, bench::mrls_spec(), 60, 60,
+                                      bench::kNegativeScale),
+           kPaper[3]);
+
+  std::printf("\n%s\n", table.to_string().c_str());
+
+  const auto total = funnel_result.total();
+  std::printf("FUNNEL overall accuracy: %s (paper: >99.8%%)\n",
+              format_percent(total.accuracy(), 2).c_str());
+  std::printf(
+      "\nShape checks vs the paper:\n"
+      "  * FUNNEL should lead every method on every KPI type;\n"
+      "  * Improved SST / CUSUM collapse in precision on seasonal KPIs\n"
+      "    (they cannot exclude seasonality without DiD);\n"
+      "  * MRLS collapses in precision/TNR on variable KPIs\n"
+      "    (spike sensitivity).\n");
+  return 0;
+}

@@ -1,0 +1,113 @@
+// Example: a dark-launch gate.
+//
+// A canary rollout pushes a change to 2 of 6 servers, then streams live
+// KPIs through FunnelOnline. The example shows both possible endings:
+//   * a clean canary (confounder hits treated AND control alike -> DiD
+//     rejects it, rollout may proceed), and
+//   * a genuine regression (treated-only effect -> page + roll back).
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "changes/change_log.h"
+#include "funnel/online.h"
+#include "topology/topology.h"
+#include "tsdb/store.h"
+#include "workload/generators.h"
+#include "workload/shock.h"
+#include "workload/stream.h"
+
+using namespace funnel;
+
+namespace {
+
+// Runs one canary: returns true when FUNNEL attributes a KPI change to it.
+bool run_canary(bool inject_regression) {
+  topology::ServiceTopology topo;
+  changes::ChangeLog log;
+  tsdb::MetricStore store;
+
+  const std::string svc = "search.frontend";
+  std::vector<std::string> servers;
+  for (int i = 0; i < 6; ++i) {
+    servers.push_back("sf-" + std::to_string(i));
+    topo.add_server(svc, servers.back());
+  }
+
+  const MinuteTime tc = 2 * kMinutesPerDay;
+  Rng rng(inject_regression ? 31u : 32u);
+
+  // A service-wide confounder (traffic surge) arrives with the change in
+  // both runs: the control group sees it too, so it must not be blamed on
+  // the canary.
+  const workload::SharedShock surge =
+      workload::make_event_shock(tc + 5, 45, 6.0);
+
+  std::vector<std::pair<tsdb::MetricId,
+                        std::unique_ptr<workload::KpiStream>>> streams;
+  for (const auto& s : servers) {
+    workload::StationaryParams p;
+    p.level = 120.0;  // p95 response delay, ms
+    p.noise_sigma = 1.5;
+    auto stream = std::make_unique<workload::KpiStream>(
+        workload::make_stationary(p, rng.split()));
+    stream->add_shock(surge);
+    const bool treated = s == "sf-0" || s == "sf-1";
+    if (treated && inject_regression) {
+      stream->add_effect(workload::Ramp{tc, tc + 15, 12.0});  // latency creep
+    }
+    const tsdb::MetricId m = tsdb::instance_metric(
+        topology::instance_name(svc, s), "response_delay");
+    tsdb::TimeSeries history(0);
+    for (MinuteTime t = 0; t < tc; ++t) history.append(stream->sample(t));
+    store.insert(m, std::move(history));
+    streams.emplace_back(m, std::move(stream));
+  }
+
+  changes::SoftwareChange change;
+  change.service = svc;
+  change.servers = {"sf-0", "sf-1"};
+  change.time = tc;
+  change.mode = changes::LaunchMode::kDark;
+  change.description = "canary build";
+  const changes::ChangeId id = log.record(change, topo);
+
+  core::FunnelOnline online(core::FunnelConfig{}, topo, log, store);
+  bool regression_paged = false;
+  online.on_verdict([&](changes::ChangeId, const core::ItemVerdict& v) {
+    std::printf("  PAGE %s: attributed to the canary (alpha=%+.1f ms)\n",
+                v.metric.to_string().c_str(),
+                v.did_fit ? v.did_fit->alpha : 0.0);
+    regression_paged = true;
+  });
+  core::AssessmentReport final_report;
+  online.on_report(
+      [&](const core::AssessmentReport& r) { final_report = r; });
+  online.watch(id);
+
+  for (MinuteTime t = tc; t < tc + 61; ++t) {
+    for (auto& [m, stream] : streams) store.append(m, t, stream->sample(t));
+  }
+
+  std::printf("  detected behavior changes: %zu, attributed to canary: "
+              "%zu\n",
+              final_report.kpi_changes_detected(),
+              final_report.kpi_changes_caused());
+  return regression_paged;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("canary run 1: clean build + ambient traffic surge\n");
+  const bool run1 = run_canary(false);
+  std::printf("  verdict: %s\n\n",
+              run1 ? "BLOCKED (unexpected!)" : "PROCEED with rollout");
+
+  std::printf("canary run 2: build with a latency regression (+ surge)\n");
+  const bool run2 = run_canary(true);
+  std::printf("  verdict: %s\n",
+              run2 ? "ROLL BACK the canary" : "PROCEED (unexpected!)");
+
+  return (!run1 && run2) ? 0 : 1;
+}

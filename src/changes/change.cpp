@@ -1,0 +1,25 @@
+#include "changes/change.h"
+
+namespace funnel::changes {
+
+const char* to_string(ChangeType t) {
+  switch (t) {
+    case ChangeType::kSoftwareUpgrade:
+      return "software-upgrade";
+    case ChangeType::kConfigChange:
+      return "config-change";
+  }
+  return "?";
+}
+
+const char* to_string(LaunchMode m) {
+  switch (m) {
+    case LaunchMode::kDark:
+      return "dark-launching";
+    case LaunchMode::kFull:
+      return "full-launching";
+  }
+  return "?";
+}
+
+}  // namespace funnel::changes

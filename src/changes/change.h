@@ -1,0 +1,41 @@
+// Software change records (§2.1).
+//
+// FUNNEL assesses two controllable, log-observable change types: software
+// upgrades and configuration changes. Each record captures the change's
+// deployment log entry: which service, which servers (the tservers), when,
+// and whether it was rolled out with Dark Launching (a strict subset of the
+// service's servers) or Full Launching (all of them at once).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/minute_time.h"
+
+namespace funnel::changes {
+
+using ChangeId = std::uint64_t;
+
+enum class ChangeType { kSoftwareUpgrade, kConfigChange };
+
+const char* to_string(ChangeType t);
+
+enum class LaunchMode { kDark, kFull };
+
+const char* to_string(LaunchMode m);
+
+/// One deployment-log entry.
+struct SoftwareChange {
+  ChangeId id = 0;
+  ChangeType type = ChangeType::kSoftwareUpgrade;
+  std::string service;               ///< the changed service
+  std::vector<std::string> servers;  ///< tservers: where it was deployed
+  MinuteTime time = 0;               ///< deployment minute
+  LaunchMode mode = LaunchMode::kDark;
+  std::string description;
+
+  bool dark_launched() const { return mode == LaunchMode::kDark; }
+};
+
+}  // namespace funnel::changes

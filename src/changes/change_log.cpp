@@ -1,0 +1,66 @@
+#include "changes/change_log.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace funnel::changes {
+
+ChangeId ChangeLog::record(SoftwareChange change,
+                           const topology::ServiceTopology& topo) {
+  FUNNEL_REQUIRE(topo.has_service(change.service),
+                 "change references unknown service " + change.service);
+  FUNNEL_REQUIRE(!change.servers.empty(),
+                 "change must list at least one server");
+  const auto& owned = topo.servers_of(change.service);
+  for (const std::string& s : change.servers) {
+    FUNNEL_REQUIRE(std::find(owned.begin(), owned.end(), s) != owned.end(),
+                   "server " + s + " does not belong to " + change.service);
+  }
+  if (change.mode == LaunchMode::kFull) {
+    FUNNEL_REQUIRE(change.servers.size() == owned.size(),
+                   "full launching must cover every server of the service");
+  } else {
+    FUNNEL_REQUIRE(change.servers.size() < owned.size(),
+                   "dark launching must leave control servers untreated");
+  }
+  change.id = static_cast<ChangeId>(changes_.size());
+  changes_.push_back(std::move(change));
+  return changes_.back().id;
+}
+
+const SoftwareChange& ChangeLog::get(ChangeId id) const {
+  FUNNEL_REQUIRE(id < changes_.size(), "unknown change id");
+  return changes_[id];
+}
+
+std::vector<ChangeId> ChangeLog::for_service(const std::string& service) const {
+  std::vector<ChangeId> out;
+  for (const auto& c : changes_) {
+    if (c.service == service) out.push_back(c.id);
+  }
+  std::stable_sort(out.begin(), out.end(), [&](ChangeId a, ChangeId b) {
+    return changes_[a].time < changes_[b].time;
+  });
+  return out;
+}
+
+std::vector<ChangeId> ChangeLog::in_window(MinuteTime t0, MinuteTime t1) const {
+  std::vector<ChangeId> out;
+  for (const auto& c : changes_) {
+    if (c.time >= t0 && c.time < t1) out.push_back(c.id);
+  }
+  return out;
+}
+
+std::optional<ChangeId> ChangeLog::last_before(const std::string& service,
+                                               MinuteTime t) const {
+  std::optional<ChangeId> best;
+  for (const auto& c : changes_) {
+    if (c.service != service || c.time >= t) continue;
+    if (!best || changes_[*best].time < c.time) best = c.id;
+  }
+  return best;
+}
+
+}  // namespace funnel::changes

@@ -1,0 +1,44 @@
+// Deployment change log.
+//
+// The substitute for the production change-management system: FUNNEL reads
+// the set of tservers of a change directly from this log (§3.1) and the
+// scenario builders record every injected change here.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "changes/change.h"
+#include "topology/topology.h"
+
+namespace funnel::changes {
+
+class ChangeLog {
+ public:
+  /// Record a change, validating it against the topology: the service must
+  /// exist, every listed server must belong to it, and the server list must
+  /// be non-empty. The launch mode must be consistent: kFull means the list
+  /// covers every server of the service. Assigns and returns the id.
+  ChangeId record(SoftwareChange change,
+                  const topology::ServiceTopology& topo);
+
+  const SoftwareChange& get(ChangeId id) const;
+
+  const std::vector<SoftwareChange>& all() const { return changes_; }
+  std::size_t size() const { return changes_.size(); }
+
+  /// Changes on one service, time-ordered.
+  std::vector<ChangeId> for_service(const std::string& service) const;
+
+  /// Changes whose deployment minute lies in [t0, t1).
+  std::vector<ChangeId> in_window(MinuteTime t0, MinuteTime t1) const;
+
+  /// Most recent change on `service` strictly before minute `t`.
+  std::optional<ChangeId> last_before(const std::string& service,
+                                      MinuteTime t) const;
+
+ private:
+  std::vector<SoftwareChange> changes_;  // index == id
+};
+
+}  // namespace funnel::changes

@@ -1,0 +1,15 @@
+#include "common/error.h"
+
+#include <sstream>
+
+namespace funnel::detail {
+
+void throw_invalid_argument(const char* expr, const std::string& msg,
+                            std::source_location loc) {
+  std::ostringstream os;
+  os << msg << " [failed: " << expr << " at " << loc.file_name() << ':'
+     << loc.line() << ']';
+  throw InvalidArgument(os.str());
+}
+
+}  // namespace funnel::detail

@@ -1,0 +1,54 @@
+// Error handling primitives shared by every FUNNEL module.
+//
+// Following the C++ Core Guidelines (E.2, E.14) we throw exceptions derived
+// from std::runtime_error for violated preconditions that depend on runtime
+// data (bad series lengths, empty groups, malformed names), and reserve
+// assertions for internal logic errors.
+#pragma once
+
+#include <source_location>
+#include <stdexcept>
+#include <string>
+
+namespace funnel {
+
+/// Base class of all exceptions thrown by the FUNNEL library.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Thrown when a caller violates a documented precondition.
+class InvalidArgument : public Error {
+ public:
+  explicit InvalidArgument(const std::string& what) : Error(what) {}
+};
+
+/// Thrown when a numerical routine fails to converge or encounters
+/// non-finite input it cannot handle.
+class NumericalError : public Error {
+ public:
+  explicit NumericalError(const std::string& what) : Error(what) {}
+};
+
+/// Thrown when a lookup (service, server, metric, ...) does not resolve.
+class NotFound : public Error {
+ public:
+  explicit NotFound(const std::string& what) : Error(what) {}
+};
+
+namespace detail {
+[[noreturn]] void throw_invalid_argument(const char* expr, const std::string& msg,
+                                         std::source_location loc);
+}  // namespace detail
+
+/// Precondition check: throws InvalidArgument with context when `cond` fails.
+#define FUNNEL_REQUIRE(cond, msg)                                     \
+  do {                                                                \
+    if (!(cond)) {                                                    \
+      ::funnel::detail::throw_invalid_argument(                       \
+          #cond, (msg), std::source_location::current());             \
+    }                                                                 \
+  } while (false)
+
+}  // namespace funnel

@@ -1,0 +1,37 @@
+// Time model shared across the repository.
+//
+// The paper bins every KPI into 1-minute samples (§3.1), so the whole system
+// indexes time in integer minutes. MinuteTime is an absolute minute index
+// from an arbitrary epoch; a simulated day is 1440 minutes and a week 10080.
+#pragma once
+
+#include <cstdint>
+
+namespace funnel {
+
+using MinuteTime = std::int64_t;
+
+inline constexpr MinuteTime kMinutesPerHour = 60;
+inline constexpr MinuteTime kMinutesPerDay = 1440;
+inline constexpr MinuteTime kMinutesPerWeek = 7 * kMinutesPerDay;
+
+/// Minute-of-day in [0, 1440).
+constexpr MinuteTime minute_of_day(MinuteTime t) {
+  const MinuteTime m = t % kMinutesPerDay;
+  return m < 0 ? m + kMinutesPerDay : m;
+}
+
+/// Day index (floor division by 1440).
+constexpr MinuteTime day_of(MinuteTime t) {
+  MinuteTime d = t / kMinutesPerDay;
+  if (t % kMinutesPerDay < 0) --d;
+  return d;
+}
+
+/// Day-of-week in [0, 7).
+constexpr MinuteTime day_of_week(MinuteTime t) {
+  const MinuteTime d = day_of(t) % 7;
+  return d < 0 ? d + 7 : d;
+}
+
+}  // namespace funnel

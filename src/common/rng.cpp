@@ -1,0 +1,46 @@
+#include "common/rng.h"
+
+#include <cmath>
+
+namespace funnel {
+
+double Rng::uniform(double lo, double hi) {
+  return std::uniform_real_distribution<double>(lo, hi)(engine_);
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+  return std::uniform_int_distribution<std::int64_t>(lo, hi)(engine_);
+}
+
+double Rng::gaussian(double mean, double stddev) {
+  return std::normal_distribution<double>(mean, stddev)(engine_);
+}
+
+bool Rng::bernoulli(double p) {
+  return std::bernoulli_distribution(p)(engine_);
+}
+
+double Rng::exponential(double rate) {
+  return std::exponential_distribution<double>(rate)(engine_);
+}
+
+double Rng::heavy_tailed(double dof) {
+  const double z = gaussian();
+  double chi2 = 0.0;
+  for (int i = 0; i < static_cast<int>(dof); ++i) {
+    const double g = gaussian();
+    chi2 += g * g;
+  }
+  if (chi2 <= 0.0) return z;
+  return z / std::sqrt(chi2 / dof);
+}
+
+Rng Rng::split() {
+  // Derive a fresh seed from this stream; mix so that consecutive splits do
+  // not produce nearby mt19937 states.
+  const std::uint64_t raw = engine_();
+  const std::uint64_t mixed = raw * 0x9E3779B97F4A7C15ull + 0xD1B54A32D192ED03ull;
+  return Rng(mixed);
+}
+
+}  // namespace funnel

@@ -1,0 +1,25 @@
+// Small string utilities for hierarchical service names and report output.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace funnel {
+
+/// Split on a single-character delimiter; empty tokens preserved.
+std::vector<std::string> split(std::string_view s, char delim);
+
+/// Join with a delimiter string.
+std::string join(const std::vector<std::string>& parts, std::string_view delim);
+
+/// True when `s` begins with `prefix`.
+bool starts_with(std::string_view s, std::string_view prefix);
+
+/// Format a double with fixed precision (helper for table output).
+std::string format_fixed(double value, int precision);
+
+/// Format a ratio as a percentage string like "99.88%".
+std::string format_percent(double ratio, int precision = 2);
+
+}  // namespace funnel

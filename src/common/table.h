@@ -1,0 +1,30 @@
+// Console table rendering for the benchmark harness.
+//
+// Every bench binary prints its paper table/figure with this printer so the
+// output format is uniform and diffable (EXPERIMENTS.md records the output).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace funnel {
+
+/// A simple left/right aligned ASCII table.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Append one row; must match the header width.
+  void add_row(std::vector<std::string> row);
+
+  /// Render with column padding and a header separator.
+  std::string to_string() const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace funnel

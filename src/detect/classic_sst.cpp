@@ -1,0 +1,48 @@
+#include "detect/classic_sst.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/error.h"
+#include "linalg/hankel.h"
+#include "linalg/svd.h"
+
+namespace funnel::detect {
+
+ClassicSst::ClassicSst(SstGeometry geometry) : geo_(geometry) {
+  FUNNEL_REQUIRE(geo_.omega >= 2, "SST needs omega >= 2");
+  FUNNEL_REQUIRE(geo_.eta >= 1 && geo_.eta < geo_.omega,
+                 "SST needs 1 <= eta < omega");
+}
+
+double ClassicSst::score(std::span<const double> window) {
+  FUNNEL_REQUIRE(window.size() == geo_.window(),
+                 "ClassicSst window size mismatch");
+  const std::vector<double> z = standardize_window(window, geo_.half());
+  if (z.empty()) return std::numeric_limits<double>::quiet_NaN();
+
+  const std::span<const double> past(z.data(), geo_.half());
+  const std::span<const double> future(z.data() + geo_.half(), geo_.half());
+
+  const linalg::Matrix b = linalg::hankel(past, geo_.omega, geo_.omega);
+  const linalg::Svd bs = linalg::jacobi_svd(b);
+
+  const linalg::Matrix a = linalg::hankel(future, geo_.omega, geo_.omega);
+  const linalg::Svd as = linalg::jacobi_svd(a);
+  if (as.singular_values.empty() || as.singular_values[0] <= 0.0) {
+    return 0.0;  // flat future: no change direction at all
+  }
+  const linalg::Vector beta = as.u.col(0);
+
+  double proj2 = 0.0;
+  for (std::size_t j = 0; j < geo_.eta; ++j) {
+    if (bs.singular_values[j] <= 0.0) break;  // past rank exhausted
+    const linalg::Vector uj = bs.u.col(j);
+    const double p = linalg::dot(beta, uj);
+    proj2 += p * p;
+  }
+  return std::clamp(1.0 - proj2, 0.0, 1.0);
+}
+
+}  // namespace funnel::detect

@@ -1,0 +1,33 @@
+// Classic Singular Spectrum Transform (§3.2.1, Moskvina & Zhigljavsky).
+//
+// Per window: full SVD of the past Hankel matrix B gives the normal
+// subspace U_eta; the leading left singular vector beta of the future Hankel
+// matrix A represents the direction of maximum change; the score is
+// 1 - ||U_etaᵀ beta||² (Eq. 6-7 — the squared-cosine discordance between
+// beta and the past subspace).
+//
+// This is the exact, full-SVD reference implementation: accurate and quick
+// to alarm, but noise-fragile (no Eq. 11 damping) and O(omega³) per window.
+#pragma once
+
+#include "detect/scorer.h"
+#include "detect/sst_common.h"
+
+namespace funnel::detect {
+
+class ClassicSst final : public ChangeScorer {
+ public:
+  explicit ClassicSst(SstGeometry geometry = {});
+
+  std::size_t window_size() const override { return geo_.window(); }
+  std::size_t change_offset() const override { return geo_.half(); }
+  double score(std::span<const double> window) override;
+  const char* name() const override { return "classic-sst"; }
+
+  const SstGeometry& geometry() const { return geo_; }
+
+ private:
+  SstGeometry geo_;
+};
+
+}  // namespace funnel::detect

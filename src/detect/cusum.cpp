@@ -1,0 +1,61 @@
+#include "detect/cusum.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "common/error.h"
+#include "common/stats.h"
+
+namespace funnel::detect {
+
+Cusum::Cusum(CusumParams params) : params_(params), rng_(params.seed) {
+  FUNNEL_REQUIRE(params_.window >= 8, "CUSUM window too small");
+  FUNNEL_REQUIRE(params_.slack >= 0.0, "CUSUM slack must be non-negative");
+}
+
+double Cusum::max_cusum(std::span<const double> z, double slack) {
+  double up = 0.0, down = 0.0, best = 0.0;
+  for (double x : z) {
+    up = std::max(0.0, up + x - slack);
+    down = std::max(0.0, down - x - slack);
+    best = std::max({best, up, down});
+  }
+  return best;
+}
+
+double Cusum::score(std::span<const double> window) {
+  FUNNEL_REQUIRE(window.size() == params_.window, "Cusum window size mismatch");
+  if (!all_finite(window)) return std::numeric_limits<double>::quiet_NaN();
+
+  const std::size_t half = params_.window / 2;
+  const std::span<const double> baseline = window.subspan(0, half);
+  const std::span<const double> test = window.subspan(half);
+
+  const double m = mean(baseline);
+  double s = stddev(baseline);
+  if (s <= 0.0) s = mad_sigma(window);
+  if (s <= 0.0) s = 1.0;
+
+  std::vector<double> z(test.size());
+  for (std::size_t i = 0; i < test.size(); ++i) z[i] = (test[i] - m) / s;
+
+  const double observed = max_cusum(z, params_.slack);
+  if (observed <= 0.0) return 0.0;
+
+  // Bootstrap under the no-change null: permuting the standardized samples
+  // keeps their marginal distribution but destroys any sustained shift. A
+  // statistic that is not extreme against the permutations scores 0.
+  std::size_t below = 0;
+  std::vector<double> perm = z;
+  for (std::size_t b = 0; b < params_.bootstrap; ++b) {
+    rng_.shuffle(perm);
+    if (max_cusum(perm, params_.slack) < observed) ++below;
+  }
+  const double rank = static_cast<double>(below) /
+                      static_cast<double>(params_.bootstrap);
+  return rank >= params_.significance ? observed : 0.0;
+}
+
+}  // namespace funnel::detect

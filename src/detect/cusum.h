@@ -1,0 +1,53 @@
+// CUSUM baseline (MERCURY, Mahimkar et al. SIGCOMM'10).
+//
+// Per window of W samples: the leading half estimates the baseline
+// mean/scale, the trailing half is standardized against it and run through a
+// two-sided cumulative-sum statistic. The score is that raw max-CUSUM
+// statistic, gated by a bootstrap significance test (the trailing half is
+// permuted B times; a statistic that fewer than `significance` of the
+// permutations stay below scores 0). Alarm thresholds are therefore in
+// accumulated-sigma units — and a high best-accuracy threshold is exactly
+// what gives CUSUM its long detection delay (Fig. 5): the sum needs
+// threshold/(shift - slack) post-change minutes to grow past it.
+//
+// The other documented weaknesses are reproduced too: within-window seasonal
+// trends look like mean shifts (low precision on seasonal KPIs, Table 1) and
+// the bootstrap makes each window expensive (Table 2).
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.h"
+#include "detect/scorer.h"
+
+namespace funnel::detect {
+
+struct CusumParams {
+  std::size_t window = 60;       ///< W_CUSUM in the paper's evaluation
+  double slack = 0.5;            ///< k: drift allowance in sigma units
+  std::size_t bootstrap = 200;   ///< permutations per window
+  double significance = 0.95;    ///< bootstrap rank needed to report at all
+  std::uint64_t seed = 0xC05Au;  ///< bootstrap RNG seed
+};
+
+class Cusum final : public ChangeScorer {
+ public:
+  explicit Cusum(CusumParams params = {});
+
+  std::size_t window_size() const override { return params_.window; }
+  std::size_t change_offset() const override { return params_.window / 2; }
+  double score(std::span<const double> window) override;
+  const char* name() const override { return "cusum"; }
+
+  const CusumParams& params() const { return params_; }
+
+  /// The raw (un-bootstrapped) two-sided max-CUSUM statistic of a
+  /// standardized sequence — exposed for tests.
+  static double max_cusum(std::span<const double> z, double slack);
+
+ private:
+  CusumParams params_;
+  Rng rng_;
+};
+
+}  // namespace funnel::detect

@@ -1,0 +1,62 @@
+// FUNNEL's production detector: improved SST accelerated with the Implicit
+// Krylov Approximation (§3.2.3, Idé & Tsuda 2007).
+//
+// Identical score semantics to ImprovedSst (Eq. 9-11) but with every dense
+// decomposition replaced by the cheap path:
+//   * the Gram matrices C = B·Bᵀ (past) and A·Aᵀ (future) are never formed —
+//     HankelGramOperator applies them implicitly from the raw samples
+//     ("matrix compression and implicit inner product calculation");
+//   * the future eigen-directions β₁..β_eta are maintained by warm-started
+//     block power iteration with Rayleigh-Ritz extraction: consecutive
+//     windows overlap in all but one sample, so the previous window's basis
+//     is an excellent starting guess and two or three iterations suffice
+//     (Idé & Tsuda's "feedback" mechanism); a cold start simply iterates
+//     longer;
+//   * each φᵢ is read off a k-step Lanczos run on the past operator seeded
+//     at βᵢ: in the Krylov basis the seed is e₁, so
+//     φᵢ ≈ 1 − Σ_{j≤eta} x_j[0]²  (Eq. 13)
+//     with x_j the leading eigenvectors of the k×k tridiagonal T_k,
+//     extracted by the QL iteration; k = 2·eta or 2·eta−1 (Eq. 14).
+//
+// The warm start makes the scorer stateful: feeding it consecutive sliding
+// windows (the only access pattern in FUNNEL) is both fastest and most
+// accurate. Non-consecutive windows are still correct — the iteration
+// re-converges — just marginally slower.
+#pragma once
+
+#include "detect/scorer.h"
+#include "detect/sst_common.h"
+#include "linalg/matrix.h"
+
+namespace funnel::detect {
+
+struct IkaParams {
+  /// Power-iteration sweeps on a cold start (no previous basis).
+  int cold_iterations = 30;
+  /// Sweeps when warm-started from the previous window's basis.
+  int warm_iterations = 3;
+};
+
+class IkaSst final : public ChangeScorer {
+ public:
+  explicit IkaSst(SstGeometry geometry = {}, IkaParams params = {});
+
+  std::size_t window_size() const override { return geo_.window(); }
+  std::size_t change_offset() const override { return geo_.half(); }
+  double score(std::span<const double> window) override;
+  const char* name() const override { return "funnel-ika-sst"; }
+
+  const SstGeometry& geometry() const { return geo_; }
+
+  /// Drop the warm-start basis (e.g. when retargeting the scorer to a
+  /// different KPI stream).
+  void reset() { warm_ = false; }
+
+ private:
+  SstGeometry geo_;
+  IkaParams params_;
+  linalg::Matrix future_basis_;  ///< omega x eta, persisted across windows
+  bool warm_ = false;
+};
+
+}  // namespace funnel::detect

@@ -1,0 +1,61 @@
+#include "detect/improved_sst.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/error.h"
+#include "linalg/hankel.h"
+#include "linalg/svd.h"
+#include "linalg/sym_eigen.h"
+
+namespace funnel::detect {
+
+ImprovedSst::ImprovedSst(SstGeometry geometry) : geo_(geometry) {
+  FUNNEL_REQUIRE(geo_.omega >= 2, "SST needs omega >= 2");
+  FUNNEL_REQUIRE(geo_.eta >= 1 && geo_.eta < geo_.omega,
+                 "SST needs 1 <= eta < omega");
+}
+
+double ImprovedSst::score(std::span<const double> window) {
+  FUNNEL_REQUIRE(window.size() == geo_.window(),
+                 "ImprovedSst window size mismatch");
+  const std::vector<double> z = standardize_window(window, geo_.half());
+  if (z.empty()) return std::numeric_limits<double>::quiet_NaN();
+
+  const std::span<const double> past(z.data(), geo_.half());
+  const std::span<const double> future(z.data() + geo_.half(), geo_.half());
+
+  // Past normal subspace U_eta from the SVD of B (Eq. 2).
+  const linalg::Matrix b = linalg::hankel(past, geo_.omega, geo_.omega);
+  const linalg::Svd bs = linalg::jacobi_svd(b);
+
+  // Future eigen-directions of A·Aᵀ (Eq. 8): eta leading pairs.
+  const linalg::Matrix a = linalg::hankel(future, geo_.omega, geo_.omega);
+  const linalg::SymEigen fe = linalg::sym_eigen(linalg::gram_rows(a));
+
+  double weighted = 0.0;
+  double total_weight = 0.0;
+  for (std::size_t i = 0; i < geo_.eta && i < fe.values.size(); ++i) {
+    const double lambda = std::max(fe.values[i], 0.0);
+    if (lambda <= 0.0) break;
+    const linalg::Vector beta_i = fe.vectors.col(i);
+    double proj2 = 0.0;
+    for (std::size_t j = 0; j < geo_.eta; ++j) {
+      if (bs.singular_values[j] <= 0.0) break;
+      const linalg::Vector uj = bs.u.col(j);
+      const double p = linalg::dot(beta_i, uj);
+      proj2 += p * p;
+    }
+    const double phi = std::clamp(1.0 - proj2, 0.0, 1.0);  // Eq. 10
+    weighted += lambda * phi;                               // Eq. 9
+    total_weight += lambda;
+  }
+  if (total_weight <= 0.0) return 0.0;
+  const double xhat =
+      std::max(weighted / total_weight, geo_.novelty_floor);
+
+  return xhat * robust_score_factor(past, future);  // Eq. 11
+}
+
+}  // namespace funnel::detect

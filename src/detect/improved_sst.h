@@ -1,0 +1,35 @@
+// Improved (robust) SST — §3.2.2, exact eigendecomposition variant.
+//
+// Two robustness upgrades over classic SST:
+//   1. Use the eta leading eigen-directions of the future Gram matrix
+//      A·Aᵀ, eigenvalue-weighted (Eq. 8-10), instead of only the first:
+//      x̂ = Σ λᵢ φᵢ / Σ λᵢ with φᵢ = 1 − Σⱼ (βᵢᵀ uⱼ)².
+//   2. Damp the score by |Δmedian|·√|ΔMAD| of the halves (Eq. 11-12), which
+//      suppresses windows where noise, not signal, drives the raw score.
+//
+// This variant computes everything with exact dense decompositions; it is
+// the accuracy reference for the Krylov-approximated IkaSst and the
+// "Improved SST" (no DiD) column of Table 1.
+#pragma once
+
+#include "detect/scorer.h"
+#include "detect/sst_common.h"
+
+namespace funnel::detect {
+
+class ImprovedSst final : public ChangeScorer {
+ public:
+  explicit ImprovedSst(SstGeometry geometry = {});
+
+  std::size_t window_size() const override { return geo_.window(); }
+  std::size_t change_offset() const override { return geo_.half(); }
+  double score(std::span<const double> window) override;
+  const char* name() const override { return "improved-sst"; }
+
+  const SstGeometry& geometry() const { return geo_; }
+
+ private:
+  SstGeometry geo_;
+};
+
+}  // namespace funnel::detect

@@ -1,0 +1,207 @@
+#include "detect/mrls.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/error.h"
+#include "common/stats.h"
+#include "detect/sst_common.h"
+#include "linalg/hankel.h"
+#include "linalg/matrix.h"
+#include "linalg/robust_pca.h"
+#include "linalg/svd.h"
+
+namespace funnel::detect {
+namespace {
+
+// Centered boxcar smoothing of width `scale` (clipped at the edges).
+std::vector<double> smooth(std::span<const double> x, std::size_t scale) {
+  if (scale <= 1) return {x.begin(), x.end()};
+  std::vector<double> out(x.size());
+  const std::ptrdiff_t r = static_cast<std::ptrdiff_t>(scale) / 2;
+  const std::ptrdiff_t n = static_cast<std::ptrdiff_t>(x.size());
+  for (std::ptrdiff_t i = 0; i < n; ++i) {
+    const std::ptrdiff_t lo = std::max<std::ptrdiff_t>(0, i - r);
+    const std::ptrdiff_t hi = std::min(n - 1, i + r);
+    double acc = 0.0;
+    for (std::ptrdiff_t j = lo; j <= hi; ++j) acc += x[static_cast<std::size_t>(j)];
+    out[static_cast<std::size_t>(i)] = acc / static_cast<double>(hi - lo + 1);
+  }
+  return out;
+}
+
+// Robust subspace of the columns of X by iteratively-reweighted SVD: columns
+// with large reconstruction residuals are downweighted (l1-style Huber
+// weights) and the SVD is recomputed — the expensive iteration at the heart
+// of MRLS.
+linalg::Matrix robust_subspace(const linalg::Matrix& x, std::size_t rank,
+                               int iterations) {
+  const std::size_t m = x.rows();
+  const std::size_t n = x.cols();
+  rank = std::min(rank, std::min(m, n));
+
+  std::vector<double> weights(n, 1.0);
+  linalg::Matrix basis;
+  for (int iter = 0; iter < iterations; ++iter) {
+    // Weighted copy.
+    linalg::Matrix xw(m, n);
+    for (std::size_t j = 0; j < n; ++j) {
+      for (std::size_t i = 0; i < m; ++i) xw(i, j) = x(i, j) * weights[j];
+    }
+    const linalg::Svd svd = linalg::jacobi_svd(xw);
+    basis = linalg::Matrix(m, rank);
+    for (std::size_t k = 0; k < rank; ++k) {
+      for (std::size_t i = 0; i < m; ++i) basis(i, k) = svd.u(i, k);
+    }
+    // Column residuals against the unweighted data.
+    for (std::size_t j = 0; j < n; ++j) {
+      const linalg::Vector col = x.col(j);
+      const linalg::Vector coef = linalg::matvec_transposed(basis, col);
+      linalg::Vector recon = linalg::matvec(basis, coef);
+      double res = 0.0;
+      for (std::size_t i = 0; i < m; ++i) {
+        const double d = col[i] - recon[i];
+        res += d * d;
+      }
+      res = std::sqrt(res);
+      weights[j] = 1.0 / std::sqrt(res + 1e-6);  // l1 IRLS weight
+    }
+  }
+  return basis;
+}
+
+double subspace_residual(const linalg::Matrix& basis,
+                         const linalg::Vector& v) {
+  const linalg::Vector coef = linalg::matvec_transposed(basis, v);
+  const linalg::Vector recon = linalg::matvec(basis, coef);
+  double res = 0.0;
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    const double d = v[i] - recon[i];
+    res += d * d;
+  }
+  return std::sqrt(res);
+}
+
+// Robust local linear detrend. The slope is a Theil-Sen median over
+// *short-lag* pairs only (lags n/8..n/4): for a mid-window step the pairs
+// that straddle the step are a small minority at short lags, so the slope
+// tracks the smooth trend and leaves the step intact — whereas a full
+// Theil-Sen would absorb half the step into the line. The intercept is
+// anchored on the past half so that, after removal, the pre-change samples
+// are centered and a post-change level shift survives as a clean offset.
+std::vector<double> detrend_window(std::span<const double> x) {
+  const std::size_t n = x.size();
+  const std::size_t lag_lo = std::max<std::size_t>(2, n / 8);
+  const std::size_t lag_hi = std::max(lag_lo, n / 4);
+  std::vector<double> slopes;
+  for (std::size_t lag = lag_lo; lag <= lag_hi; ++lag) {
+    for (std::size_t i = 0; i + lag < n; ++i) {
+      slopes.push_back((x[i + lag] - x[i]) / static_cast<double>(lag));
+    }
+  }
+  // Cap the removable slope at the magnitude a slow seasonal trend can
+  // plausibly reach (in standardized units per minute): steeper gradients
+  // are treated as genuine ramps and must survive detrending.
+  double slope = slopes.empty() ? 0.0 : median(slopes);
+  slope = std::clamp(slope, -0.1, 0.1);
+  const std::size_t half = n / 2;
+  std::vector<double> intercepts(half);
+  for (std::size_t i = 0; i < half; ++i) {
+    intercepts[i] = x[i] - slope * static_cast<double>(i);
+  }
+  const double intercept = intercepts.empty() ? 0.0 : median(intercepts);
+  std::vector<double> out(x.begin(), x.end());
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] -= intercept + slope * static_cast<double>(i);
+  }
+  return out;
+}
+
+}  // namespace
+
+Mrls::Mrls(MrlsParams params) : params_(std::move(params)) {
+  FUNNEL_REQUIRE(params_.window >= 8, "MRLS window too small");
+  FUNNEL_REQUIRE(params_.lag >= 2 && 2 * params_.lag <= params_.window,
+                 "MRLS lag must fit in half a window");
+  FUNNEL_REQUIRE(!params_.scales.empty(), "MRLS needs at least one scale");
+  FUNNEL_REQUIRE(params_.rank >= 1, "MRLS rank must be positive");
+}
+
+double Mrls::score_at_scale(std::span<const double> window,
+                            std::size_t scale) {
+  const std::vector<double> sm = smooth(window, scale);
+  const std::size_t half = sm.size() / 2;
+  const std::span<const double> past(sm.data(), half);
+  const std::span<const double> future(sm.data() + half, sm.size() - half);
+
+  const std::size_t lag = params_.lag;
+  const std::size_t past_cols = past.size() - lag + 1;
+  const std::size_t future_cols = future.size() - lag + 1;
+
+  const linalg::Matrix x = linalg::hankel(past, lag, past_cols);
+
+  // Fit on the even-indexed past columns; normalize on the held-out odd
+  // columns so the IRLS overfit of the training set does not shrink the
+  // normalizer (which would make every future residual look anomalous).
+  const std::size_t fit_cols = (past_cols + 1) / 2;
+  linalg::Matrix xfit(lag, fit_cols);
+  for (std::size_t j = 0; j < fit_cols; ++j) {
+    for (std::size_t i = 0; i < lag; ++i) xfit(i, j) = x(i, 2 * j);
+  }
+  linalg::Matrix basis;
+  if (params_.engine == MrlsSubspaceEngine::kIalmRobustPca) {
+    // Exact l1 route: strip the sparse contamination with RPCA, then take
+    // the leading left singular vectors of the clean low-rank part.
+    linalg::RobustPcaOptions opt;
+    opt.max_iterations = params_.alm_max_iterations;
+    const linalg::RobustPcaResult rpca = linalg::robust_pca(xfit, opt);
+    const linalg::Svd svd = linalg::jacobi_svd(rpca.low_rank);
+    const std::size_t rank =
+        std::min(params_.rank, svd.singular_values.size());
+    basis = linalg::Matrix(lag, rank);
+    for (std::size_t k = 0; k < rank; ++k) {
+      for (std::size_t i = 0; i < lag; ++i) basis(i, k) = svd.u(i, k);
+    }
+  } else {
+    basis = robust_subspace(xfit, params_.rank, params_.irls_iterations);
+  }
+
+  std::vector<double> holdout_res;
+  for (std::size_t j = 1; j < past_cols; j += 2) {
+    holdout_res.push_back(subspace_residual(basis, x.col(j)));
+  }
+  // Robust z-score of the worst future residual against the held-out past
+  // residuals. The spread estimate from a handful of held-out columns is
+  // noisy, so it is floored both relative to the residual level and at an
+  // absolute fraction of the (standardized) noise — otherwise smoothing at
+  // coarse scales shrinks the spread toward zero and ordinary fluctuations
+  // explode into huge z-scores.
+  const double center = median(holdout_res);
+  const double spread =
+      std::max({mad_sigma(holdout_res), 0.25 * center, 0.3}) + 1e-9;
+
+  double worst = 0.0;
+  for (std::size_t j = 0; j < future_cols; ++j) {
+    linalg::Vector v(lag);
+    for (std::size_t i = 0; i < lag; ++i) v[i] = future[j + i];
+    worst = std::max(worst, subspace_residual(basis, v));
+  }
+  return std::max(worst - center, 0.0) / spread;
+}
+
+double Mrls::score(std::span<const double> window) {
+  FUNNEL_REQUIRE(window.size() == params_.window, "Mrls window size mismatch");
+  std::vector<double> z = standardize_window(window, params_.window / 2);
+  if (z.empty()) return std::numeric_limits<double>::quiet_NaN();
+  if (params_.detrend) z = detrend_window(z);
+
+  std::vector<double> per_scale;
+  per_scale.reserve(params_.scales.size());
+  for (std::size_t scale : params_.scales) {
+    per_scale.push_back(score_at_scale(z, scale));
+  }
+  return median(per_scale);
+}
+
+}  // namespace funnel::detect

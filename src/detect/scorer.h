@@ -1,0 +1,36 @@
+// Change-scorer interface.
+//
+// Every detection method in the paper's evaluation (§4.1) consumes a sliding
+// window of W 1-minute samples and emits one change score per window
+// position; the window then moves forward one minute. A ChangeScorer is that
+// per-window kernel; `sliding.h` turns a scorer plus an alarm policy
+// (threshold + the 7-minute persistence rule) into detections.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+namespace funnel::detect {
+
+class ChangeScorer {
+ public:
+  virtual ~ChangeScorer() = default;
+
+  /// W: number of consecutive samples consumed per score.
+  virtual std::size_t window_size() const = 0;
+
+  /// Index (within the window) of the candidate change point the score
+  /// refers to — SST places it between the past and future trajectory
+  /// matrices; CUSUM/MRLS at their pre/post split.
+  virtual std::size_t change_offset() const = 0;
+
+  /// Change score for one window of exactly window_size() samples.
+  /// Non-negative; higher = stronger evidence of a behavior change.
+  /// Windows containing non-finite samples yield NaN (not scoreable).
+  /// Scorers may keep internal scratch state, hence non-const.
+  virtual double score(std::span<const double> window) = 0;
+
+  virtual const char* name() const = 0;
+};
+
+}  // namespace funnel::detect

@@ -1,0 +1,37 @@
+#include "detect/sst_common.h"
+
+#include <cmath>
+
+#include "common/error.h"
+#include "common/stats.h"
+
+namespace funnel::detect {
+
+std::vector<double> standardize_window(std::span<const double> window,
+                                       std::size_t baseline_len) {
+  FUNNEL_REQUIRE(baseline_len >= 2 && baseline_len <= window.size(),
+                 "baseline must be a non-trivial prefix of the window");
+  if (!all_finite(window)) return {};
+  const std::span<const double> baseline = window.subspan(0, baseline_len);
+  const double center = median(baseline);
+  double scale = mad_sigma(baseline);
+  if (scale <= 0.0) scale = stddev(baseline);
+  if (scale <= 0.0) scale = mad_sigma(window);
+  if (scale <= 0.0) scale = stddev(window);
+  if (scale <= 0.0) scale = 1.0;
+  std::vector<double> out(window.begin(), window.end());
+  for (double& x : out) x = (x - center) / scale;
+  return out;
+}
+
+double robust_score_factor(std::span<const double> past,
+                           std::span<const double> future, double slack) {
+  const double med_a = median(past);
+  const double med_b = median(future);
+  const double mad_a = mad(past);
+  const double mad_b = mad(future);
+  const double level = std::max(std::abs(med_b - med_a) - slack, 0.0);
+  return level * std::sqrt(std::abs(mad_b - mad_a));
+}
+
+}  // namespace funnel::detect

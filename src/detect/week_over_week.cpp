@@ -1,0 +1,36 @@
+#include "detect/week_over_week.h"
+
+#include <cmath>
+#include <limits>
+
+#include "common/error.h"
+#include "common/stats.h"
+
+namespace funnel::detect {
+
+std::vector<double> wow_score_series(std::span<const double> series,
+                                     const WeekOverWeekParams& params) {
+  FUNNEL_REQUIRE(params.season >= 1, "season must be positive");
+  FUNNEL_REQUIRE(params.compare >= 2, "compare block too small");
+  const auto season = static_cast<std::size_t>(params.season);
+  const std::size_t m = params.compare;
+
+  std::vector<double> out(series.size(),
+                          std::numeric_limits<double>::quiet_NaN());
+  if (series.size() < season + m) return out;
+
+  for (std::size_t end = season + m - 1; end < series.size(); ++end) {
+    const std::span<const double> now =
+        series.subspan(end + 1 - m, m);
+    const std::span<const double> then =
+        series.subspan(end + 1 - m - season, m);
+    if (!all_finite(now) || !all_finite(then)) continue;
+    double scale = mad_sigma(then);
+    if (scale <= 0.0) scale = stddev(then);
+    if (scale <= 0.0) scale = 1.0;
+    out[end] = std::abs(median(now) - median(then)) / scale;
+  }
+  return out;
+}
+
+}  // namespace funnel::detect

@@ -1,0 +1,48 @@
+// Week-over-week baseline detector (extension).
+//
+// §6 cites Chen et al. (SIGCOMM'13), who detect changes in seasonal
+// time series by time-series decomposition and week-over-week comparison.
+// This scorer implements that family's simplest robust member: the score of
+// the current window is the MAD-normalized difference between its samples
+// and the samples exactly one week (or one day) earlier.
+//
+// Unlike the SST family it needs a full season of history per score, so it
+// cannot run on freshly created KPIs — but on long-lived seasonal KPIs it
+// is a natural sanity baseline for FUNNEL's seasonality-exclusion path.
+//
+// The scorer's window is `lookback + compare` samples: the leading
+// `lookback` samples (ending exactly one season before the compare block)
+// provide the reference, the trailing `compare` samples are under test —
+// callers feed it windows where the gap between the two equals the season.
+// The convenience function `wow_score_series` handles the alignment over a
+// full series.
+#pragma once
+
+#include <vector>
+
+#include "common/minute_time.h"
+#include "detect/scorer.h"
+
+namespace funnel::detect {
+
+struct WeekOverWeekParams {
+  /// Season length in minutes (kMinutesPerWeek, or kMinutesPerDay for
+  /// day-over-day).
+  MinuteTime season = kMinutesPerWeek;
+  /// Samples compared per score.
+  std::size_t compare = 30;
+};
+
+/// Scores a series against itself one season earlier. This detector does
+/// not fit the fixed-window ChangeScorer shape (its two blocks are a season
+/// apart), so it is exposed as a standalone function: out[i] is the score
+/// of the compare block ending at sample index i (NaN while there is not
+/// yet a full season of history or the blocks contain non-finite samples).
+///
+/// Score: |median(now) - median(then)| / (MAD-sigma(then) + epsilon),
+/// i.e. a robust z-score of the level difference vs the same clock time
+/// one season ago.
+std::vector<double> wow_score_series(std::span<const double> series,
+                                     const WeekOverWeekParams& params);
+
+}  // namespace funnel::detect

@@ -1,0 +1,181 @@
+#include "did/did.h"
+
+#include <array>
+#include <cmath>
+
+#include "common/error.h"
+#include "common/stats.h"
+
+namespace funnel::did {
+namespace {
+
+// Solve the 4x4 symmetric positive-definite system Ax = b by Gaussian
+// elimination with partial pivoting, returning x and (via `inv_diag`) the
+// requested diagonal entry of A⁻¹ needed for the coefficient SE.
+std::array<double, 4> solve4(std::array<std::array<double, 4>, 4> a,
+                             std::array<double, 4> b) {
+  for (int col = 0; col < 4; ++col) {
+    int pivot = col;
+    for (int r = col + 1; r < 4; ++r) {
+      if (std::abs(a[r][col]) > std::abs(a[pivot][col])) pivot = r;
+    }
+    FUNNEL_REQUIRE(std::abs(a[pivot][col]) > 1e-12,
+                   "DiD design matrix is singular");
+    std::swap(a[col], a[pivot]);
+    std::swap(b[col], b[pivot]);
+    for (int r = 0; r < 4; ++r) {
+      if (r == col) continue;
+      const double f = a[r][col] / a[col][col];
+      for (int c = col; c < 4; ++c) a[r][c] -= f * a[col][c];
+      b[r] -= f * b[col];
+    }
+  }
+  std::array<double, 4> x{};
+  for (int i = 0; i < 4; ++i) x[i] = b[i] / a[i][i];
+  return x;
+}
+
+// (XᵀX)⁻¹ last diagonal entry via solving with the unit vector.
+double xtx_inverse_last_diagonal(std::array<std::array<double, 4>, 4> xtx) {
+  const std::array<double, 4> e3 = solve4(xtx, {0.0, 0.0, 0.0, 1.0});
+  return e3[3];
+}
+
+}  // namespace
+
+DiDResult did_panel(std::span<const PanelObservation> observations) {
+  // Cell counts: [treated][post].
+  std::size_t counts[2][2] = {{0, 0}, {0, 0}};
+  for (const auto& o : observations) {
+    ++counts[o.treated ? 1 : 0][o.post ? 1 : 0];
+  }
+  FUNNEL_REQUIRE(counts[0][0] > 0 && counts[0][1] > 0 && counts[1][0] > 0 &&
+                     counts[1][1] > 0,
+                 "DiD needs observations in all four (group, period) cells");
+
+  // Regressors: x = (1, post, treated, post*treated).
+  std::array<std::array<double, 4>, 4> xtx{};
+  std::array<double, 4> xty{};
+  for (const auto& o : observations) {
+    const double x[4] = {1.0, o.post ? 1.0 : 0.0, o.treated ? 1.0 : 0.0,
+                         (o.post && o.treated) ? 1.0 : 0.0};
+    for (int i = 0; i < 4; ++i) {
+      xty[i] += x[i] * o.y;
+      for (int j = 0; j < 4; ++j) xtx[i][j] += x[i] * x[j];
+    }
+  }
+  const std::array<double, 4> beta = solve4(xtx, xty);
+
+  // Residual variance (homoskedastic OLS).
+  double rss = 0.0;
+  for (const auto& o : observations) {
+    const double x[4] = {1.0, o.post ? 1.0 : 0.0, o.treated ? 1.0 : 0.0,
+                         (o.post && o.treated) ? 1.0 : 0.0};
+    double fit = 0.0;
+    for (int i = 0; i < 4; ++i) fit += beta[i] * x[i];
+    const double r = o.y - fit;
+    rss += r * r;
+  }
+  const std::size_t n = observations.size();
+  const double dof = static_cast<double>(n > 4 ? n - 4 : 1);
+  const double sigma2 = rss / dof;
+  const double var_alpha = sigma2 * xtx_inverse_last_diagonal(xtx);
+
+  // Robust scale of the control group's pre-period for unit normalization.
+  std::vector<double> control_pre;
+  for (const auto& o : observations) {
+    if (!o.treated && !o.post) control_pre.push_back(o.y);
+  }
+  double scale = mad_sigma(control_pre);
+  if (scale <= 0.0) scale = stddev(control_pre);
+  if (scale <= 0.0) scale = std::abs(median(control_pre)) * 0.01;
+  if (scale <= 0.0) scale = 1.0;
+
+  DiDResult out;
+  out.alpha = beta[3];
+  out.alpha_scaled = beta[3] / scale;
+  out.std_error = std::sqrt(std::max(var_alpha, 0.0));
+  out.t_stat = out.std_error > 0.0 ? out.alpha / out.std_error : 0.0;
+  out.n_treated = counts[1][0];
+  out.n_control = counts[0][0];
+  return out;
+}
+
+DiDResult did_from_groups(std::span<const double> treated_pre,
+                          std::span<const double> treated_post,
+                          std::span<const double> control_pre,
+                          std::span<const double> control_post,
+                          double scale_hint) {
+  FUNNEL_REQUIRE(treated_pre.size() == treated_post.size(),
+                 "treated pre/post must describe the same KPIs");
+  FUNNEL_REQUIRE(control_pre.size() == control_post.size(),
+                 "control pre/post must describe the same KPIs");
+  std::vector<PanelObservation> obs;
+  obs.reserve(2 * (treated_pre.size() + control_pre.size()));
+  for (std::size_t i = 0; i < treated_pre.size(); ++i) {
+    obs.push_back({true, false, treated_pre[i]});
+    obs.push_back({true, true, treated_post[i]});
+  }
+  for (std::size_t i = 0; i < control_pre.size(); ++i) {
+    obs.push_back({false, false, control_pre[i]});
+    obs.push_back({false, true, control_post[i]});
+  }
+  DiDResult out = did_panel(obs);
+
+  // Eq. 15 contains the KPI-specific effect xi(i). With paired pre/post
+  // observations the within (first-difference) estimator removes xi(i)
+  // exactly: alpha = center(treated diffs) - center(control diffs) — but
+  // its standard error comes from the *diff* spreads, so persistent
+  // unit-level heterogeneity (e.g. day-of-week level differences in the
+  // historical control group) no longer inflates it. Centers and spreads
+  // are median/MAD (§3.2.2's robustness argument): a historical control
+  // day contaminated by an *earlier* software change is an outlier diff
+  // that must not drag the estimate — the 30-day baseline exists precisely
+  // to ride out such contamination (§1).
+  std::vector<double> td(treated_pre.size());
+  for (std::size_t i = 0; i < td.size(); ++i) {
+    td[i] = treated_post[i] - treated_pre[i];
+  }
+  std::vector<double> cd(control_pre.size());
+  for (std::size_t i = 0; i < cd.size(); ++i) {
+    cd[i] = control_post[i] - control_pre[i];
+  }
+  auto robust_var = [](const std::vector<double>& xs) {
+    double s = mad_sigma(xs);
+    if (s <= 0.0) s = stddev(xs);
+    return s * s;
+  };
+  const double var_c = robust_var(cd);
+  // A single treated unit has no diff spread of its own; borrow the
+  // control group's (the standard singleton-treated convention).
+  const double var_t = td.size() >= 2 ? robust_var(td) : var_c;
+  const double se =
+      std::sqrt(var_t / static_cast<double>(td.size()) +
+                var_c / static_cast<double>(cd.size()));
+  out.alpha = median(td) - median(cd);
+  out.std_error = se;
+  out.t_stat = se > 0.0 ? out.alpha / se : 0.0;
+
+  if (scale_hint > 0.0) {
+    out.alpha_scaled = out.alpha / scale_hint;
+  } else {
+    // Rescale with the within-estimator alpha (identical to the OLS alpha
+    // up to rounding, but keep them consistent).
+    double scale = mad_sigma(cd);
+    if (scale <= 0.0) scale = stddev(cd);
+    if (scale <= 0.0) scale = 1.0;
+    out.alpha_scaled = out.alpha / scale;
+  }
+  return out;
+}
+
+bool caused_by_change(const DiDResult& fit, const DiDConfig& config) {
+  if (std::abs(fit.alpha_scaled) <= config.alpha_threshold) return false;
+  if (config.require_significance &&
+      std::abs(fit.t_stat) <= config.t_threshold) {
+    return false;
+  }
+  return true;
+}
+
+}  // namespace funnel::did

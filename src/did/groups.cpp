@@ -1,0 +1,114 @@
+#include "did/groups.h"
+
+#include <cmath>
+
+#include "common/error.h"
+#include "common/stats.h"
+
+namespace funnel::did {
+
+std::optional<double> window_mean(const tsdb::TimeSeries& series,
+                                  MinuteTime t0, MinuteTime t1) {
+  if (!series.covers(t0, t1) || t0 == t1) return std::nullopt;
+  double acc = 0.0;
+  std::size_t n = 0;
+  for (double v : series.view(t0, t1)) {
+    if (!std::isfinite(v)) continue;
+    acc += v;
+    ++n;
+  }
+  if (n == 0) return std::nullopt;
+  return acc / static_cast<double>(n);
+}
+
+namespace {
+
+double pooled_robust_sigma(const std::vector<std::vector<double>>& windows) {
+  std::vector<double> centered;
+  for (const auto& w : windows) {
+    if (w.empty()) continue;
+    std::vector<double> clean;
+    for (double v : w) {
+      if (std::isfinite(v)) clean.push_back(v);
+    }
+    if (clean.size() < 2) continue;
+    const double med = median(clean);
+    for (double v : clean) centered.push_back(v - med);
+  }
+  if (centered.size() < 2) return 0.0;
+  double s = mad_sigma(centered);
+  if (s <= 0.0) s = stddev(centered);
+  return s;
+}
+
+}  // namespace
+
+GroupMeans collect_group(const tsdb::MetricStore& store,
+                         std::span<const tsdb::MetricId> metrics,
+                         MinuteTime change_time, std::size_t omega) {
+  const auto w = static_cast<MinuteTime>(omega);
+  GroupMeans out;
+  std::vector<std::vector<double>> pre_windows;
+  for (const tsdb::MetricId& id : metrics) {
+    if (!store.has(id)) continue;
+    const tsdb::TimeSeries& s = store.series(id);
+    const auto pre = window_mean(s, change_time - w, change_time);
+    const auto post = window_mean(s, change_time, change_time + w);
+    if (!pre || !post) continue;
+    out.pre.push_back(*pre);
+    out.post.push_back(*post);
+    pre_windows.push_back(s.slice(change_time - w, change_time));
+  }
+  out.pooled_scale = pooled_robust_sigma(pre_windows);
+  return out;
+}
+
+GroupMeans collect_historical_control(const tsdb::TimeSeries& series,
+                                      MinuteTime change_time,
+                                      std::size_t omega, int baseline_days) {
+  FUNNEL_REQUIRE(baseline_days >= 1, "need at least one baseline day");
+  const auto w = static_cast<MinuteTime>(omega);
+  GroupMeans out;
+  std::vector<std::vector<double>> pre_windows;
+  for (int d = 1; d <= baseline_days; ++d) {
+    const MinuteTime shifted = change_time - d * kMinutesPerDay;
+    const auto pre = window_mean(series, shifted - w, shifted);
+    const auto post = window_mean(series, shifted, shifted + w);
+    if (!pre || !post) continue;
+    out.pre.push_back(*pre);
+    out.post.push_back(*post);
+    pre_windows.push_back(series.slice(shifted - w, shifted));
+  }
+  out.pooled_scale = pooled_robust_sigma(pre_windows);
+  return out;
+}
+
+DiDResult did_dark_launch(const tsdb::MetricStore& store,
+                          std::span<const tsdb::MetricId> treated,
+                          std::span<const tsdb::MetricId> control,
+                          MinuteTime change_time, std::size_t omega) {
+  const GroupMeans t = collect_group(store, treated, change_time, omega);
+  const GroupMeans c = collect_group(store, control, change_time, omega);
+  FUNNEL_REQUIRE(!t.pre.empty(), "dark-launch DiD: empty treated group");
+  FUNNEL_REQUIRE(!c.pre.empty(), "dark-launch DiD: empty control group");
+  return did_from_groups(t.pre, t.post, c.pre, c.post, c.pooled_scale);
+}
+
+DiDResult did_historical(const tsdb::TimeSeries& series,
+                         MinuteTime change_time, std::size_t omega,
+                         int baseline_days) {
+  const auto w = static_cast<MinuteTime>(omega);
+  const auto pre = window_mean(series, change_time - w, change_time);
+  const auto post = window_mean(series, change_time, change_time + w);
+  FUNNEL_REQUIRE(pre && post,
+                 "historical DiD: treated KPI lacks clean pre/post windows");
+  const GroupMeans c =
+      collect_historical_control(series, change_time, omega, baseline_days);
+  FUNNEL_REQUIRE(!c.pre.empty(),
+                 "historical DiD: no clean baseline day in history");
+  const std::vector<double> tp{*pre};
+  const std::vector<double> to{*post};
+  return did_from_groups(tp, to, c.pre, c.post, c.pooled_scale);
+}
+
+}  // namespace funnel::did

@@ -1,0 +1,63 @@
+// Treated/control group construction for the two DiD paths.
+//
+// Dark-Launching path (§3.2.4): treated = KPIs of tservers/tinstances,
+// control = same-service cservers/cinstances; each KPI contributes its mean
+// over the pre-change window (t = 0) and the post-change window (t = 1),
+// both of length omega.
+//
+// Full-Launching / affected-service path (§3.2.5): no control entities
+// exist, so the control group is the same minute-of-day window on each of
+// the previous `baseline_days` days (30 in the paper — long enough to ride
+// out baseline contamination), one pre/post pair per historical day.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "did/did.h"
+#include "tsdb/store.h"
+
+namespace funnel::did {
+
+/// Per-KPI period means for one group.
+struct GroupMeans {
+  std::vector<double> pre;   ///< element k: KPI k's mean over [change-w, change)
+  std::vector<double> post;  ///< element k: KPI k's mean over [change, change+w)
+  /// Robust sigma of the pooled per-minute pre-period samples — the group's
+  /// intrinsic noise, used to express alpha in noise units.
+  double pooled_scale = 0.0;
+};
+
+/// Mean of the clean samples of `series` over [t0, t1); returns nullopt when
+/// the range is not covered or every sample is NaN.
+std::optional<double> window_mean(const tsdb::TimeSeries& series,
+                                  MinuteTime t0, MinuteTime t1);
+
+/// Pre/post means for each metric around `change_time` with window `omega`.
+/// Metrics missing from the store or without clean coverage are skipped.
+GroupMeans collect_group(const tsdb::MetricStore& store,
+                         std::span<const tsdb::MetricId> metrics,
+                         MinuteTime change_time, std::size_t omega);
+
+/// Historical control group for one KPI: for each of the `baseline_days`
+/// days before the change day, the means over the same minute-of-day pre and
+/// post windows. Days without clean coverage are skipped.
+GroupMeans collect_historical_control(const tsdb::TimeSeries& series,
+                                      MinuteTime change_time,
+                                      std::size_t omega, int baseline_days);
+
+/// DiD fit for the Dark-Launching path. Throws InvalidArgument when either
+/// group ends up empty (e.g. no clean control KPI).
+DiDResult did_dark_launch(const tsdb::MetricStore& store,
+                          std::span<const tsdb::MetricId> treated,
+                          std::span<const tsdb::MetricId> control,
+                          MinuteTime change_time, std::size_t omega);
+
+/// DiD fit for the seasonality-exclusion path: one KPI against its own
+/// 30-day history.
+DiDResult did_historical(const tsdb::TimeSeries& series,
+                         MinuteTime change_time, std::size_t omega,
+                         int baseline_days);
+
+}  // namespace funnel::did

@@ -1,0 +1,419 @@
+#include "evalkit/dataset.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "common/error.h"
+#include "workload/stream.h"
+
+namespace funnel::evalkit {
+namespace {
+
+using tsdb::EntityKind;
+using tsdb::KpiClass;
+using tsdb::MetricId;
+using workload::KpiStream;
+
+const std::vector<std::string> kServerKpis = {"cpu_context_switch",
+                                              "memory_utilization"};
+const std::vector<std::string> kInstanceKpis = {"page_view_count",
+                                                "response_delay",
+                                                "error_count"};
+
+std::string service_name(int i) {
+  std::string s = "svc";
+  if (i < 10) s += '0';
+  s += std::to_string(i);
+  return s;
+}
+
+std::string server_name(int svc, int srv) {
+  return service_name(svc) + "-srv" + std::to_string(srv);
+}
+
+std::unique_ptr<workload::KpiGenerator> make_generator(
+    const std::string& kpi, Rng rng) {
+  const KpiClass c = kpi_class_of(kpi);
+  switch (c) {
+    case KpiClass::kSeasonal: {
+      workload::SeasonalParams p;
+      p.base = 100.0;
+      p.daily_amplitude = 40.0;
+      p.second_harmonic = 12.0;
+      p.weekly_amplitude = 10.0;
+      p.noise_sigma = 2.0;
+      return workload::make_seasonal(p, rng);
+    }
+    case KpiClass::kStationary: {
+      workload::StationaryParams p;
+      p.level = 50.0;
+      p.noise_sigma = 1.0;
+      return workload::make_stationary(p, rng);
+    }
+    case KpiClass::kVariable: {
+      workload::VariableParams p;
+      p.level = 200.0;
+      p.ar_coefficient = 0.6;
+      p.burst_sigma = 8.0;
+      p.spike_rate = 0.008;
+      p.spike_scale = 40.0;
+      return workload::make_variable(p, rng);
+    }
+  }
+  throw InvalidArgument("unknown KPI class");
+}
+
+struct Builder {
+  DatasetParams params;
+  Rng rng;
+  std::unique_ptr<EvalDataset> ds = std::make_unique<EvalDataset>();
+
+  // Streams keyed by metric id; service KPIs are aggregated afterwards.
+  std::map<MetricId, std::unique_ptr<KpiStream>> streams;
+
+  // Exact injection record: (change, metric) pairs carrying an effect.
+  std::set<std::pair<changes::ChangeId, MetricId>> induced;
+
+  MinuteTime total_minutes = 0;
+
+  explicit Builder(const DatasetParams& p) : params(p), rng(p.seed) {
+    FUNNEL_REQUIRE(p.services >= 1, "need at least one service");
+    FUNNEL_REQUIRE(p.treated_servers >= 1 &&
+                       p.treated_servers < p.servers_per_service,
+                   "treated subset must be a strict subset of the servers");
+    ds->params = p;
+  }
+
+  void build_topology() {
+    for (int s = 0; s < params.services; ++s) {
+      const std::string svc = service_name(s);
+      ds->topo.add_service(svc);
+      for (int v = 0; v < params.servers_per_service; ++v) {
+        ds->topo.add_server(svc, server_name(s, v));
+      }
+    }
+    // Deterministic clusters of three: {0,1,2}, {3,4,5}, ... — related
+    // services stay small so change scheduling can keep each cluster's
+    // changes far enough apart to leave ground truth exact.
+    for (int s = 0; s + 1 < params.services; ++s) {
+      if (s % 3 != 2) {
+        ds->topo.add_relation(service_name(s), service_name(s + 1));
+      }
+    }
+  }
+
+  void create_streams() {
+    for (int s = 0; s < params.services; ++s) {
+      const std::string svc = service_name(s);
+      for (int v = 0; v < params.servers_per_service; ++v) {
+        const std::string srv = server_name(s, v);
+        for (const std::string& kpi : kServerKpis) {
+          streams.emplace(tsdb::server_metric(srv, kpi),
+                          std::make_unique<KpiStream>(
+                              make_generator(kpi, rng.split())));
+        }
+        const std::string inst = topology::instance_name(svc, srv);
+        for (const std::string& kpi : kInstanceKpis) {
+          streams.emplace(tsdb::instance_metric(inst, kpi),
+                          std::make_unique<KpiStream>(
+                              make_generator(kpi, rng.split())));
+        }
+      }
+    }
+  }
+
+  // One change-day schedule: changes are assigned round-robin to clusters
+  // and spaced so that no two changes within a cluster (the maximal set of
+  // mutually reachable services) fall closer than ~2 assessment windows.
+  void record_changes() {
+    const int total_changes = params.positive_changes + params.negative_changes;
+    const int clusters = (params.services + 2) / 3;
+    const int per_cluster = (total_changes + clusters - 1) / clusters;
+    // A confounder shock can extend to change_time + ~100 minutes; keep the
+    // next change in the same cluster far enough away that no shock leaks
+    // into its 60-minute pre-window.
+    const MinuteTime min_spacing = 170;
+    const MinuteTime day = kMinutesPerDay;
+    const int change_days = static_cast<int>(
+        (per_cluster * min_spacing + day - 1) / day);
+    ds->change_day_start =
+        static_cast<MinuteTime>(params.history_days) * kMinutesPerDay;
+    total_minutes = ds->change_day_start +
+                    static_cast<MinuteTime>(std::max(change_days, 1)) * day;
+
+    // Interleave positive / negative changes deterministically but shuffle
+    // which slots are positive.
+    std::vector<bool> positive(static_cast<std::size_t>(total_changes), false);
+    for (int i = 0; i < params.positive_changes; ++i) {
+      positive[static_cast<std::size_t>(i)] = true;
+    }
+    rng.shuffle(positive);
+
+    std::vector<int> cluster_slot(static_cast<std::size_t>(clusters), 0);
+    for (int i = 0; i < total_changes; ++i) {
+      const int cluster = i % clusters;
+      const int slot = cluster_slot[static_cast<std::size_t>(cluster)]++;
+      // Alternate services within the cluster.
+      const int first_svc = cluster * 3;
+      const int span = std::min(3, params.services - first_svc);
+      const int svc_idx = first_svc + slot % span;
+      const std::string svc = service_name(svc_idx);
+
+      changes::SoftwareChange ch;
+      ch.service = svc;
+      ch.type = rng.bernoulli(0.5) ? changes::ChangeType::kSoftwareUpgrade
+                                   : changes::ChangeType::kConfigChange;
+      ch.time = ds->change_day_start + 90 +
+                static_cast<MinuteTime>(slot) * min_spacing +
+                rng.uniform_int(0, 30);
+      FUNNEL_REQUIRE(ch.time + 120 < total_minutes,
+                     "change schedule exceeds the simulated horizon");
+
+      const auto& servers = ds->topo.servers_of(svc);
+      if (rng.bernoulli(params.dark_fraction)) {
+        ch.mode = changes::LaunchMode::kDark;
+        std::vector<std::string> pool = servers;
+        rng.shuffle(pool);
+        pool.resize(static_cast<std::size_t>(params.treated_servers));
+        ch.servers = std::move(pool);
+      } else {
+        ch.mode = changes::LaunchMode::kFull;
+        ch.servers = servers;
+      }
+      ch.description = positive[static_cast<std::size_t>(i)]
+                           ? "synthetic change with injected effect"
+                           : "synthetic no-op change";
+      const changes::ChangeId id = ds->log.record(std::move(ch), ds->topo);
+      if (positive[static_cast<std::size_t>(i)]) {
+        ds->positive_change_ids.push_back(id);
+      } else {
+        ds->negative_change_ids.push_back(id);
+      }
+    }
+  }
+
+  workload::Effect make_effect(MinuteTime tc, double delta) {
+    if (rng.uniform() < params.ramp_fraction) {
+      return workload::Ramp{tc, tc + params.ramp_duration, delta};
+    }
+    return workload::LevelShift{tc, delta};
+  }
+
+  void inject_for_metric(changes::ChangeId id, const MetricId& metric,
+                         MinuteTime tc, double delta) {
+    const auto it = streams.find(metric);
+    FUNNEL_REQUIRE(it != streams.end(),
+                   "no stream for metric " + metric.to_string());
+    // Per-entity jitter: replicas of one service react similarly but not
+    // identically.
+    const double jitter = 1.0 + rng.uniform(-0.1, 0.1);
+    it->second->add_effect(make_effect(tc, delta * jitter));
+    induced.emplace(id, metric);
+  }
+
+  void inject_effects() {
+    for (const changes::ChangeId id : ds->positive_change_ids) {
+      const changes::SoftwareChange& ch = ds->log.get(id);
+      const core::ImpactSet set = core::identify_impact_set(ch, ds->topo);
+
+      // Pick the KPI names this change perturbs.
+      std::vector<std::string> names = kServerKpis;
+      names.insert(names.end(), kInstanceKpis.begin(), kInstanceKpis.end());
+      rng.shuffle(names);
+      names.resize(static_cast<std::size_t>(
+          std::min<int>(params.kpis_affected_per_change,
+                        static_cast<int>(names.size()))));
+
+      for (const std::string& kpi : names) {
+        const double sigma = kpi_noise_sigma(kpi);
+        const double magnitude =
+            rng.uniform(params.effect_min_sigma, params.effect_max_sigma) *
+            sigma;
+        const double delta = rng.bernoulli(0.5) ? magnitude : -magnitude;
+        const bool server_kpi =
+            std::find(kServerKpis.begin(), kServerKpis.end(), kpi) !=
+            kServerKpis.end();
+        if (server_kpi) {
+          for (const std::string& srv : set.tservers) {
+            inject_for_metric(id, tsdb::server_metric(srv, kpi), ch.time,
+                              delta);
+          }
+        } else {
+          for (const std::string& inst : set.tinstances) {
+            inject_for_metric(id, tsdb::instance_metric(inst, kpi), ch.time,
+                              delta);
+          }
+          // The changed service's aggregated KPI inherits the effect
+          // diluted by the untreated replicas; label it change-induced only
+          // when the diluted effect is visible above the aggregate's
+          // (averaged-down) noise — as a human labeler would.
+          const auto n_inst =
+              static_cast<double>(ds->topo.instances_of(ch.service).size());
+          const double fraction =
+              static_cast<double>(set.tinstances.size()) / n_inst;
+          const double aggregate_sigma = sigma / std::sqrt(n_inst);
+          if (std::abs(delta) * fraction >=
+              params.aggregate_label_min_sigma * aggregate_sigma) {
+            induced.emplace(id, tsdb::service_metric(ch.service, kpi));
+          }
+        }
+      }
+
+      // Propagation into affected services: every instance of the affected
+      // service moves together (§3.1), realized by injecting a smaller
+      // effect into all of its instances.
+      for (const std::string& affected : set.affected_services) {
+        if (!rng.bernoulli(params.propagate_probability)) continue;
+        const std::string& kpi =
+            kInstanceKpis[static_cast<std::size_t>(rng.uniform_int(
+                0, static_cast<std::int64_t>(kInstanceKpis.size()) - 1))];
+        const double sigma = kpi_noise_sigma(kpi);
+        const double delta = (rng.bernoulli(0.5) ? 1.0 : -1.0) *
+                             rng.uniform(params.effect_min_sigma,
+                                         params.effect_max_sigma) *
+                             sigma;
+        for (const std::string& inst : ds->topo.instances_of(affected)) {
+          const MetricId m = tsdb::instance_metric(inst, kpi);
+          const auto it = streams.find(m);
+          FUNNEL_REQUIRE(it != streams.end(), "missing affected stream");
+          it->second->add_effect(make_effect(ch.time, delta));
+        }
+        induced.emplace(id, tsdb::service_metric(affected, kpi));
+      }
+    }
+
+    // Confounders: service-wide shocks coinciding with changes (positive or
+    // negative) — same shape on treated and control entities, per KPI name.
+    // Only dark-launched changes get coinciding confounders: DiD's control
+    // group cancels them there, whereas under Full Launching a concurrent
+    // non-seasonal shock is indistinguishable from the change by design
+    // (Fig. 3 has no control group on that path) — the paper's production
+    // full launches did not coincide with attacks.
+    for (const changes::SoftwareChange& ch : ds->log.all()) {
+      if (!ch.dark_launched()) continue;
+      if (!rng.bernoulli(params.confounder_probability)) continue;
+      const MinuteTime onset = ch.time + rng.uniform_int(-5, 10);
+      const MinuteTime duration = rng.uniform_int(40, 90);
+      std::vector<std::string> names = kServerKpis;
+      names.insert(names.end(), kInstanceKpis.begin(), kInstanceKpis.end());
+      for (const std::string& kpi : names) {
+        const double amp = (rng.bernoulli(0.5) ? 1.0 : -1.0) *
+                           rng.uniform(3.0, 5.0) * kpi_noise_sigma(kpi);
+        const workload::SharedShock shock =
+            rng.bernoulli(0.5)
+                ? workload::make_event_shock(onset, duration, amp)
+                : workload::make_attack_shock(onset, duration, amp,
+                                              rng.split());
+        for (auto& [metric, stream] : streams) {
+          const bool same_service =
+              (metric.kind == EntityKind::kServer &&
+               ds->topo.service_of_server(metric.entity) == ch.service) ||
+              (metric.kind == EntityKind::kInstance &&
+               topology::parse_instance_name(metric.entity).first ==
+                   ch.service);
+          if (same_service && metric.kpi == kpi) stream->add_shock(shock);
+        }
+      }
+    }
+
+    // Transient distractor spikes near some changes: must NOT be reported
+    // (the 7-minute persistence rule exists for these).
+    for (const changes::SoftwareChange& ch : ds->log.all()) {
+      if (!rng.bernoulli(0.25)) continue;
+      const core::ImpactSet set = core::identify_impact_set(ch, ds->topo);
+      if (set.tinstances.empty()) continue;
+      const std::string& inst = set.tinstances.front();
+      const std::string& kpi =
+          kInstanceKpis[static_cast<std::size_t>(rng.uniform_int(
+              0, static_cast<std::int64_t>(kInstanceKpis.size()) - 1))];
+      const auto it = streams.find(tsdb::instance_metric(inst, kpi));
+      if (it == streams.end()) continue;
+      it->second->add_effect(workload::TransientSpike{
+          ch.time + rng.uniform_int(2, 20), rng.uniform_int(1, 3),
+          (rng.bernoulli(0.5) ? 1.0 : -1.0) * 6.0 * kpi_noise_sigma(kpi)});
+    }
+  }
+
+  void materialize_streams() {
+    // Render server and instance streams, then aggregate service KPIs.
+    for (auto& [metric, stream] : streams) {
+      tsdb::TimeSeries s(0, workload::render(*stream, 0, total_minutes));
+      ds->store.insert(metric, std::move(s));
+    }
+    for (int si = 0; si < params.services; ++si) {
+      const std::string svc = service_name(si);
+      for (const std::string& kpi : kInstanceKpis) {
+        std::vector<const tsdb::TimeSeries*> parts;
+        for (const std::string& inst : ds->topo.instances_of(svc)) {
+          parts.push_back(&ds->store.series(tsdb::instance_metric(inst, kpi)));
+        }
+        ds->store.insert(tsdb::service_metric(svc, kpi),
+                         tsdb::aggregate_mean(parts, 0, total_minutes));
+      }
+    }
+  }
+
+  void collect_items() {
+    for (const changes::SoftwareChange& ch : ds->log.all()) {
+      const core::ImpactSet set = core::identify_impact_set(ch, ds->topo);
+      for (const MetricId& metric : core::impact_metrics(set, ds->store)) {
+        ItemTruth item;
+        item.change_id = ch.id;
+        item.metric = metric;
+        item.kpi_class = kpi_class_of(metric.kpi);
+        item.change_induced = induced.contains({ch.id, metric});
+        item.effect_start = ch.time;
+        ds->items.push_back(std::move(item));
+      }
+    }
+  }
+
+  std::unique_ptr<EvalDataset> run() {
+    build_topology();
+    create_streams();
+    record_changes();
+    inject_effects();
+    materialize_streams();
+    collect_items();
+    return std::move(ds);
+  }
+};
+
+}  // namespace
+
+bool EvalDataset::is_positive_change(changes::ChangeId id) const {
+  return std::find(positive_change_ids.begin(), positive_change_ids.end(),
+                   id) != positive_change_ids.end();
+}
+
+tsdb::KpiClass kpi_class_of(const std::string& kpi_name) {
+  if (kpi_name == "page_view_count") return KpiClass::kSeasonal;
+  if (kpi_name == "cpu_context_switch" || kpi_name == "response_delay") {
+    return KpiClass::kVariable;
+  }
+  return KpiClass::kStationary;
+}
+
+const std::vector<std::string>& server_kpi_names() { return kServerKpis; }
+const std::vector<std::string>& instance_kpi_names() { return kInstanceKpis; }
+
+double kpi_noise_sigma(const std::string& kpi_name) {
+  switch (kpi_class_of(kpi_name)) {
+    case KpiClass::kSeasonal:
+      return 2.0;
+    case KpiClass::kStationary:
+      return 1.0;
+    case KpiClass::kVariable:
+      // Marginal sigma of the AR(1): burst_sigma / sqrt(1 - phi^2).
+      return 8.0 / std::sqrt(1.0 - 0.6 * 0.6);
+  }
+  return 1.0;
+}
+
+std::unique_ptr<EvalDataset> build_dataset(const DatasetParams& params) {
+  Builder b(params);
+  return b.run();
+}
+
+}  // namespace funnel::evalkit

@@ -1,0 +1,120 @@
+// Labeled evaluation dataset builder — the substitute for the paper's
+// manually-labeled production data (§4.1).
+//
+// Builds a complete synthetic deployment: a service topology with relations,
+// weeks of per-entity KPI history in a MetricStore (seasonal, stationary and
+// variable KPIs; service KPIs are true aggregations of their instance KPIs),
+// and a change log mixing positive changes (which inject level shifts /
+// ramps into the treated entities' KPIs at the deployment minute) with
+// negative ones (no injected effect). Service-wide confounder shocks hit
+// treated and control entities alike so that detection-only methods produce
+// false "caused by change" verdicts that DiD must reject.
+//
+// Every (change, metric) pair in the impact set becomes an item with exact
+// ground truth — the stand-in for the operations team's labels.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "changes/change_log.h"
+#include "funnel/impact_set.h"
+#include "topology/topology.h"
+#include "tsdb/store.h"
+
+namespace funnel::evalkit {
+
+struct DatasetParams {
+  std::uint64_t seed = 42;
+
+  int services = 4;
+  int servers_per_service = 6;
+  int treated_servers = 2;  ///< dark-launch subset size
+
+  int positive_changes = 8;  ///< changes that induce KPI changes
+  int negative_changes = 8;  ///< changes with no injected effect
+  double dark_fraction = 0.75;  ///< fraction rolled out with Dark Launching
+
+  /// Days of history before the change day (the paper's 30-day baseline
+  /// needs >= 30; tests use small values with a reduced baseline).
+  int history_days = 31;
+
+  /// Probability that a service-wide confounder shock coincides with a
+  /// change (the "other factors" that detection alone cannot exclude).
+  double confounder_probability = 0.35;
+
+  /// Injected effect magnitude, in units of the KPI's own noise scale.
+  /// Production changes span a wide range — small effects are what
+  /// separates the methods' detection delays (a cumulative statistic needs
+  /// threshold/(shift - slack) minutes to cross).
+  double effect_min_sigma = 2.5;
+  double effect_max_sigma = 9.0;
+
+  /// A changed-service aggregate KPI (instance effects diluted by the
+  /// untreated replicas, noise averaged down by 1/sqrt(n)) is labeled
+  /// change-induced only when the diluted effect clears this many aggregate
+  /// noise sigmas — mirroring what a human labeler can actually see.
+  double aggregate_label_min_sigma = 2.0;
+
+  /// Fraction of injected effects that are ramps (rest are level shifts).
+  double ramp_fraction = 0.4;
+  /// Ramp rise time in minutes.
+  MinuteTime ramp_duration = 20;
+
+  /// How many distinct KPI names a positive change affects.
+  int kpis_affected_per_change = 2;
+
+  /// Probability that a positive change also propagates (at service
+  /// granularity) into each affected service.
+  double propagate_probability = 0.5;
+};
+
+/// Ground truth for one evaluation item (S_i, c_i, k_i).
+struct ItemTruth {
+  changes::ChangeId change_id = 0;
+  tsdb::MetricId metric;
+  tsdb::KpiClass kpi_class = tsdb::KpiClass::kStationary;
+  /// True iff this KPI carries an injected persistent effect caused by this
+  /// software change.
+  bool change_induced = false;
+  /// Effect onset (== change minute in this builder); meaningful when
+  /// change_induced.
+  MinuteTime effect_start = 0;
+};
+
+struct EvalDataset {
+  topology::ServiceTopology topo;
+  changes::ChangeLog log;
+  tsdb::MetricStore store;
+  std::vector<ItemTruth> items;
+  DatasetParams params;
+
+  /// Change ids that injected at least one effect.
+  std::vector<changes::ChangeId> positive_change_ids;
+  std::vector<changes::ChangeId> negative_change_ids;
+
+  /// First minute of the change day (changes are all placed on the last
+  /// simulated day).
+  MinuteTime change_day_start = 0;
+
+  bool is_positive_change(changes::ChangeId id) const;
+};
+
+/// KPI schema shared by builder, tests and benches.
+/// Server KPIs: cpu_context_switch (variable), memory_utilization
+/// (stationary). Instance KPIs: page_view_count (seasonal),
+/// response_delay (variable), error_count (stationary). Service KPIs are
+/// the aggregations of the instance KPIs.
+tsdb::KpiClass kpi_class_of(const std::string& kpi_name);
+const std::vector<std::string>& server_kpi_names();
+const std::vector<std::string>& instance_kpi_names();
+
+/// Marginal noise scale of each generated KPI (used to size effects).
+double kpi_noise_sigma(const std::string& kpi_name);
+
+/// Build the full dataset. Deterministic in params.seed.
+std::unique_ptr<EvalDataset> build_dataset(const DatasetParams& params);
+
+}  // namespace funnel::evalkit

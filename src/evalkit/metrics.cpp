@@ -1,0 +1,57 @@
+#include "evalkit/metrics.h"
+
+#include <sstream>
+
+namespace funnel::evalkit {
+
+void ConfusionMatrix::add(bool truth, bool predicted, std::uint64_t weight) {
+  if (truth && predicted) {
+    tp += weight;
+  } else if (truth && !predicted) {
+    fn += weight;
+  } else if (!truth && predicted) {
+    fp += weight;
+  } else {
+    tn += weight;
+  }
+}
+
+ConfusionMatrix& ConfusionMatrix::operator+=(const ConfusionMatrix& other) {
+  tp += other.tp;
+  tn += other.tn;
+  fp += other.fp;
+  fn += other.fn;
+  return *this;
+}
+
+ConfusionMatrix ConfusionMatrix::scaled(std::uint64_t factor) const {
+  return {tp * factor, tn * factor, fp * factor, fn * factor};
+}
+
+double ConfusionMatrix::precision() const {
+  const std::uint64_t denom = tp + fp;
+  return denom == 0 ? 1.0 : static_cast<double>(tp) / static_cast<double>(denom);
+}
+
+double ConfusionMatrix::recall() const {
+  const std::uint64_t denom = tp + fn;
+  return denom == 0 ? 1.0 : static_cast<double>(tp) / static_cast<double>(denom);
+}
+
+double ConfusionMatrix::tnr() const {
+  const std::uint64_t denom = tn + fp;
+  return denom == 0 ? 1.0 : static_cast<double>(tn) / static_cast<double>(denom);
+}
+
+double ConfusionMatrix::accuracy() const {
+  const std::uint64_t t = total();
+  return t == 0 ? 0.0 : static_cast<double>(tp + tn) / static_cast<double>(t);
+}
+
+std::string ConfusionMatrix::to_string() const {
+  std::ostringstream os;
+  os << "tp=" << tp << " tn=" << tn << " fp=" << fp << " fn=" << fn;
+  return os.str();
+}
+
+}  // namespace funnel::evalkit

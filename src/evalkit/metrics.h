@@ -1,0 +1,38 @@
+// Confusion-matrix bookkeeping for the evaluation (§4.2).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace funnel::evalkit {
+
+struct ConfusionMatrix {
+  std::uint64_t tp = 0;
+  std::uint64_t tn = 0;
+  std::uint64_t fp = 0;
+  std::uint64_t fn = 0;
+
+  void add(bool truth, bool predicted, std::uint64_t weight = 1);
+
+  ConfusionMatrix& operator+=(const ConfusionMatrix& other);
+
+  /// Scale every cell (the §4.2.1 x86 synthetic extrapolation of the
+  /// unchanged-change sample to the full population).
+  ConfusionMatrix scaled(std::uint64_t factor) const;
+
+  std::uint64_t total() const { return tp + tn + fp + fn; }
+
+  /// TP / (TP + FP); 1 when no positives were predicted (matches the
+  /// paper's convention of reporting 100% precision for all-negative).
+  double precision() const;
+  /// TP / (TP + FN); 1 when there were no positive items.
+  double recall() const;
+  /// TN / (TN + FP); 1 when there were no negative items.
+  double tnr() const;
+  /// (TP + TN) / total; 0 on empty.
+  double accuracy() const;
+
+  std::string to_string() const;
+};
+
+}  // namespace funnel::evalkit

@@ -1,0 +1,54 @@
+#include "evalkit/roc.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace funnel::evalkit {
+
+std::vector<RocPoint> detector_roc(const EvalDataset& ds,
+                                   const DetectorSpec& base,
+                                   std::span<const double> thresholds,
+                                   std::uint64_t negative_scale) {
+  FUNNEL_REQUIRE(!thresholds.empty(), "ROC sweep needs thresholds");
+  std::vector<RocPoint> out;
+  out.reserve(thresholds.size());
+  for (double thr : thresholds) {
+    DetectorSpec spec = base;
+    spec.policy.threshold = thr;
+    const MethodResult r =
+        evaluate_detector(ds, spec, 60, 60, negative_scale);
+    const ConfusionMatrix cm = r.total();
+    RocPoint p;
+    p.threshold = thr;
+    p.tpr = cm.recall();
+    p.fpr = 1.0 - cm.tnr();
+    p.precision = cm.precision();
+    p.accuracy = cm.accuracy();
+    out.push_back(p);
+  }
+  return out;
+}
+
+double auc(std::vector<RocPoint> points) {
+  FUNNEL_REQUIRE(!points.empty(), "AUC of empty curve");
+  RocPoint lo;  // (0, 0)
+  RocPoint hi;
+  hi.fpr = 1.0;
+  hi.tpr = 1.0;
+  points.push_back(lo);
+  points.push_back(hi);
+  std::sort(points.begin(), points.end(),
+            [](const RocPoint& a, const RocPoint& b) {
+              if (a.fpr != b.fpr) return a.fpr < b.fpr;
+              return a.tpr < b.tpr;
+            });
+  double area = 0.0;
+  for (std::size_t i = 1; i < points.size(); ++i) {
+    const double dx = points[i].fpr - points[i - 1].fpr;
+    area += dx * 0.5 * (points[i].tpr + points[i - 1].tpr);
+  }
+  return area;
+}
+
+}  // namespace funnel::evalkit

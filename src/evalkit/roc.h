@@ -1,0 +1,32 @@
+// ROC-curve generation (§4.1 notes the threshold/ROC methodology; this
+// utility makes the sweep explicit).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "evalkit/dataset.h"
+#include "evalkit/evaluate.h"
+
+namespace funnel::evalkit {
+
+struct RocPoint {
+  double threshold = 0.0;
+  double tpr = 0.0;  ///< recall
+  double fpr = 0.0;  ///< 1 - TNR
+  double precision = 0.0;
+  double accuracy = 0.0;
+};
+
+/// Sweep the alarm threshold of a detection-only method over the dataset
+/// and return one ROC point per threshold (item protocol of §4.2).
+std::vector<RocPoint> detector_roc(const EvalDataset& ds,
+                                   const DetectorSpec& base,
+                                   std::span<const double> thresholds,
+                                   std::uint64_t negative_scale = 1);
+
+/// Trapezoidal area under the (fpr, tpr) curve; points are sorted by fpr
+/// internally and the curve is anchored at (0,0) and (1,1).
+double auc(std::vector<RocPoint> points);
+
+}  // namespace funnel::evalkit

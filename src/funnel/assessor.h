@@ -1,0 +1,58 @@
+// Batch assessment — the Fig. 3 decision flow.
+//
+// For a recorded software change, Funnel::assess:
+//   1. identifies the impact set (§3.1);
+//   2. runs the improved+IKA SST detector over every impact-set KPI around
+//      the change (step 2), applying the 7-minute persistence rule;
+//   3. for each detected KPI change, determines causality (steps 4-11):
+//      affected-service KPIs and Full-Launching changes compare against the
+//      KPI's own 30-day history (seasonality exclusion, §3.2.5); everything
+//      else compares treated vs control entities via DiD (§3.2.4);
+//   4. assembles the AssessmentReport delivered to the operations team.
+#pragma once
+
+#include "changes/change_log.h"
+#include "funnel/config.h"
+#include "funnel/impact_set.h"
+#include "funnel/report.h"
+#include "topology/topology.h"
+#include "tsdb/store.h"
+
+namespace funnel::core {
+
+class Funnel {
+ public:
+  Funnel(FunnelConfig config, const topology::ServiceTopology& topo,
+         const changes::ChangeLog& log, const tsdb::MetricStore& store);
+
+  /// Assess one recorded change against the data currently in the store.
+  AssessmentReport assess(changes::ChangeId id) const;
+
+  /// Assess every change recorded in [t0, t1) — the daily batch the
+  /// operations team reviews (Table 3's workload).
+  std::vector<AssessmentReport> assess_window(MinuteTime t0,
+                                              MinuteTime t1) const;
+
+  /// The Fig. 3 flow for a single KPI (exposed for tests and the online
+  /// assessor).
+  ItemVerdict assess_metric(const changes::SoftwareChange& change,
+                            const ImpactSet& set,
+                            const tsdb::MetricId& metric) const;
+
+  const FunnelConfig& config() const { return config_; }
+
+  /// Causality determination given a raised alarm (Fig. 3 steps 4-11).
+  /// `post_window` caps the post-change period (the online assessor passes
+  /// the data observed so far). Also used by FunnelOnline.
+  void determine_cause(const changes::SoftwareChange& change,
+                       const ImpactSet& set, const tsdb::MetricId& metric,
+                       MinuteTime post_window, ItemVerdict& verdict) const;
+
+ private:
+  FunnelConfig config_;
+  const topology::ServiceTopology& topo_;
+  const changes::ChangeLog& log_;
+  const tsdb::MetricStore& store_;
+};
+
+}  // namespace funnel::core

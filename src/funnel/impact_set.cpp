@@ -1,0 +1,97 @@
+#include "funnel/impact_set.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace funnel::core {
+
+ImpactSet identify_impact_set(const changes::SoftwareChange& change,
+                              const topology::ServiceTopology& topo) {
+  ImpactSet set;
+  set.change_id = change.id;
+  set.changed_service = change.service;
+  set.dark_launched = change.dark_launched();
+  set.tservers = change.servers;
+  for (const std::string& s : set.tservers) {
+    set.tinstances.push_back(topology::instance_name(change.service, s));
+  }
+  for (const std::string& s : topo.servers_of(change.service)) {
+    if (std::find(set.tservers.begin(), set.tservers.end(), s) !=
+        set.tservers.end()) {
+      continue;
+    }
+    set.cservers.push_back(s);
+    set.cinstances.push_back(topology::instance_name(change.service, s));
+  }
+  set.affected_services = topo.affected_services(change.service);
+  return set;
+}
+
+std::vector<tsdb::MetricId> impact_metrics(const ImpactSet& set,
+                                           const tsdb::MetricStore& store) {
+  std::vector<tsdb::MetricId> out;
+  auto take = [&](tsdb::EntityKind kind, const std::string& entity) {
+    for (tsdb::MetricId& id : store.metrics_of(kind, entity)) {
+      out.push_back(std::move(id));
+    }
+  };
+  for (const std::string& s : set.tservers) take(tsdb::EntityKind::kServer, s);
+  for (const std::string& i : set.tinstances) {
+    take(tsdb::EntityKind::kInstance, i);
+  }
+  take(tsdb::EntityKind::kService, set.changed_service);
+  for (const std::string& svc : set.affected_services) {
+    take(tsdb::EntityKind::kService, svc);
+  }
+  return out;
+}
+
+bool is_affected_service_metric(const ImpactSet& set,
+                                const tsdb::MetricId& metric) {
+  if (metric.kind != tsdb::EntityKind::kService) return false;
+  return std::find(set.affected_services.begin(), set.affected_services.end(),
+                   metric.entity) != set.affected_services.end();
+}
+
+std::vector<tsdb::MetricId> treated_group_for(const ImpactSet& set,
+                                              const tsdb::MetricId& metric) {
+  std::vector<tsdb::MetricId> out;
+  switch (metric.kind) {
+    case tsdb::EntityKind::kServer:
+      for (const std::string& s : set.tservers) {
+        out.push_back(tsdb::server_metric(s, metric.kpi));
+      }
+      break;
+    case tsdb::EntityKind::kInstance:
+    case tsdb::EntityKind::kService:
+      // Changed-service KPIs are aggregations of the same-named tinstance
+      // KPIs (§3.2.4): assessing the tinstances is sufficient.
+      for (const std::string& i : set.tinstances) {
+        out.push_back(tsdb::instance_metric(i, metric.kpi));
+      }
+      break;
+  }
+  return out;
+}
+
+std::vector<tsdb::MetricId> control_group_for(const ImpactSet& set,
+                                              const tsdb::MetricId& metric) {
+  std::vector<tsdb::MetricId> out;
+  switch (metric.kind) {
+    case tsdb::EntityKind::kServer:
+      for (const std::string& s : set.cservers) {
+        out.push_back(tsdb::server_metric(s, metric.kpi));
+      }
+      break;
+    case tsdb::EntityKind::kInstance:
+    case tsdb::EntityKind::kService:
+      for (const std::string& i : set.cinstances) {
+        out.push_back(tsdb::instance_metric(i, metric.kpi));
+      }
+      break;
+  }
+  return out;
+}
+
+}  // namespace funnel::core

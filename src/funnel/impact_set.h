@@ -1,0 +1,66 @@
+// Impact-set identification (§3.1, Fig. 4).
+//
+// For a change on service A deployed to servers (A1..Am):
+//   * tservers  = the deployed-on servers (from the change log);
+//   * tinstances = A's instances on those servers;
+//   * cservers / cinstances = A's remaining servers / instances (the control
+//     group for Dark Launching) — empty under Full Launching;
+//   * changed service = A; affected services = every service reachable from
+//     A in the relation graph.
+// The monitored items are: all KPIs of tservers, all KPIs of tinstances, all
+// KPIs of the changed service, and all KPIs of each affected service —
+// affected services enter only at service granularity (their instances are
+// load-balanced; per-instance effects are implausible, §3.1).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "changes/change_log.h"
+#include "topology/topology.h"
+#include "tsdb/store.h"
+
+namespace funnel::core {
+
+struct ImpactSet {
+  changes::ChangeId change_id = 0;
+  std::string changed_service;
+
+  std::vector<std::string> tservers;
+  std::vector<std::string> tinstances;
+  std::vector<std::string> cservers;
+  std::vector<std::string> cinstances;
+  std::vector<std::string> affected_services;
+
+  bool dark_launched = false;
+
+  bool has_control_group() const { return !cservers.empty(); }
+};
+
+/// Derive the impact set of a recorded change.
+ImpactSet identify_impact_set(const changes::SoftwareChange& change,
+                              const topology::ServiceTopology& topo);
+
+/// All KPIs FUNNEL must examine for this change, in deterministic order:
+/// tserver KPIs, tinstance KPIs, changed-service KPIs, affected-service
+/// KPIs — every metric the store holds for those entities.
+std::vector<tsdb::MetricId> impact_metrics(const ImpactSet& set,
+                                           const tsdb::MetricStore& store);
+
+/// True when `metric` belongs to an affected service (those KPIs always take
+/// the historical-control DiD path, Fig. 3 step 4).
+bool is_affected_service_metric(const ImpactSet& set,
+                                const tsdb::MetricId& metric);
+
+/// The treated-group metric ids to use in DiD for a detected change on
+/// `metric`: same-named KPI across tservers (server KPIs) or tinstances
+/// (instance and changed-service KPIs).
+std::vector<tsdb::MetricId> treated_group_for(const ImpactSet& set,
+                                              const tsdb::MetricId& metric);
+
+/// The control-group metric ids: same-named KPI across cservers /
+/// cinstances. Empty under Full Launching.
+std::vector<tsdb::MetricId> control_group_for(const ImpactSet& set,
+                                              const tsdb::MetricId& metric);
+
+}  // namespace funnel::core

@@ -1,0 +1,135 @@
+#include "funnel/online.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace funnel::core {
+
+FunnelOnline::FunnelOnline(FunnelConfig config,
+                           const topology::ServiceTopology& topo,
+                           const changes::ChangeLog& log,
+                           tsdb::MetricStore& store)
+    : config_(config),
+      topo_(topo),
+      log_(log),
+      store_(store),
+      batch_(config, topo, log, store) {}
+
+FunnelOnline::~FunnelOnline() {
+  if (subscribed_) store_.unsubscribe(subscription_);
+}
+
+void FunnelOnline::watch(changes::ChangeId id) {
+  const changes::SoftwareChange& change = log_.get(id);
+  ChangeWatch watch;
+  watch.change_id = id;
+  watch.set = identify_impact_set(change, topo_);
+  watch.deadline = change.time + config_.horizon;
+
+  for (const tsdb::MetricId& metric : impact_metrics(watch.set, store_)) {
+    MetricWatch mw;
+    mw.metric = metric;
+    mw.verdict.metric = metric;
+    mw.scorer = std::make_unique<detect::IkaSst>(config_.geometry);
+    const tsdb::TimeSeries& series = store_.series(metric);
+    const MinuteTime prime_start =
+        std::max(series.start_time(), change.time - config_.lookback);
+    mw.detector = std::make_unique<detect::OnlineDetector>(
+        *mw.scorer, config_.alarm, prime_start);
+    // Prime with whatever history is already in the store; pre-change
+    // alarms are discarded (rearmed) — only post-deployment behavior
+    // changes are attributable.
+    for (MinuteTime t = prime_start; t < series.end_time(); ++t) {
+      const auto alarm = mw.detector->push(series.at(t));
+      if (alarm && alarm->minute < change.time) mw.detector->rearm();
+      if (alarm && alarm->minute >= change.time &&
+          !mw.verdict.kpi_change_detected) {
+        mw.verdict.kpi_change_detected = true;
+        mw.verdict.alarm = *alarm;
+        mw.pending_determination = true;
+      }
+    }
+    watch.metrics.emplace(metric, std::move(mw));
+  }
+  watches_.emplace(id, std::move(watch));
+
+  if (!subscribed_) {
+    subscription_ = store_.subscribe(
+        {}, [this](const tsdb::MetricId& m, MinuteTime t, double v) {
+          handle_sample(m, t, v);
+        });
+    subscribed_ = true;
+  }
+}
+
+void FunnelOnline::handle_sample(const tsdb::MetricId& id, MinuteTime t,
+                                 double value) {
+  std::vector<changes::ChangeId> finished;
+  for (auto& [cid, watch] : watches_) {
+    const changes::SoftwareChange& change = log_.get(cid);
+    const auto it = watch.metrics.find(id);
+    if (it != watch.metrics.end()) {
+      MetricWatch& mw = it->second;
+      const auto alarm = mw.detector->push(value);
+      if (alarm) {
+        if (alarm->minute < change.time) {
+          mw.detector->rearm();
+        } else if (!mw.verdict.kpi_change_detected) {
+          mw.verdict.kpi_change_detected = true;
+          mw.verdict.alarm = *alarm;
+          mw.pending_determination = true;
+        }
+      }
+      if (mw.pending_determination) try_determination(watch, mw, t);
+    }
+    if (t >= watch.deadline) finished.push_back(cid);
+  }
+  for (changes::ChangeId cid : finished) finalize(cid);
+}
+
+void FunnelOnline::try_determination(ChangeWatch& watch, MetricWatch& mw,
+                                     MinuteTime now) {
+  const changes::SoftwareChange& change = log_.get(watch.change_id);
+  // Use only fully-delivered minutes: samples for `now` are still arriving
+  // metric by metric, so the post period ends at `now` (exclusive) —
+  // otherwise sibling/control series would be judged "not covering" and
+  // dropped from the DiD groups.
+  const MinuteTime post = now - change.time;
+  if (post < config_.min_did_window) return;  // wait for more post data
+  batch_.determine_cause(change, watch.set, mw.metric, post, mw.verdict);
+  mw.pending_determination = false;
+  if (mw.verdict.caused_by_software_change() && verdict_cb_) {
+    verdict_cb_(watch.change_id, mw.verdict);
+  }
+}
+
+void FunnelOnline::finalize(changes::ChangeId id) {
+  const auto wit = watches_.find(id);
+  if (wit == watches_.end()) return;
+  ChangeWatch& watch = wit->second;
+  const changes::SoftwareChange& change = log_.get(id);
+
+  AssessmentReport report;
+  report.change_id = id;
+  report.change_time = change.time;
+  report.impact_set = watch.set;
+  for (auto& [metric, mw] : watch.metrics) {
+    (void)metric;
+    if (mw.pending_determination) {
+      // Horizon reached with a still-undetermined alarm: run with the full
+      // observed window.
+      batch_.determine_cause(change, watch.set, mw.metric,
+                             watch.deadline - change.time, mw.verdict);
+      mw.pending_determination = false;
+      if (mw.verdict.caused_by_software_change() && verdict_cb_) {
+        verdict_cb_(id, mw.verdict);
+      }
+    }
+    report.items.push_back(mw.verdict);
+  }
+  watches_.erase(wit);
+  if (report_cb_) report_cb_(report);
+}
+
+}  // namespace funnel::core

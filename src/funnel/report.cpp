@@ -1,0 +1,63 @@
+#include "funnel/report.h"
+
+#include <sstream>
+
+namespace funnel::core {
+
+const char* to_string(Cause c) {
+  switch (c) {
+    case Cause::kNoKpiChange:
+      return "no-kpi-change";
+    case Cause::kSoftwareChange:
+      return "software-change";
+    case Cause::kOtherFactors:
+      return "other-factors";
+    case Cause::kSeasonality:
+      return "seasonality";
+  }
+  return "?";
+}
+
+std::size_t AssessmentReport::kpi_changes_detected() const {
+  std::size_t n = 0;
+  for (const auto& v : items) {
+    if (v.kpi_change_detected) ++n;
+  }
+  return n;
+}
+
+std::size_t AssessmentReport::kpi_changes_caused() const {
+  std::size_t n = 0;
+  for (const auto& v : items) {
+    if (v.caused_by_software_change()) ++n;
+  }
+  return n;
+}
+
+std::string AssessmentReport::summary() const {
+  std::ostringstream os;
+  os << "change #" << change_id << " on " << impact_set.changed_service
+     << " at minute " << change_time << " ("
+     << (impact_set.dark_launched ? "dark" : "full") << " launching)\n";
+  os << "  impact set: " << impact_set.tservers.size() << " tservers, "
+     << impact_set.tinstances.size() << " tinstances, "
+     << impact_set.affected_services.size() << " affected services; control: "
+     << impact_set.cservers.size() << " cservers\n";
+  os << "  KPIs examined: " << kpis_examined()
+     << ", behavior changes: " << kpi_changes_detected()
+     << ", caused by this change: " << kpi_changes_caused() << "\n";
+  for (const auto& v : items) {
+    if (!v.kpi_change_detected) continue;
+    os << "    " << v.metric.to_string() << " -> " << to_string(v.cause);
+    if (v.alarm) os << " (alarm at minute " << v.alarm->minute << ")";
+    if (v.did_fit) {
+      os << " [alpha=" << v.did_fit->alpha
+         << ", alpha_scaled=" << v.did_fit->alpha_scaled
+         << ", t=" << v.did_fit->t_stat << "]";
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace funnel::core

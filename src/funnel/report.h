@@ -1,0 +1,60 @@
+// Assessment reports — what FUNNEL delivers to the operations team
+// (Fig. 3 step 12).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "changes/change.h"
+#include "detect/sliding.h"
+#include "did/did.h"
+#include "funnel/impact_set.h"
+#include "tsdb/metric.h"
+
+namespace funnel::core {
+
+/// Outcome of the Fig. 3 decision flow for one KPI.
+enum class Cause {
+  kNoKpiChange,      ///< no behavior change detected at all
+  kSoftwareChange,   ///< change detected and attributed to the software change
+  kOtherFactors,     ///< change detected, DiD against control group rejected it
+  kSeasonality,      ///< change detected, historical DiD rejected it
+};
+
+const char* to_string(Cause c);
+
+/// Verdict for one item (S_i, c_i, k_i).
+struct ItemVerdict {
+  tsdb::MetricId metric;
+  bool kpi_change_detected = false;
+  std::optional<detect::Alarm> alarm;  ///< set when detected
+  Cause cause = Cause::kNoKpiChange;
+  std::optional<did::DiDResult> did_fit;  ///< set when DiD ran
+  bool used_historical_control = false;   ///< §3.2.5 path vs §3.2.4 path
+
+  bool caused_by_software_change() const {
+    return cause == Cause::kSoftwareChange;
+  }
+};
+
+/// Full assessment of one software change.
+struct AssessmentReport {
+  changes::ChangeId change_id = 0;
+  MinuteTime change_time = 0;
+  ImpactSet impact_set;
+  std::vector<ItemVerdict> items;
+
+  std::size_t kpis_examined() const { return items.size(); }
+  std::size_t kpi_changes_detected() const;
+  std::size_t kpi_changes_caused() const;
+
+  /// True when at least one KPI change is attributed to the change — the
+  /// signal that should page the operations team for a possible roll-back.
+  bool change_has_impact() const { return kpi_changes_caused() > 0; }
+
+  /// Human-readable multi-line summary.
+  std::string summary() const;
+};
+
+}  // namespace funnel::core

@@ -1,0 +1,100 @@
+#include "funnel/report_json.h"
+
+#include <cmath>
+#include <sstream>
+
+namespace funnel::core {
+namespace {
+
+void escape_to(std::ostringstream& os, const std::string& s) {
+  os << '"';
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        os << "\\\"";
+        break;
+      case '\\':
+        os << "\\\\";
+        break;
+      case '\n':
+        os << "\\n";
+        break;
+      case '\t':
+        os << "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          os << buf;
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+void number_to(std::ostringstream& os, double v) {
+  if (std::isfinite(v)) {
+    os << v;
+  } else {
+    os << "null";
+  }
+}
+
+}  // namespace
+
+std::string to_json(const ItemVerdict& verdict) {
+  std::ostringstream os;
+  os << "{\"metric\":";
+  escape_to(os, verdict.metric.to_string());
+  os << ",\"kpi_change_detected\":"
+     << (verdict.kpi_change_detected ? "true" : "false");
+  os << ",\"cause\":";
+  escape_to(os, to_string(verdict.cause));
+  if (verdict.alarm) {
+    os << ",\"alarm\":{\"minute\":" << verdict.alarm->minute
+       << ",\"peak_score\":";
+    number_to(os, verdict.alarm->peak_score);
+    os << "}";
+  }
+  if (verdict.did_fit) {
+    os << ",\"did\":{\"alpha\":";
+    number_to(os, verdict.did_fit->alpha);
+    os << ",\"alpha_scaled\":";
+    number_to(os, verdict.did_fit->alpha_scaled);
+    os << ",\"t_stat\":";
+    number_to(os, verdict.did_fit->t_stat);
+    os << ",\"n_treated\":" << verdict.did_fit->n_treated
+       << ",\"n_control\":" << verdict.did_fit->n_control
+       << ",\"historical_control\":"
+       << (verdict.used_historical_control ? "true" : "false") << "}";
+  }
+  os << "}";
+  return os.str();
+}
+
+std::string to_json(const AssessmentReport& report) {
+  std::ostringstream os;
+  os << "{\"change_id\":" << report.change_id
+     << ",\"change_time\":" << report.change_time << ",\"changed_service\":";
+  escape_to(os, report.impact_set.changed_service);
+  os << ",\"dark_launched\":"
+     << (report.impact_set.dark_launched ? "true" : "false")
+     << ",\"kpis_examined\":" << report.kpis_examined()
+     << ",\"kpi_changes_detected\":" << report.kpi_changes_detected()
+     << ",\"kpi_changes_caused\":" << report.kpi_changes_caused()
+     << ",\"change_has_impact\":"
+     << (report.change_has_impact() ? "true" : "false") << ",\"items\":[";
+  bool first = true;
+  for (const ItemVerdict& v : report.items) {
+    if (!first) os << ',';
+    first = false;
+    os << to_json(v);
+  }
+  os << "]}";
+  return os.str();
+}
+
+}  // namespace funnel::core

@@ -1,0 +1,18 @@
+// JSON export of assessment reports — the integration surface for paging
+// and ticketing systems (the "deliver to OP" arrow of Fig. 3 step 12).
+#pragma once
+
+#include <string>
+
+#include "funnel/report.h"
+
+namespace funnel::core {
+
+/// Render one verdict as a JSON object.
+std::string to_json(const ItemVerdict& verdict);
+
+/// Render the full report as a JSON object (stable key order, no external
+/// dependency).
+std::string to_json(const AssessmentReport& report);
+
+}  // namespace funnel::core

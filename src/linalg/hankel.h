@@ -1,0 +1,54 @@
+// Hankel (trajectory) matrices over sliding KPI windows.
+//
+// SST compares the dynamics before and after a candidate change point by
+// embedding the raw series into Hankel matrices (Eq. 1 and 3):
+//   B(t) = [q(t-δ), ..., q(t-1)],  q(t) = [x(t-ω+1), ..., x(t)]ᵀ
+// Both the past matrix B and the future matrix A are built by `hankel` from
+// the corresponding window slice. The Gram operator C = B·Bᵀ is applied
+// implicitly (never materialized) — the paper's "matrix compression and
+// implicit inner product calculation".
+#pragma once
+
+#include <span>
+
+#include "linalg/lanczos.h"
+#include "linalg/matrix.h"
+
+namespace funnel::linalg {
+
+/// Build an omega x count Hankel matrix whose column j is
+/// window[j .. j+omega-1]. The window must contain exactly
+/// omega + count - 1 samples.
+Matrix hankel(std::span<const double> window, std::size_t omega,
+              std::size_t count);
+
+/// Number of raw samples a Hankel embedding of `count` lagged windows of
+/// size `omega` consumes.
+constexpr std::size_t hankel_span(std::size_t omega, std::size_t count) {
+  return omega + count - 1;
+}
+
+/// Implicit Gram operator y = B·(Bᵀ·x) for a Hankel matrix B defined by a
+/// raw window, computed directly from the samples without forming B or
+/// B·Bᵀ. Cost per apply is O(omega * count) multiply-adds.
+///
+/// The window is copied (it is at most a few dozen samples), so the operator
+/// remains valid after the source buffer changes — important for the online
+/// sliding-window detector.
+class HankelGramOperator final : public LinearOperator {
+ public:
+  HankelGramOperator(std::span<const double> window, std::size_t omega,
+                     std::size_t count);
+
+  std::size_t dim() const override { return omega_; }
+  void apply(std::span<const double> x, std::span<double> y) const override;
+
+  std::size_t count() const { return count_; }
+
+ private:
+  std::size_t omega_;
+  std::size_t count_;
+  Vector window_;
+};
+
+}  // namespace funnel::linalg

@@ -1,0 +1,75 @@
+#include "linalg/lanczos.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace funnel::linalg {
+
+DenseOperator::DenseOperator(Matrix m) : m_(std::move(m)) {
+  FUNNEL_REQUIRE(m_.rows() == m_.cols(), "DenseOperator requires square matrix");
+}
+
+void DenseOperator::apply(std::span<const double> x, std::span<double> y) const {
+  const Vector r = matvec(m_, x);
+  std::copy(r.begin(), r.end(), y.begin());
+}
+
+LanczosResult lanczos(const LinearOperator& op, std::span<const double> v0,
+                      std::size_t k, bool want_basis) {
+  const std::size_t n = op.dim();
+  FUNNEL_REQUIRE(v0.size() == n, "lanczos seed dimension mismatch");
+  FUNNEL_REQUIRE(k >= 1, "lanczos needs at least one step");
+  k = std::min(k, n);
+
+  std::vector<Vector> basis;
+  basis.reserve(k);
+
+  Vector v(v0.begin(), v0.end());
+  const double v0norm = normalize(v);
+  FUNNEL_REQUIRE(v0norm > 0.0, "lanczos seed must be nonzero");
+
+  Vector alphas;
+  Vector betas;
+  Vector w(n, 0.0);
+
+  for (std::size_t j = 0; j < k; ++j) {
+    basis.push_back(v);
+    op.apply(v, w);
+    const double alpha = dot(w, v);
+    alphas.push_back(alpha);
+    // w <- w - alpha v - beta v_{j-1}, then full reorthogonalization.
+    axpy(-alpha, v, w);
+    if (j > 0) axpy(-betas.back(), basis[j - 1], w);
+    for (const Vector& b : basis) {
+      const double proj = dot(w, b);
+      axpy(-proj, b, w);
+    }
+    const double beta = norm2(w);
+    if (j + 1 == k) break;
+    if (beta <= 1e-13 * std::abs(alphas.front() == 0.0 ? 1.0 : alphas.front()) ||
+        beta <= 1e-300) {
+      // Krylov space exhausted (C has low rank relative to the seed).
+      break;
+    }
+    betas.push_back(beta);
+    for (std::size_t i = 0; i < n; ++i) v[i] = w[i] / beta;
+  }
+
+  LanczosResult out;
+  out.t.diag = std::move(alphas);
+  out.t.subdiag.assign(betas.begin(),
+                       betas.begin() + static_cast<std::ptrdiff_t>(
+                                           out.t.diag.size() - 1 < betas.size()
+                                               ? out.t.diag.size() - 1
+                                               : betas.size()));
+  if (want_basis) {
+    out.basis = Matrix(n, out.t.diag.size());
+    for (std::size_t j = 0; j < out.t.diag.size(); ++j) {
+      out.basis.set_col(j, basis[j]);
+    }
+  }
+  return out;
+}
+
+}  // namespace funnel::linalg

@@ -1,0 +1,108 @@
+#include "linalg/robust_pca.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+#include "linalg/svd.h"
+
+namespace funnel::linalg {
+namespace {
+
+double frobenius(const Matrix& m) {
+  double acc = 0.0;
+  for (double v : m.data()) acc += v * v;
+  return std::sqrt(acc);
+}
+
+double max_abs(const Matrix& m) {
+  double acc = 0.0;
+  for (double v : m.data()) acc = std::max(acc, std::abs(v));
+  return acc;
+}
+
+// Soft-thresholding (shrinkage) operator applied elementwise.
+void shrink(const Matrix& in, double tau, Matrix& out) {
+  for (std::size_t i = 0; i < in.data().size(); ++i) {
+    const double v = in.data()[i];
+    out.data()[i] = std::copysign(std::max(std::abs(v) - tau, 0.0), v);
+  }
+}
+
+// Singular value thresholding: SVD, shrink the spectrum, reassemble.
+Matrix svt(const Matrix& m, double tau) {
+  Svd svd = jacobi_svd(m);
+  for (double& s : svd.singular_values) {
+    s = std::max(s - tau, 0.0);
+  }
+  return reconstruct(svd);
+}
+
+}  // namespace
+
+RobustPcaResult robust_pca(const Matrix& m, RobustPcaOptions options) {
+  FUNNEL_REQUIRE(!m.empty(), "robust_pca of empty matrix");
+  const std::size_t rows = m.rows();
+  const std::size_t cols = m.cols();
+  const double lambda =
+      options.lambda > 0.0
+          ? options.lambda
+          : 1.0 / std::sqrt(static_cast<double>(std::max(rows, cols)));
+
+  RobustPcaResult result;
+  result.low_rank = Matrix(rows, cols);
+  result.sparse = Matrix(rows, cols);
+
+  const double fro_m = frobenius(m);
+  if (fro_m == 0.0) {
+    result.converged = true;
+    return result;
+  }
+
+  // Standard IALM initialization (Lin et al., Algorithm 5).
+  const double spectral = jacobi_svd(m).singular_values[0];
+  const double j_norm = std::max(spectral, max_abs(m) / lambda);
+  Matrix y = m;
+  for (double& v : y.data()) v /= j_norm;
+  double mu = 1.25 / (spectral > 0.0 ? spectral : 1.0);
+  const double mu_bar = mu * 1e7;
+  const double rho = 1.5;
+
+  Matrix work(rows, cols);
+  for (int it = 0; it < options.max_iterations; ++it) {
+    // L = SVT_{1/mu}(M - S + Y/mu)
+    for (std::size_t i = 0; i < work.data().size(); ++i) {
+      work.data()[i] =
+          m.data()[i] - result.sparse.data()[i] + y.data()[i] / mu;
+    }
+    result.low_rank = svt(work, 1.0 / mu);
+
+    // S = shrink_{lambda/mu}(M - L + Y/mu)
+    for (std::size_t i = 0; i < work.data().size(); ++i) {
+      work.data()[i] =
+          m.data()[i] - result.low_rank.data()[i] + y.data()[i] / mu;
+    }
+    shrink(work, lambda / mu, result.sparse);
+
+    // Residual and dual update.
+    double res2 = 0.0;
+    for (std::size_t i = 0; i < work.data().size(); ++i) {
+      const double r =
+          m.data()[i] - result.low_rank.data()[i] - result.sparse.data()[i];
+      work.data()[i] = r;
+      res2 += r * r;
+    }
+    result.iterations = it + 1;
+    if (std::sqrt(res2) <= options.tolerance * fro_m) {
+      result.converged = true;
+      break;
+    }
+    for (std::size_t i = 0; i < y.data().size(); ++i) {
+      y.data()[i] += mu * work.data()[i];
+    }
+    mu = std::min(mu * rho, mu_bar);
+  }
+  return result;
+}
+
+}  // namespace funnel::linalg

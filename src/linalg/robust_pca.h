@@ -1,0 +1,35 @@
+// Robust PCA by the inexact Augmented Lagrange Multiplier method
+// (Lin, Chen & Ma, arXiv:1009.5055 — the paper's reference [17]).
+//
+// Decomposes M = L + S with L low-rank and S sparse by solving
+//   min ||L||_* + lambda ||S||_1   s.t.   M = L + S.
+// Each ALM iteration performs one full SVD (singular value thresholding),
+// which is exactly the "iteration of SVD ... with l1-norm" the paper blames
+// for MRLS's prohibitive computational cost (§1): MRLS uses this solver to
+// extract a contamination-robust local subspace per window per scale.
+#pragma once
+
+#include "linalg/matrix.h"
+
+namespace funnel::linalg {
+
+struct RobustPcaResult {
+  Matrix low_rank;  ///< L
+  Matrix sparse;    ///< S
+  int iterations = 0;
+  bool converged = false;
+};
+
+struct RobustPcaOptions {
+  /// Sparsity weight; <= 0 selects the standard 1/sqrt(max(m, n)).
+  double lambda = 0.0;
+  /// Relative Frobenius tolerance on ||M - L - S||.
+  double tolerance = 1e-6;
+  int max_iterations = 100;
+};
+
+/// Run inexact-ALM RPCA. Throws InvalidArgument on an empty matrix. A
+/// zero matrix returns immediately with L = S = 0.
+RobustPcaResult robust_pca(const Matrix& m, RobustPcaOptions options = {});
+
+}  // namespace funnel::linalg

@@ -1,0 +1,24 @@
+// Symmetric eigendecomposition via the cyclic Jacobi method.
+//
+// Used for the future-trajectory Gram matrix A·Aᵀ in the improved SST
+// (§3.2.2) and as the exact reference for the Lanczos/QL fast path.
+#pragma once
+
+#include "linalg/matrix.h"
+
+namespace funnel::linalg {
+
+/// Eigendecomposition of a symmetric matrix: A = Q diag(values) Qᵀ.
+/// Eigenvalues are sorted in non-increasing order; column j of `vectors`
+/// is the eigenvector for `values[j]`.
+struct SymEigen {
+  Vector values;
+  Matrix vectors;
+};
+
+/// Cyclic Jacobi eigensolver for a symmetric matrix.
+/// Throws InvalidArgument if `a` is not square, NumericalError if the sweep
+/// limit is exceeded.
+SymEigen sym_eigen(const Matrix& a, double tol = 1e-12, int max_sweeps = 64);
+
+}  // namespace funnel::linalg

@@ -1,0 +1,135 @@
+#include "topology/topology.h"
+
+#include <algorithm>
+#include <deque>
+
+#include "common/error.h"
+#include "common/strings.h"
+
+namespace funnel::topology {
+
+std::string instance_name(const std::string& service,
+                          const std::string& server) {
+  return service + "@" + server;
+}
+
+std::pair<std::string, std::string> parse_instance_name(
+    const std::string& instance) {
+  const std::size_t at = instance.find('@');
+  FUNNEL_REQUIRE(at != std::string::npos && at > 0 && at + 1 < instance.size(),
+                 "malformed instance name: " + instance);
+  return {instance.substr(0, at), instance.substr(at + 1)};
+}
+
+void ServiceTopology::add_service(const std::string& service) {
+  FUNNEL_REQUIRE(!service.empty(), "service name must not be empty");
+  servers_.try_emplace(service);
+  relations_.try_emplace(service);
+}
+
+void ServiceTopology::add_server(const std::string& service,
+                                 const std::string& server) {
+  FUNNEL_REQUIRE(!server.empty(), "server name must not be empty");
+  add_service(service);
+  const auto it = server_owner_.find(server);
+  if (it != server_owner_.end()) {
+    FUNNEL_REQUIRE(it->second == service,
+                   "server " + server + " already owned by " + it->second);
+    return;
+  }
+  server_owner_.emplace(server, service);
+  servers_[service].push_back(server);
+}
+
+void ServiceTopology::add_relation(const std::string& a,
+                                   const std::string& b) {
+  FUNNEL_REQUIRE(a != b, "a service cannot relate to itself");
+  add_service(a);
+  add_service(b);
+  relations_[a].insert(b);
+  relations_[b].insert(a);
+}
+
+void ServiceTopology::derive_relations_from_names() {
+  // A child is exactly one dot-segment deeper than its parent.
+  std::vector<std::string> names;
+  names.reserve(servers_.size());
+  for (const auto& [name, v] : servers_) {
+    (void)v;
+    names.push_back(name);
+  }
+  for (const std::string& child : names) {
+    const std::size_t dot = child.rfind('.');
+    if (dot == std::string::npos) continue;
+    const std::string parent = child.substr(0, dot);
+    if (servers_.contains(parent)) add_relation(parent, child);
+  }
+}
+
+bool ServiceTopology::has_service(const std::string& service) const {
+  return servers_.contains(service);
+}
+
+bool ServiceTopology::has_server(const std::string& server) const {
+  return server_owner_.contains(server);
+}
+
+std::vector<std::string> ServiceTopology::services() const {
+  std::vector<std::string> out;
+  out.reserve(servers_.size());
+  for (const auto& [name, v] : servers_) {
+    (void)v;
+    out.push_back(name);
+  }
+  return out;
+}
+
+const std::vector<std::string>& ServiceTopology::servers_of(
+    const std::string& service) const {
+  const auto it = servers_.find(service);
+  if (it == servers_.end()) throw NotFound("no such service: " + service);
+  return it->second;
+}
+
+std::vector<std::string> ServiceTopology::instances_of(
+    const std::string& service) const {
+  const auto& srv = servers_of(service);
+  std::vector<std::string> out;
+  out.reserve(srv.size());
+  for (const std::string& s : srv) out.push_back(instance_name(service, s));
+  return out;
+}
+
+const std::string& ServiceTopology::service_of_server(
+    const std::string& server) const {
+  const auto it = server_owner_.find(server);
+  if (it == server_owner_.end()) throw NotFound("no such server: " + server);
+  return it->second;
+}
+
+std::vector<std::string> ServiceTopology::related_to(
+    const std::string& service) const {
+  const auto it = relations_.find(service);
+  if (it == relations_.end()) throw NotFound("no such service: " + service);
+  return {it->second.begin(), it->second.end()};
+}
+
+std::vector<std::string> ServiceTopology::affected_services(
+    const std::string& changed) const {
+  FUNNEL_REQUIRE(has_service(changed), "no such service: " + changed);
+  std::set<std::string> seen{changed};
+  std::deque<std::string> frontier{changed};
+  while (!frontier.empty()) {
+    const std::string cur = frontier.front();
+    frontier.pop_front();
+    const auto it = relations_.find(cur);
+    if (it == relations_.end()) continue;
+    for (const std::string& next : it->second) {
+      if (seen.insert(next).second) frontier.push_back(next);
+    }
+  }
+  seen.erase(changed);
+  return {seen.begin(), seen.end()};
+}
+
+}  // namespace funnel::topology

@@ -1,0 +1,82 @@
+// Service / server / instance model (§2.2, Fig. 1) and the service
+// relationship graph used for impact-set identification (§3.1, Fig. 4).
+//
+// Services carry hierarchical dot-separated names ("search.web.frontend");
+// the paper notes the operations team names services by hierarchy and that
+// FUNNEL "derives the relationship among services using the naming rules" —
+// derive_relations_from_names() adds parent<->child edges automatically.
+// Explicit request/response relations can be added on top.
+//
+// An instance is a process of one service on one server; its canonical name
+// is "<service>@<server>".
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace funnel::topology {
+
+/// Canonical instance name: "<service>@<server>".
+std::string instance_name(const std::string& service,
+                          const std::string& server);
+
+/// Inverse of instance_name; throws InvalidArgument on malformed input.
+std::pair<std::string, std::string> parse_instance_name(
+    const std::string& instance);
+
+class ServiceTopology {
+ public:
+  /// Register a service; idempotent. Throws on empty names.
+  void add_service(const std::string& service);
+
+  /// Attach a server to a service (registering both as needed). A server is
+  /// dedicated to one service in our context (§1); attaching the same server
+  /// to a different service throws.
+  void add_server(const std::string& service, const std::string& server);
+
+  /// Declare that two services exchange requests/responses (symmetric).
+  void add_relation(const std::string& a, const std::string& b);
+
+  /// Add parent<->child relations implied by hierarchical names: for every
+  /// pair of registered services where one's name is a dot-prefix of the
+  /// other's at a name-segment boundary and exactly one segment deeper,
+  /// add a relation.
+  void derive_relations_from_names();
+
+  bool has_service(const std::string& service) const;
+  bool has_server(const std::string& server) const;
+
+  std::vector<std::string> services() const;
+
+  /// Servers of a service, in registration order. Throws NotFound.
+  const std::vector<std::string>& servers_of(const std::string& service) const;
+
+  /// Instance names of a service (one per server, same order).
+  std::vector<std::string> instances_of(const std::string& service) const;
+
+  /// Owning service of a server. Throws NotFound.
+  const std::string& service_of_server(const std::string& server) const;
+
+  /// Directly related services (excluding `service` itself), sorted.
+  std::vector<std::string> related_to(const std::string& service) const;
+
+  /// The affected services of a change on `changed`: every service reachable
+  /// through the relation graph, excluding `changed` itself (Fig. 4: A
+  /// related to B and D, B related to C => affected = {B, C, D}). Sorted.
+  std::vector<std::string> affected_services(const std::string& changed) const;
+
+  std::size_t service_count() const { return servers_.size(); }
+  std::size_t server_count() const { return server_owner_.size(); }
+
+ private:
+  // service -> servers (registration order)
+  std::map<std::string, std::vector<std::string>> servers_;
+  // server -> owning service
+  std::map<std::string, std::string> server_owner_;
+  // symmetric adjacency
+  std::map<std::string, std::set<std::string>> relations_;
+};
+
+}  // namespace funnel::topology

@@ -1,0 +1,50 @@
+#include "tsdb/metric.h"
+
+namespace funnel::tsdb {
+
+const char* to_string(EntityKind kind) {
+  switch (kind) {
+    case EntityKind::kServer:
+      return "server";
+    case EntityKind::kInstance:
+      return "instance";
+    case EntityKind::kService:
+      return "service";
+  }
+  return "?";
+}
+
+const char* to_string(KpiClass c) {
+  switch (c) {
+    case KpiClass::kSeasonal:
+      return "seasonal";
+    case KpiClass::kStationary:
+      return "stationary";
+    case KpiClass::kVariable:
+      return "variable";
+  }
+  return "?";
+}
+
+std::string MetricId::to_string() const {
+  std::string out = funnel::tsdb::to_string(kind);
+  out += ':';
+  out += entity;
+  out += '/';
+  out += kpi;
+  return out;
+}
+
+MetricId server_metric(std::string server, std::string kpi) {
+  return {EntityKind::kServer, std::move(server), std::move(kpi)};
+}
+
+MetricId instance_metric(std::string instance, std::string kpi) {
+  return {EntityKind::kInstance, std::move(instance), std::move(kpi)};
+}
+
+MetricId service_metric(std::string service, std::string kpi) {
+  return {EntityKind::kService, std::move(service), std::move(kpi)};
+}
+
+}  // namespace funnel::tsdb

@@ -1,0 +1,62 @@
+#include "tsdb/rolling.h"
+
+#include "common/error.h"
+#include "common/stats.h"
+
+namespace funnel::tsdb {
+
+RollingWindow::RollingWindow(std::size_t capacity)
+    : capacity_(capacity), buf_(capacity, 0.0) {
+  FUNNEL_REQUIRE(capacity >= 1, "RollingWindow capacity must be positive");
+}
+
+void RollingWindow::push(double value) {
+  if (size_ < capacity_) {
+    buf_[(head_ + size_) % capacity_] = value;
+    ++size_;
+  } else {
+    buf_[head_] = value;
+    head_ = (head_ + 1) % capacity_;
+  }
+}
+
+void RollingWindow::clear() {
+  size_ = 0;
+  head_ = 0;
+}
+
+std::vector<double> RollingWindow::snapshot() const {
+  std::vector<double> out;
+  out.reserve(size_);
+  for (std::size_t i = 0; i < size_; ++i) {
+    out.push_back(buf_[(head_ + i) % capacity_]);
+  }
+  return out;
+}
+
+double RollingWindow::front() const {
+  FUNNEL_REQUIRE(size_ > 0, "RollingWindow::front on empty window");
+  return buf_[head_];
+}
+
+double RollingWindow::back() const {
+  FUNNEL_REQUIRE(size_ > 0, "RollingWindow::back on empty window");
+  return buf_[(head_ + size_ - 1) % capacity_];
+}
+
+double RollingWindow::mean() const {
+  const auto snap = snapshot();
+  return funnel::mean(snap);
+}
+
+double RollingWindow::median() const {
+  const auto snap = snapshot();
+  return funnel::median(snap);
+}
+
+double RollingWindow::mad() const {
+  const auto snap = snapshot();
+  return funnel::mad(snap);
+}
+
+}  // namespace funnel::tsdb

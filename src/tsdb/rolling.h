@@ -1,0 +1,46 @@
+// Fixed-capacity rolling window with robust statistics.
+//
+// The online detector feeds each new 1-minute sample into a RollingWindow
+// and scores the window once it is full; median/MAD queries back the
+// robustness filter of the improved SST (Eq. 11).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace funnel::tsdb {
+
+/// Ring buffer of the last `capacity` samples with O(capacity) robust
+/// statistics. Capacities in FUNNEL are tiny (tens of samples), so copying
+/// for median queries is cheaper than tree-based structures.
+class RollingWindow {
+ public:
+  explicit RollingWindow(std::size_t capacity);
+
+  void push(double value);
+  void clear();
+
+  std::size_t capacity() const { return capacity_; }
+  std::size_t size() const { return size_; }
+  bool full() const { return size_ == capacity_; }
+
+  /// Samples in arrival order (oldest first). O(capacity) copy.
+  std::vector<double> snapshot() const;
+
+  /// Oldest and newest sample; throw when empty.
+  double front() const;
+  double back() const;
+
+  double mean() const;
+  double median() const;
+  double mad() const;
+
+ private:
+  std::size_t capacity_;
+  std::size_t size_ = 0;
+  std::size_t head_ = 0;  // index of the oldest element
+  std::vector<double> buf_;
+};
+
+}  // namespace funnel::tsdb

@@ -1,0 +1,95 @@
+#include "tsdb/store.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace funnel::tsdb {
+
+void MetricStore::create(const MetricId& id, MinuteTime start) {
+  const auto [it, inserted] = series_.emplace(id, TimeSeries(start));
+  FUNNEL_REQUIRE(inserted, "metric already exists: " + id.to_string());
+  (void)it;
+}
+
+bool MetricStore::has(const MetricId& id) const {
+  return series_.contains(id);
+}
+
+void MetricStore::append(const MetricId& id, MinuteTime t, double value) {
+  auto it = series_.find(id);
+  if (it == series_.end()) {
+    it = series_.emplace(id, TimeSeries(t)).first;
+  }
+  it->second.append_at(t, value);
+  for (const auto& [sid, sub] : subs_) {
+    (void)sid;
+    if (sub.filter.empty() ||
+        std::binary_search(sub.filter.begin(), sub.filter.end(), id)) {
+      sub.callback(id, t, value);
+    }
+  }
+}
+
+void MetricStore::insert(const MetricId& id, TimeSeries series) {
+  const auto [it, inserted] = series_.emplace(id, std::move(series));
+  FUNNEL_REQUIRE(inserted, "metric already exists: " + id.to_string());
+  (void)it;
+}
+
+const TimeSeries& MetricStore::series(const MetricId& id) const {
+  const auto it = series_.find(id);
+  if (it == series_.end()) {
+    throw NotFound("no such metric: " + id.to_string());
+  }
+  return it->second;
+}
+
+std::vector<MetricId> MetricStore::metrics() const {
+  std::vector<MetricId> out;
+  out.reserve(series_.size());
+  for (const auto& [id, s] : series_) {
+    (void)s;
+    out.push_back(id);
+  }
+  return out;
+}
+
+std::vector<MetricId> MetricStore::metrics_of(EntityKind kind,
+                                              const std::string& entity) const {
+  std::vector<MetricId> out;
+  for (const auto& [id, s] : series_) {
+    (void)s;
+    if (id.kind == kind && id.entity == entity) out.push_back(id);
+  }
+  return out;
+}
+
+std::vector<double> MetricStore::query(const MetricId& id, MinuteTime t0,
+                                       MinuteTime t1) const {
+  return series(id).slice(t0, t1);
+}
+
+TimeSeries MetricStore::aggregate(std::span<const MetricId> ids, MinuteTime t0,
+                                  MinuteTime t1) const {
+  std::vector<const TimeSeries*> ptrs;
+  ptrs.reserve(ids.size());
+  for (const MetricId& id : ids) {
+    const auto it = series_.find(id);
+    if (it != series_.end()) ptrs.push_back(&it->second);
+  }
+  return aggregate_mean(ptrs, t0, t1);
+}
+
+SubscriptionId MetricStore::subscribe(std::vector<MetricId> filter,
+                                      Callback cb) {
+  FUNNEL_REQUIRE(static_cast<bool>(cb), "subscription needs a callback");
+  std::sort(filter.begin(), filter.end());
+  const SubscriptionId id = next_sub_++;
+  subs_.emplace(id, Subscription{std::move(filter), std::move(cb)});
+  return id;
+}
+
+void MetricStore::unsubscribe(SubscriptionId id) { subs_.erase(id); }
+
+}  // namespace funnel::tsdb

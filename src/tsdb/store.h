@@ -1,0 +1,81 @@
+// In-memory metric store with push subscriptions.
+//
+// Stand-in for the paper's centralized Hadoop-based KPI database (§2.2):
+// agents append 1-minute samples per MetricId; consumers either query ranges
+// (batch assessment) or subscribe and get samples pushed as they arrive
+// (online FUNNEL). Service KPIs can be stored directly or derived by
+// aggregating instance KPIs.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <span>
+#include <vector>
+
+#include "tsdb/metric.h"
+#include "tsdb/series.h"
+
+namespace funnel::tsdb {
+
+using SubscriptionId = std::uint64_t;
+
+class MetricStore {
+ public:
+  /// Create an empty series starting at `start`. Creating an existing metric
+  /// throws.
+  void create(const MetricId& id, MinuteTime start);
+
+  bool has(const MetricId& id) const;
+
+  /// Append a sample; creates the series (starting at t) when absent.
+  /// Notifies matching subscribers synchronously — the paper's sub-second
+  /// push from database to FUNNEL.
+  void append(const MetricId& id, MinuteTime t, double value);
+
+  /// Bulk-insert a prebuilt series (no subscriber notification) — the bulk
+  /// backfill path scenario builders use. Throws when the metric exists.
+  void insert(const MetricId& id, TimeSeries series);
+
+  /// Series lookup; throws NotFound when absent.
+  const TimeSeries& series(const MetricId& id) const;
+
+  std::size_t metric_count() const { return series_.size(); }
+
+  /// All metric ids, ordered.
+  std::vector<MetricId> metrics() const;
+
+  /// Metric ids of one entity kind whose entity name matches exactly.
+  std::vector<MetricId> metrics_of(EntityKind kind,
+                                   const std::string& entity) const;
+
+  /// Copy of [t0, t1) for one metric (throws when not covered).
+  std::vector<double> query(const MetricId& id, MinuteTime t0,
+                            MinuteTime t1) const;
+
+  /// Pointwise mean across the given metrics over [t0, t1) (skips metrics /
+  /// minutes that are missing). This is how a service KPI is derived from
+  /// its instance KPIs and how DiD builds group averages.
+  TimeSeries aggregate(std::span<const MetricId> ids, MinuteTime t0,
+                       MinuteTime t1) const;
+
+  /// Subscribe to samples of the given metrics. The callback runs inside
+  /// append(). An empty filter subscribes to everything.
+  using Callback =
+      std::function<void(const MetricId&, MinuteTime, double)>;
+  SubscriptionId subscribe(std::vector<MetricId> filter, Callback cb);
+  void unsubscribe(SubscriptionId id);
+  std::size_t subscriber_count() const { return subs_.size(); }
+
+ private:
+  struct Subscription {
+    std::vector<MetricId> filter;  // sorted; empty = all
+    Callback callback;
+  };
+
+  std::map<MetricId, TimeSeries> series_;
+  std::map<SubscriptionId, Subscription> subs_;
+  SubscriptionId next_sub_ = 1;
+};
+
+}  // namespace funnel::tsdb

@@ -1,0 +1,41 @@
+#include "workload/effects.h"
+
+namespace funnel::workload {
+
+double effect_value(const Effect& e, MinuteTime t) {
+  return std::visit(
+      [t](const auto& eff) -> double {
+        using T = std::decay_t<decltype(eff)>;
+        if constexpr (std::is_same_v<T, LevelShift>) {
+          return t >= eff.start ? eff.delta : 0.0;
+        } else if constexpr (std::is_same_v<T, Ramp>) {
+          if (t < eff.start) return 0.0;
+          if (t >= eff.end) return eff.delta;
+          const double span = static_cast<double>(eff.end - eff.start);
+          return span <= 0.0
+                     ? eff.delta
+                     : eff.delta * static_cast<double>(t - eff.start) / span;
+        } else {
+          static_assert(std::is_same_v<T, TransientSpike>);
+          return (t >= eff.start && t < eff.start + eff.duration) ? eff.delta
+                                                                  : 0.0;
+        }
+      },
+      e);
+}
+
+MinuteTime effect_start(const Effect& e) {
+  return std::visit([](const auto& eff) { return eff.start; }, e);
+}
+
+bool is_persistent(const Effect& e) {
+  return !std::holds_alternative<TransientSpike>(e);
+}
+
+double EffectTimeline::value_at(MinuteTime t) const {
+  double acc = 0.0;
+  for (const Effect& e : effects_) acc += effect_value(e, t);
+  return acc;
+}
+
+}  // namespace funnel::workload

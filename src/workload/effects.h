@@ -1,0 +1,62 @@
+// Injectable KPI effects.
+//
+// The paper's KPI changes are level shifts and ramp up/downs persisting
+// longer than 7 minutes (§2.3, Fig. 2); transient spikes must NOT be flagged.
+// Effects are additive deltas layered on a generator; the scenario builder
+// records every injected effect as ground truth.
+#pragma once
+
+#include <variant>
+#include <vector>
+
+#include "common/minute_time.h"
+
+namespace funnel::workload {
+
+/// Permanent step of `delta` starting at `start`.
+struct LevelShift {
+  MinuteTime start = 0;
+  double delta = 0.0;
+};
+
+/// Linear drift from 0 to `delta` over [start, end), holding `delta` after.
+struct Ramp {
+  MinuteTime start = 0;
+  MinuteTime end = 0;
+  double delta = 0.0;
+};
+
+/// One-off excursion of `delta` over [start, start + duration); returns to
+/// baseline afterwards. Below the 7-minute persistence rule this must not be
+/// reported as a KPI change.
+struct TransientSpike {
+  MinuteTime start = 0;
+  MinuteTime duration = 1;
+  double delta = 0.0;
+};
+
+using Effect = std::variant<LevelShift, Ramp, TransientSpike>;
+
+/// Additive contribution of one effect at minute t.
+double effect_value(const Effect& e, MinuteTime t);
+
+/// Minute the effect begins.
+MinuteTime effect_start(const Effect& e);
+
+/// True for effects a correct detector should report (shift/ramp), false
+/// for transients.
+bool is_persistent(const Effect& e);
+
+/// An ordered collection of effects with a summed contribution.
+class EffectTimeline {
+ public:
+  void add(Effect e) { effects_.push_back(e); }
+  double value_at(MinuteTime t) const;
+  const std::vector<Effect>& effects() const { return effects_; }
+  bool empty() const { return effects_.empty(); }
+
+ private:
+  std::vector<Effect> effects_;
+};
+
+}  // namespace funnel::workload

@@ -1,0 +1,114 @@
+#include "workload/generators.h"
+
+#include <cmath>
+#include <numbers>
+
+#include "common/error.h"
+
+namespace funnel::workload {
+namespace {
+
+constexpr double kTwoPi = 2.0 * std::numbers::pi;
+
+class SeasonalKpi final : public KpiGenerator {
+ public:
+  SeasonalKpi(SeasonalParams p, Rng rng) : p_(p), rng_(rng) {}
+
+  double sample(MinuteTime t) override {
+    const double day_pos =
+        static_cast<double>(minute_of_day(t + static_cast<MinuteTime>(p_.phase_minutes))) /
+        static_cast<double>(kMinutesPerDay);
+    // Continuous week position — the weekly swell must not step at
+    // midnight, or every midnight would read as a level shift.
+    const MinuteTime week_minute =
+        ((t % kMinutesPerWeek) + kMinutesPerWeek) % kMinutesPerWeek;
+    const double week_pos =
+        static_cast<double>(week_minute) / static_cast<double>(kMinutesPerWeek);
+    double v = p_.base;
+    v += p_.daily_amplitude * std::sin(kTwoPi * day_pos);
+    v += p_.second_harmonic * std::sin(2.0 * kTwoPi * day_pos + 0.8);
+    v += p_.weekly_amplitude * std::sin(kTwoPi * week_pos);
+    v += rng_.gaussian(0.0, p_.noise_sigma);
+    return v;
+  }
+
+  tsdb::KpiClass kpi_class() const override {
+    return tsdb::KpiClass::kSeasonal;
+  }
+
+ private:
+  SeasonalParams p_;
+  Rng rng_;
+};
+
+class StationaryKpi final : public KpiGenerator {
+ public:
+  StationaryKpi(StationaryParams p, Rng rng) : p_(p), rng_(rng) {}
+
+  double sample(MinuteTime) override {
+    return p_.level + rng_.gaussian(0.0, p_.noise_sigma);
+  }
+
+  tsdb::KpiClass kpi_class() const override {
+    return tsdb::KpiClass::kStationary;
+  }
+
+ private:
+  StationaryParams p_;
+  Rng rng_;
+};
+
+class VariableKpi final : public KpiGenerator {
+ public:
+  VariableKpi(VariableParams p, Rng rng) : p_(p), rng_(rng) {
+    FUNNEL_REQUIRE(p_.ar_coefficient >= 0.0 && p_.ar_coefficient < 1.0,
+                   "AR coefficient must be in [0, 1)");
+  }
+
+  double sample(MinuteTime) override {
+    state_ = p_.ar_coefficient * state_ + rng_.gaussian(0.0, p_.burst_sigma);
+    double v = p_.level + state_;
+    if (rng_.bernoulli(p_.spike_rate)) {
+      const double magnitude = rng_.exponential(1.0 / p_.spike_scale);
+      v += rng_.bernoulli(0.5) ? magnitude : -magnitude;
+    }
+    return v;
+  }
+
+  tsdb::KpiClass kpi_class() const override {
+    return tsdb::KpiClass::kVariable;
+  }
+
+ private:
+  VariableParams p_;
+  Rng rng_;
+  double state_ = 0.0;
+};
+
+}  // namespace
+
+std::unique_ptr<KpiGenerator> make_seasonal(SeasonalParams p, Rng rng) {
+  return std::make_unique<SeasonalKpi>(p, rng);
+}
+
+std::unique_ptr<KpiGenerator> make_stationary(StationaryParams p, Rng rng) {
+  return std::make_unique<StationaryKpi>(p, rng);
+}
+
+std::unique_ptr<KpiGenerator> make_variable(VariableParams p, Rng rng) {
+  return std::make_unique<VariableKpi>(p, rng);
+}
+
+std::unique_ptr<KpiGenerator> make_default(tsdb::KpiClass c, Rng rng) {
+  switch (c) {
+    case tsdb::KpiClass::kSeasonal:
+      return make_seasonal({}, rng);
+    case tsdb::KpiClass::kStationary:
+      return make_stationary({}, rng);
+    case tsdb::KpiClass::kVariable:
+      return make_variable({}, rng);
+  }
+  throw InvalidArgument("unknown KPI class");
+}
+
+}  // namespace funnel::workload

@@ -1,0 +1,69 @@
+// Synthetic KPI generators.
+//
+// Substitute for the paper's production KPIs. §4.2.1 divides every
+// evaluation item into three statistical classes, which these generators
+// reproduce:
+//   * seasonal   — strong time-of-day / day-of-week pattern (page view
+//                  count, advertisement clicks);
+//   * stationary — flat level plus light noise (memory utilization);
+//   * variable   — high-variance bursty behaviour with occasional spikes
+//                  (CPU context switch count, NIC throughput).
+// Generators are stateful (the variable class is an AR(1) process) and own
+// their random stream, so two generators built from split Rngs are
+// independent and each is reproducible.
+#pragma once
+
+#include <memory>
+
+#include "common/minute_time.h"
+#include "common/rng.h"
+#include "tsdb/metric.h"
+
+namespace funnel::workload {
+
+/// A stateful sample source. `sample(t)` must be called with non-decreasing
+/// minutes (the online simulation always advances time forward).
+class KpiGenerator {
+ public:
+  virtual ~KpiGenerator() = default;
+  virtual double sample(MinuteTime t) = 0;
+  virtual tsdb::KpiClass kpi_class() const = 0;
+};
+
+/// Parameters of a seasonal KPI: a daily double-harmonic plus a day-of-week
+/// modulation and Gaussian noise.
+struct SeasonalParams {
+  double base = 100.0;
+  double daily_amplitude = 40.0;    ///< first daily harmonic
+  double second_harmonic = 12.0;    ///< asymmetry of the daily shape
+  double weekly_amplitude = 10.0;   ///< weekday/weekend swing
+  double noise_sigma = 2.0;
+  double phase_minutes = 0.0;       ///< shifts the daily peak
+};
+
+/// Parameters of a stationary KPI: constant level plus Gaussian noise.
+struct StationaryParams {
+  double level = 50.0;
+  double noise_sigma = 1.0;
+};
+
+/// Parameters of a variable KPI: AR(1) excursions around a level, plus a
+/// Poisson sprinkling of one-off spikes (the behaviour that makes MRLS
+/// misfire, §4.2.1).
+struct VariableParams {
+  double level = 200.0;
+  double ar_coefficient = 0.7;   ///< persistence of bursts, in [0, 1)
+  double burst_sigma = 15.0;     ///< innovation scale
+  double spike_rate = 0.01;      ///< per-minute probability of a spike
+  double spike_scale = 80.0;     ///< mean spike magnitude
+};
+
+std::unique_ptr<KpiGenerator> make_seasonal(SeasonalParams p, Rng rng);
+std::unique_ptr<KpiGenerator> make_stationary(StationaryParams p, Rng rng);
+std::unique_ptr<KpiGenerator> make_variable(VariableParams p, Rng rng);
+
+/// Default-parameter generator for a KPI class (used by scenario builders
+/// when only the class matters).
+std::unique_ptr<KpiGenerator> make_default(tsdb::KpiClass c, Rng rng);
+
+}  // namespace funnel::workload

@@ -1,0 +1,43 @@
+#include "workload/shock.h"
+
+#include <cmath>
+#include <numbers>
+
+#include "common/error.h"
+
+namespace funnel::workload {
+
+SharedShock make_event_shock(MinuteTime start, MinuteTime duration,
+                             double amplitude) {
+  FUNNEL_REQUIRE(duration > 0, "shock duration must be positive");
+  std::vector<double> v(static_cast<std::size_t>(duration));
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    const double pos = static_cast<double>(i) / static_cast<double>(duration);
+    v[i] = amplitude * 0.5 * (1.0 - std::cos(2.0 * std::numbers::pi * pos));
+  }
+  return std::make_shared<const ShockSeries>(start, std::move(v));
+}
+
+SharedShock make_attack_shock(MinuteTime start, MinuteTime duration,
+                              double amplitude, Rng rng) {
+  FUNNEL_REQUIRE(duration > 0, "shock duration must be positive");
+  std::vector<double> v(static_cast<std::size_t>(duration));
+  for (double& x : v) {
+    x = amplitude * (0.8 + 0.4 * rng.uniform());
+  }
+  return std::make_shared<const ShockSeries>(start, std::move(v));
+}
+
+SharedShock make_drift_shock(MinuteTime start, MinuteTime duration,
+                             double step_sigma, Rng rng) {
+  FUNNEL_REQUIRE(duration > 0, "shock duration must be positive");
+  std::vector<double> v(static_cast<std::size_t>(duration));
+  double level = 0.0;
+  for (double& x : v) {
+    level += rng.gaussian(0.0, step_sigma);
+    x = level;
+  }
+  return std::make_shared<const ShockSeries>(start, std::move(v));
+}
+
+}  // namespace funnel::workload

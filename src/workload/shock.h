@@ -1,0 +1,58 @@
+// Shared confounders ("other factors", §3.2.4).
+//
+// Seasonal events, network attacks, hardware trouble and similar non-change
+// factors hit every instance of a service — treated and control alike. A
+// ShockSeries is one such common-mode disturbance: it is generated once per
+// service and shared (by shared_ptr) across all of the service's KPI
+// streams, which is exactly the property the DiD step exploits to cancel it.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/minute_time.h"
+#include "common/rng.h"
+
+namespace funnel::workload {
+
+/// Precomputed additive disturbance over [start, start + values.size()).
+/// Contributes 0 outside its range.
+class ShockSeries {
+ public:
+  ShockSeries(MinuteTime start, std::vector<double> values)
+      : start_(start), values_(std::move(values)) {}
+
+  double value_at(MinuteTime t) const {
+    if (t < start_) return 0.0;
+    const auto idx = static_cast<std::size_t>(t - start_);
+    return idx < values_.size() ? values_[idx] : 0.0;
+  }
+
+  MinuteTime start() const { return start_; }
+  MinuteTime end() const {
+    return start_ + static_cast<MinuteTime>(values_.size());
+  }
+
+ private:
+  MinuteTime start_;
+  std::vector<double> values_;
+};
+
+using SharedShock = std::shared_ptr<const ShockSeries>;
+
+/// A smooth bump (raised cosine) of the given peak amplitude — models a
+/// flash-crowd / special-event load swell.
+SharedShock make_event_shock(MinuteTime start, MinuteTime duration,
+                             double amplitude);
+
+/// A sustained noisy surge — models a network attack or hardware
+/// degradation: abrupt onset, jittery plateau, abrupt end.
+SharedShock make_attack_shock(MinuteTime start, MinuteTime duration,
+                              double amplitude, Rng rng);
+
+/// A slow random-walk drift over the whole horizon — models baseline
+/// contamination accumulating from earlier changes and ambient load shifts.
+SharedShock make_drift_shock(MinuteTime start, MinuteTime duration,
+                             double step_sigma, Rng rng);
+
+}  // namespace funnel::workload

@@ -1,0 +1,40 @@
+#include "workload/stream.h"
+
+#include "common/error.h"
+
+namespace funnel::workload {
+
+KpiStream::KpiStream(std::unique_ptr<KpiGenerator> generator)
+    : generator_(std::move(generator)) {
+  FUNNEL_REQUIRE(generator_ != nullptr, "KpiStream needs a generator");
+}
+
+void KpiStream::add_shock(SharedShock shock) {
+  FUNNEL_REQUIRE(shock != nullptr, "null shock");
+  shocks_.push_back(std::move(shock));
+}
+
+double KpiStream::sample(MinuteTime t) {
+  double v = generator_->sample(t);
+  v += effects_.value_at(t);
+  for (const SharedShock& s : shocks_) v += s->value_at(t);
+  return v;
+}
+
+void materialize(KpiStream& stream, tsdb::MetricStore& store,
+                 const tsdb::MetricId& id, MinuteTime t0, MinuteTime t1) {
+  FUNNEL_REQUIRE(t1 >= t0, "materialize over negative range");
+  for (MinuteTime t = t0; t < t1; ++t) {
+    store.append(id, t, stream.sample(t));
+  }
+}
+
+std::vector<double> render(KpiStream& stream, MinuteTime t0, MinuteTime t1) {
+  FUNNEL_REQUIRE(t1 >= t0, "render over negative range");
+  std::vector<double> out;
+  out.reserve(static_cast<std::size_t>(t1 - t0));
+  for (MinuteTime t = t0; t < t1; ++t) out.push_back(stream.sample(t));
+  return out;
+}
+
+}  // namespace funnel::workload

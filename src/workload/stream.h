@@ -1,0 +1,51 @@
+// A KPI stream: generator + injected effects + shared confounders.
+//
+// One KpiStream produces the full synthetic series for one (entity, KPI)
+// pair. The scenario builder composes: a per-stream generator (independent
+// noise), service-wide shared shocks (common mode, cancelled by DiD) and the
+// change-induced effects (treated entities only — the signal FUNNEL must
+// find).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "tsdb/store.h"
+#include "workload/effects.h"
+#include "workload/generators.h"
+#include "workload/shock.h"
+
+namespace funnel::workload {
+
+class KpiStream {
+ public:
+  explicit KpiStream(std::unique_ptr<KpiGenerator> generator);
+
+  /// Layer a change-induced effect onto this stream.
+  void add_effect(Effect e) { effects_.add(e); }
+
+  /// Attach a service-wide confounder (shared across sibling streams).
+  void add_shock(SharedShock shock);
+
+  /// Next sample (call with non-decreasing minutes).
+  double sample(MinuteTime t);
+
+  tsdb::KpiClass kpi_class() const { return generator_->kpi_class(); }
+  const EffectTimeline& effects() const { return effects_; }
+
+ private:
+  std::unique_ptr<KpiGenerator> generator_;
+  EffectTimeline effects_;
+  std::vector<SharedShock> shocks_;
+};
+
+/// Sample `stream` over [t0, t1) and append every sample into `store` under
+/// `id` (creating the series when needed).
+void materialize(KpiStream& stream, tsdb::MetricStore& store,
+                 const tsdb::MetricId& id, MinuteTime t0, MinuteTime t1);
+
+/// Generate a standalone vector over [t0, t1) (for detector unit tests and
+/// figure benches that do not need a store).
+std::vector<double> render(KpiStream& stream, MinuteTime t0, MinuteTime t1);
+
+}  // namespace funnel::workload

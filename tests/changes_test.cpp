@@ -1,0 +1,120 @@
+// Tests for software-change records and the deployment change log.
+#include "changes/change_log.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace funnel::changes {
+namespace {
+
+topology::ServiceTopology make_topo() {
+  topology::ServiceTopology t;
+  for (const char* srv : {"h1", "h2", "h3"}) t.add_server("svc", srv);
+  t.add_server("other", "o1");
+  t.add_server("other", "o2");
+  return t;
+}
+
+SoftwareChange dark_change(MinuteTime time = 100) {
+  SoftwareChange c;
+  c.service = "svc";
+  c.servers = {"h1"};
+  c.time = time;
+  c.mode = LaunchMode::kDark;
+  return c;
+}
+
+TEST(ChangeLog, RecordAssignsSequentialIds) {
+  const topology::ServiceTopology topo = make_topo();
+  ChangeLog log;
+  EXPECT_EQ(log.record(dark_change(10), topo), 0u);
+  EXPECT_EQ(log.record(dark_change(20), topo), 1u);
+  EXPECT_EQ(log.size(), 2u);
+  EXPECT_EQ(log.get(0).time, 10);
+  EXPECT_EQ(log.get(1).time, 20);
+  EXPECT_THROW((void)log.get(2), InvalidArgument);
+}
+
+TEST(ChangeLog, ValidatesServiceAndServers) {
+  const topology::ServiceTopology topo = make_topo();
+  ChangeLog log;
+  SoftwareChange c = dark_change();
+  c.service = "unknown";
+  EXPECT_THROW((void)log.record(c, topo), InvalidArgument);
+  c = dark_change();
+  c.servers = {"o1"};  // belongs to "other"
+  EXPECT_THROW((void)log.record(c, topo), InvalidArgument);
+  c = dark_change();
+  c.servers.clear();
+  EXPECT_THROW((void)log.record(c, topo), InvalidArgument);
+}
+
+TEST(ChangeLog, FullLaunchMustCoverEveryServer) {
+  const topology::ServiceTopology topo = make_topo();
+  ChangeLog log;
+  SoftwareChange c = dark_change();
+  c.mode = LaunchMode::kFull;
+  c.servers = {"h1", "h2"};
+  EXPECT_THROW((void)log.record(c, topo), InvalidArgument);
+  c.servers = {"h1", "h2", "h3"};
+  EXPECT_EQ(log.record(c, topo), 0u);
+  EXPECT_FALSE(log.get(0).dark_launched());
+}
+
+TEST(ChangeLog, DarkLaunchMustLeaveControlServers) {
+  const topology::ServiceTopology topo = make_topo();
+  ChangeLog log;
+  SoftwareChange c = dark_change();
+  c.servers = {"h1", "h2", "h3"};  // covers everything but claims dark
+  EXPECT_THROW((void)log.record(c, topo), InvalidArgument);
+}
+
+TEST(ChangeLog, ForServiceIsTimeOrdered) {
+  const topology::ServiceTopology topo = make_topo();
+  ChangeLog log;
+  (void)log.record(dark_change(30), topo);
+  SoftwareChange other;
+  other.service = "other";
+  other.servers = {"o1"};
+  other.time = 5;
+  other.mode = LaunchMode::kDark;
+  (void)log.record(other, topo);
+  (void)log.record(dark_change(10), topo);
+  EXPECT_EQ(log.for_service("svc"), (std::vector<ChangeId>{2, 0}));
+  EXPECT_EQ(log.for_service("other"), (std::vector<ChangeId>{1}));
+  EXPECT_TRUE(log.for_service("none").empty());
+}
+
+TEST(ChangeLog, InWindowHalfOpen) {
+  const topology::ServiceTopology topo = make_topo();
+  ChangeLog log;
+  (void)log.record(dark_change(10), topo);
+  (void)log.record(dark_change(20), topo);
+  (void)log.record(dark_change(30), topo);
+  EXPECT_EQ(log.in_window(10, 30), (std::vector<ChangeId>{0, 1}));
+  EXPECT_EQ(log.in_window(11, 20), (std::vector<ChangeId>{}));
+  EXPECT_EQ(log.in_window(0, 100), (std::vector<ChangeId>{0, 1, 2}));
+}
+
+TEST(ChangeLog, LastBeforeStrict) {
+  const topology::ServiceTopology topo = make_topo();
+  ChangeLog log;
+  (void)log.record(dark_change(10), topo);
+  (void)log.record(dark_change(20), topo);
+  EXPECT_EQ(log.last_before("svc", 15), std::optional<ChangeId>{0});
+  EXPECT_EQ(log.last_before("svc", 21), std::optional<ChangeId>{1});
+  EXPECT_EQ(log.last_before("svc", 20), std::optional<ChangeId>{0});
+  EXPECT_EQ(log.last_before("svc", 10), std::nullopt);
+  EXPECT_EQ(log.last_before("other", 100), std::nullopt);
+}
+
+TEST(Change, EnumNames) {
+  EXPECT_STREQ(to_string(ChangeType::kSoftwareUpgrade), "software-upgrade");
+  EXPECT_STREQ(to_string(ChangeType::kConfigChange), "config-change");
+  EXPECT_STREQ(to_string(LaunchMode::kDark), "dark-launching");
+  EXPECT_STREQ(to_string(LaunchMode::kFull), "full-launching");
+}
+
+}  // namespace
+}  // namespace funnel::changes

@@ -1,0 +1,234 @@
+// Tests for the CUSUM (MERCURY) and MRLS (PRISM) baselines.
+#include <cmath>
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+#include "common/rng.h"
+#include "common/stats.h"
+#include "detect/cusum.h"
+#include "detect/mrls.h"
+#include "detect/sliding.h"
+#include "workload/generators.h"
+#include "workload/stream.h"
+
+namespace funnel::detect {
+namespace {
+
+std::vector<double> stationary_series(std::uint64_t seed, MinuteTime len,
+                                      double shift = 0.0, MinuteTime tc = 0) {
+  workload::StationaryParams p;
+  workload::KpiStream s(workload::make_stationary(p, Rng(seed)));
+  if (shift != 0.0) s.add_effect(workload::LevelShift{tc, shift});
+  return workload::render(s, 0, len);
+}
+
+std::vector<double> seasonal_series(std::uint64_t seed, MinuteTime len) {
+  workload::KpiStream s(
+      workload::make_default(tsdb::KpiClass::kSeasonal, Rng(seed)));
+  return workload::render(s, 0, len);
+}
+
+bool detects_after(ChangeScorer& scorer, std::span<const double> series,
+                   MinuteTime tc, const AlarmPolicy& policy,
+                   double* delay = nullptr) {
+  const auto scores = score_series(scorer, series);
+  for (const Alarm& a :
+       all_alarms(scores, scorer.window_size(), 0, policy)) {
+    if (a.minute >= tc) {
+      if (delay != nullptr) *delay = static_cast<double>(a.minute - tc);
+      return true;
+    }
+  }
+  return false;
+}
+
+TEST(Cusum, MaxCusumStatistic) {
+  // All-zero input accumulates nothing; a sustained +1 deviation with slack
+  // 0.5 accumulates 0.5 per sample.
+  EXPECT_DOUBLE_EQ(Cusum::max_cusum(std::vector<double>(10, 0.0), 0.5), 0.0);
+  EXPECT_DOUBLE_EQ(Cusum::max_cusum(std::vector<double>(10, 1.0), 0.5), 5.0);
+  // Two-sided: a negative shift accumulates on the mirror side.
+  EXPECT_DOUBLE_EQ(Cusum::max_cusum(std::vector<double>(10, -1.0), 0.5), 5.0);
+}
+
+TEST(Cusum, ValidatesParameters) {
+  CusumParams bad;
+  bad.window = 4;
+  EXPECT_THROW(Cusum{bad}, InvalidArgument);
+  CusumParams neg;
+  neg.slack = -1.0;
+  EXPECT_THROW(Cusum{neg}, InvalidArgument);
+  Cusum ok{CusumParams{}};
+  EXPECT_EQ(ok.window_size(), 60u);
+  std::vector<double> too_short(10, 1.0);
+  EXPECT_THROW((void)ok.score(too_short), InvalidArgument);
+}
+
+TEST(Cusum, NanWindowScoresNan) {
+  Cusum c{CusumParams{}};
+  std::vector<double> w(60, 1.0);
+  w[30] = std::nan("");
+  EXPECT_TRUE(std::isnan(c.score(w)));
+}
+
+TEST(Cusum, QuietWindowScoresLow) {
+  Cusum c{CusumParams{}};
+  std::vector<double> quiet_max;
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    const auto series = stationary_series(seed + 10, 60);
+    quiet_max.push_back(c.score(series));
+  }
+  // Bootstrap gate zeroes most quiet windows.
+  EXPECT_LT(median(quiet_max), 10.0);
+}
+
+TEST(Cusum, DetectsShiftsButSlowly) {
+  const AlarmPolicy policy{.threshold = 25.0, .persistence = 1};
+  int hits = 0;
+  std::vector<double> delays;
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    Cusum c{CusumParams{}};
+    const auto series = stationary_series(seed + 30, 240, 4.0, 120);
+    double d = 0.0;
+    if (detects_after(c, series, 120, policy, &d)) {
+      ++hits;
+      delays.push_back(d);
+    }
+  }
+  EXPECT_GE(hits, 7);
+  // The cumulative statistic needs threshold/(shift - slack) minutes: with
+  // threshold 25 and a 4-sigma shift that is ~7+ minutes.
+  EXPECT_GE(median(delays), 5.0);
+}
+
+TEST(Cusum, SeasonalTrendCausesFalseAlarms) {
+  // Table 1: CUSUM precision collapses on seasonal KPIs because the
+  // within-window trend reads as a mean shift.
+  const AlarmPolicy policy{.threshold = 25.0, .persistence = 1};
+  int fa = 0;
+  for (std::uint64_t seed = 0; seed < 6; ++seed) {
+    Cusum c{CusumParams{}};
+    const auto series = seasonal_series(seed + 50, 240);
+    const auto scores = score_series(c, series);
+    if (!all_alarms(scores, c.window_size(), 0, policy).empty()) ++fa;
+  }
+  EXPECT_GE(fa, 4);
+}
+
+TEST(Cusum, BootstrapGateSuppressesInsignificantStatistics) {
+  CusumParams strict;
+  strict.significance = 1.01;  // impossible rank -> every score gated to 0
+  Cusum c{strict};
+  const auto series = stationary_series(3, 60, 8.0, 30);
+  EXPECT_DOUBLE_EQ(c.score(series), 0.0);
+}
+
+TEST(Mrls, ValidatesParameters) {
+  MrlsParams bad;
+  bad.window = 4;
+  EXPECT_THROW(Mrls{bad}, InvalidArgument);
+  MrlsParams lag;
+  lag.lag = 20;
+  lag.window = 32;
+  EXPECT_THROW(Mrls{lag}, InvalidArgument);
+  MrlsParams noscale;
+  noscale.scales.clear();
+  EXPECT_THROW(Mrls{noscale}, InvalidArgument);
+  Mrls ok{MrlsParams{}};
+  EXPECT_EQ(ok.window_size(), 32u);
+  EXPECT_EQ(ok.change_offset(), 16u);
+}
+
+TEST(Mrls, NanWindowScoresNan) {
+  Mrls m{MrlsParams{}};
+  std::vector<double> w(32, 1.0);
+  w[5] = std::nan("");
+  EXPECT_TRUE(std::isnan(m.score(w)));
+}
+
+TEST(Mrls, DetectsLevelShiftQuickly) {
+  const AlarmPolicy policy{.threshold = 5.0, .persistence = 3};
+  int hits = 0;
+  std::vector<double> delays;
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    Mrls m{MrlsParams{}};
+    const auto series = stationary_series(seed + 70, 240, 6.0, 120);
+    double d = 0.0;
+    if (detects_after(m, series, 120, policy, &d)) {
+      ++hits;
+      delays.push_back(d);
+    }
+  }
+  EXPECT_GE(hits, 6);
+}
+
+TEST(Mrls, SpikeSensitiveOnVariableKpis) {
+  // Table 1: MRLS precision on variable KPIs is ~0.6% — single spikes
+  // produce large fine-scale residuals.
+  const AlarmPolicy policy{.threshold = 5.0, .persistence = 3};
+  int fa = 0;
+  for (std::uint64_t seed = 0; seed < 6; ++seed) {
+    workload::VariableParams p;
+    p.spike_rate = 0.05;
+    p.spike_scale = 120.0;
+    workload::KpiStream s(workload::make_variable(p, Rng(seed + 90)));
+    const auto series = workload::render(s, 0, 240);
+    Mrls m{MrlsParams{}};
+    const auto scores = score_series(m, series);
+    if (!all_alarms(scores, m.window_size(), 0, policy).empty()) ++fa;
+  }
+  EXPECT_GE(fa, 4);
+}
+
+TEST(Mrls, DetrendSuppressesSeasonalTrendAlarms) {
+  const AlarmPolicy policy{.threshold = 7.0, .persistence = 3};
+  int fa_detrended = 0, fa_raw = 0;
+  for (std::uint64_t seed = 0; seed < 6; ++seed) {
+    const auto series = seasonal_series(seed + 110, 240);
+    Mrls with{MrlsParams{}};
+    MrlsParams p;
+    p.detrend = false;
+    Mrls without{p};
+    if (!all_alarms(score_series(with, series), with.window_size(), 0,
+                    policy)
+             .empty()) {
+      ++fa_detrended;
+    }
+    if (!all_alarms(score_series(without, series), without.window_size(), 0,
+                    policy)
+             .empty()) {
+      ++fa_raw;
+    }
+  }
+  EXPECT_LE(fa_detrended, fa_raw);
+  EXPECT_LE(fa_detrended, 4);
+}
+
+TEST(Mrls, RobustToBaselineContamination) {
+  // A contaminated baseline (transient excursion in the past half) must not
+  // stop MRLS from modelling the dominant level: the IRLS downweights the
+  // contaminated columns.
+  const AlarmPolicy policy{.threshold = 5.0, .persistence = 3};
+  int fa = 0;
+  for (std::uint64_t seed = 0; seed < 6; ++seed) {
+    workload::StationaryParams p;
+    workload::KpiStream s(workload::make_stationary(p, Rng(seed + 130)));
+    s.add_effect(workload::TransientSpike{100, 2, 8.0});
+    const auto series = workload::render(s, 0, 200);
+    Mrls m{MrlsParams{}};
+    const auto scores = score_series(m, series);
+    // Count alarms persisting beyond the spike neighbourhood.
+    for (const Alarm& a :
+         all_alarms(scores, m.window_size(), 0, policy)) {
+      if (a.minute > 140) {
+        ++fa;
+        break;
+      }
+    }
+  }
+  EXPECT_LE(fa, 1);
+}
+
+}  // namespace
+}  // namespace funnel::detect

@@ -1,0 +1,239 @@
+// Tests for the difference-in-difference estimator (Eq. 15-16) and the
+// group-construction helpers of both DiD paths.
+#include <cmath>
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+#include "common/rng.h"
+#include "did/did.h"
+#include "did/groups.h"
+#include "workload/generators.h"
+#include "workload/stream.h"
+
+namespace funnel::did {
+namespace {
+
+TEST(DidPanel, ExactTwoByTwoRecovery) {
+  // Treated goes 10 -> 17, control 20 -> 22: alpha = (17-10) - (22-20) = 5.
+  const std::vector<PanelObservation> obs{
+      {true, false, 10.0}, {true, true, 17.0},
+      {false, false, 20.0}, {false, true, 22.0}};
+  const DiDResult r = did_panel(obs);
+  EXPECT_NEAR(r.alpha, 5.0, 1e-9);
+  EXPECT_EQ(r.n_treated, 1u);
+  EXPECT_EQ(r.n_control, 1u);
+}
+
+TEST(DidPanel, RequiresAllFourCells) {
+  const std::vector<PanelObservation> missing{
+      {true, false, 1.0}, {true, true, 2.0}, {false, false, 3.0}};
+  EXPECT_THROW((void)did_panel(missing), InvalidArgument);
+  EXPECT_THROW((void)did_panel(std::vector<PanelObservation>{}),
+               InvalidArgument);
+}
+
+TEST(DidFromGroups, MatchesCellMeanFormula) {
+  // Eq. 16 with multiple KPIs per group.
+  const std::vector<double> tp{10.0, 12.0};  // mean 11
+  const std::vector<double> to{20.0, 24.0};  // mean 22
+  const std::vector<double> cp{5.0, 7.0};    // mean 6
+  const std::vector<double> co{6.0, 8.0};    // mean 7
+  const DiDResult r = did_from_groups(tp, to, cp, co);
+  EXPECT_NEAR(r.alpha, (22.0 - 11.0) - (7.0 - 6.0), 1e-9);
+  EXPECT_EQ(r.n_treated, 2u);
+  EXPECT_EQ(r.n_control, 2u);
+}
+
+TEST(DidFromGroups, ValidatesPairedLengths) {
+  EXPECT_THROW((void)did_from_groups(std::vector<double>{1.0},
+                                     std::vector<double>{1.0, 2.0},
+                                     std::vector<double>{1.0},
+                                     std::vector<double>{1.0}),
+               InvalidArgument);
+}
+
+TEST(DidPanel, CommonShockCancels) {
+  // Both groups jump by +50 (a confounder): alpha stays ~0, so the change
+  // is correctly not attributed (the core DiD property, §3.2.4).
+  Rng rng(1);
+  std::vector<double> tp, to, cp, co;
+  for (int i = 0; i < 20; ++i) {
+    const double base_t = 100.0 + rng.gaussian();
+    const double base_c = 100.0 + rng.gaussian();
+    tp.push_back(base_t);
+    to.push_back(base_t + 50.0 + rng.gaussian());
+    cp.push_back(base_c);
+    co.push_back(base_c + 50.0 + rng.gaussian());
+  }
+  const DiDResult r = did_from_groups(tp, to, cp, co);
+  EXPECT_LT(std::abs(r.alpha_scaled), 0.5);
+  EXPECT_FALSE(caused_by_change(r, DiDConfig{}));
+}
+
+TEST(DidPanel, TreatedOnlyEffectIsAttributed) {
+  Rng rng(2);
+  std::vector<double> tp, to, cp, co;
+  for (int i = 0; i < 20; ++i) {
+    const double base_t = 100.0 + rng.gaussian();
+    const double base_c = 100.0 + rng.gaussian();
+    tp.push_back(base_t);
+    to.push_back(base_t + 10.0 + rng.gaussian());  // effect on treated only
+    cp.push_back(base_c);
+    co.push_back(base_c + rng.gaussian());
+  }
+  const DiDResult r = did_from_groups(tp, to, cp, co);
+  EXPECT_GT(r.alpha, 7.0);
+  EXPECT_GT(std::abs(r.t_stat), 2.0);
+  EXPECT_TRUE(caused_by_change(r, DiDConfig{}));
+}
+
+TEST(DidPanel, StandardErrorShrinksWithSampleSize) {
+  Rng rng(3);
+  auto build = [&](int n) {
+    std::vector<PanelObservation> obs;
+    for (int i = 0; i < n; ++i) {
+      obs.push_back({true, false, rng.gaussian(10.0, 1.0)});
+      obs.push_back({true, true, rng.gaussian(15.0, 1.0)});
+      obs.push_back({false, false, rng.gaussian(10.0, 1.0)});
+      obs.push_back({false, true, rng.gaussian(10.0, 1.0)});
+    }
+    return did_panel(obs).std_error;
+  };
+  EXPECT_GT(build(8), build(512));
+}
+
+TEST(CausedByChange, ThresholdSemantics) {
+  DiDResult r;
+  r.alpha_scaled = 0.4;
+  r.t_stat = 10.0;
+  EXPECT_FALSE(caused_by_change(r, DiDConfig{}));  // below alpha threshold
+  r.alpha_scaled = 2.0;
+  r.t_stat = 1.0;
+  EXPECT_FALSE(caused_by_change(r, DiDConfig{}));  // insignificant
+  r.t_stat = 5.0;
+  EXPECT_TRUE(caused_by_change(r, DiDConfig{}));
+  r.alpha_scaled = -2.0;
+  r.t_stat = -5.0;
+  EXPECT_TRUE(caused_by_change(r, DiDConfig{}));  // negative impacts count
+  DiDConfig lax;
+  lax.require_significance = false;
+  r.t_stat = 0.0;
+  EXPECT_TRUE(caused_by_change(r, lax));
+}
+
+TEST(WindowMean, SkipsNanAndChecksCoverage) {
+  tsdb::TimeSeries s(0, {1.0, std::nan(""), 3.0});
+  EXPECT_DOUBLE_EQ(*window_mean(s, 0, 3), 2.0);
+  EXPECT_FALSE(window_mean(s, 0, 4).has_value());
+  EXPECT_FALSE(window_mean(s, 0, 0).has_value());
+  tsdb::TimeSeries all_nan(0, {std::nan(""), std::nan("")});
+  EXPECT_FALSE(window_mean(all_nan, 0, 2).has_value());
+}
+
+TEST(CollectGroup, SkipsMissingAndUncoveredMetrics) {
+  tsdb::MetricStore store;
+  store.insert(tsdb::server_metric("a", "cpu"),
+               tsdb::TimeSeries(0, std::vector<double>(200, 5.0)));
+  store.insert(tsdb::server_metric("b", "cpu"),
+               tsdb::TimeSeries(90, std::vector<double>(20, 9.0)));
+  const std::vector<tsdb::MetricId> ids{
+      tsdb::server_metric("a", "cpu"), tsdb::server_metric("b", "cpu"),
+      tsdb::server_metric("missing", "cpu")};
+  const GroupMeans g = collect_group(store, ids, 100, 30);
+  // "a" covers [70, 130); "b" does not; "missing" absent.
+  ASSERT_EQ(g.pre.size(), 1u);
+  EXPECT_DOUBLE_EQ(g.pre[0], 5.0);
+  EXPECT_DOUBLE_EQ(g.post[0], 5.0);
+}
+
+TEST(CollectHistoricalControl, OnePairPerCleanDay) {
+  // 5 days of history plus the change day. A single NaN inside day 3's
+  // window is tolerated (window_mean skips it); day 2's post window is
+  // entirely NaN, so that day contributes no pair.
+  const MinuteTime tc = 5 * kMinutesPerDay + 600;
+  std::vector<double> data(static_cast<std::size_t>(tc + 100), 10.0);
+  data[static_cast<std::size_t>(tc - 3 * kMinutesPerDay) + 2] = std::nan("");
+  const auto day2 = static_cast<std::size_t>(tc - 2 * kMinutesPerDay);
+  for (std::size_t i = 0; i < 30; ++i) data[day2 + i] = std::nan("");
+  const tsdb::TimeSeries s(0, std::move(data));
+  const GroupMeans g = collect_historical_control(s, tc, 30, 5);
+  EXPECT_EQ(g.pre.size(), 4u);  // day 2 skipped, day 3 kept
+  for (double v : g.pre) EXPECT_DOUBLE_EQ(v, 10.0);
+  EXPECT_THROW((void)collect_historical_control(s, tc, 30, 0),
+               InvalidArgument);
+}
+
+TEST(DidDarkLaunch, EndToEndAttribution) {
+  // Two treated and two control servers; treated get a +8 shift at tc.
+  tsdb::MetricStore store;
+  Rng rng(4);
+  const MinuteTime tc = 200;
+  for (const char* name : {"t1", "t2", "c1", "c2"}) {
+    workload::StationaryParams p;
+    p.level = 50.0;
+    workload::KpiStream s(workload::make_stationary(p, rng.split()));
+    if (name[0] == 't') s.add_effect(workload::LevelShift{tc, 8.0});
+    workload::materialize(s, store, tsdb::server_metric(name, "mem"), 0, 400);
+  }
+  const std::vector<tsdb::MetricId> treated{tsdb::server_metric("t1", "mem"),
+                                            tsdb::server_metric("t2", "mem")};
+  const std::vector<tsdb::MetricId> control{tsdb::server_metric("c1", "mem"),
+                                            tsdb::server_metric("c2", "mem")};
+  const DiDResult r = did_dark_launch(store, treated, control, tc, 60);
+  EXPECT_NEAR(r.alpha, 8.0, 1.0);
+  EXPECT_TRUE(caused_by_change(r, DiDConfig{}));
+
+  // Empty groups throw.
+  const std::vector<tsdb::MetricId> none;
+  EXPECT_THROW((void)did_dark_launch(store, none, control, tc, 60),
+               InvalidArgument);
+  EXPECT_THROW((void)did_dark_launch(store, treated, none, tc, 60),
+               InvalidArgument);
+}
+
+// Property sweep for the historical path: a true effect of size `delta`
+// must be attributed, a seasonal pattern must not.
+class HistoricalDid : public ::testing::TestWithParam<double> {};
+
+TEST_P(HistoricalDid, AttributesTrueEffectsOnly) {
+  const double delta = GetParam();
+  const int days = 10;
+  const MinuteTime tc = days * kMinutesPerDay + 700;
+
+  // Seasonal KPI with no change: the same time-of-day pattern repeats, so
+  // alpha ~ 0 (seasonality exclusion, §3.2.5).
+  workload::SeasonalParams sp;
+  sp.noise_sigma = 1.0;
+  sp.weekly_amplitude = 0.0;
+  workload::KpiStream quiet(workload::make_seasonal(sp, Rng(11)));
+  const tsdb::TimeSeries quiet_series(
+      0, workload::render(quiet, 0, tc + 120));
+  const DiDResult rq = did_historical(quiet_series, tc, 60, days - 1);
+  EXPECT_FALSE(caused_by_change(rq, DiDConfig{}))
+      << "seasonal pattern misattributed (alpha_scaled="
+      << rq.alpha_scaled << ")";
+
+  // Same KPI with an injected shift at tc: attributed.
+  workload::KpiStream shifted(workload::make_seasonal(sp, Rng(12)));
+  shifted.add_effect(workload::LevelShift{tc, delta});
+  const tsdb::TimeSeries shifted_series(
+      0, workload::render(shifted, 0, tc + 120));
+  const DiDResult rs = did_historical(shifted_series, tc, 60, days - 1);
+  EXPECT_TRUE(caused_by_change(rs, DiDConfig{}))
+      << "missed a delta=" << delta
+      << " effect (alpha_scaled=" << rs.alpha_scaled << ")";
+  EXPECT_NEAR(rs.alpha, delta, 0.5 * delta);
+}
+
+INSTANTIATE_TEST_SUITE_P(Effects, HistoricalDid,
+                         ::testing::Values(6.0, 10.0, 20.0));
+
+TEST(DidHistorical, ThrowsWithoutHistory) {
+  const tsdb::TimeSeries short_series(0, std::vector<double>(300, 1.0));
+  EXPECT_THROW((void)did_historical(short_series, 150, 60, 30),
+               InvalidArgument);
+}
+
+}  // namespace
+}  // namespace funnel::did

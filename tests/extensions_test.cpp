@@ -1,0 +1,180 @@
+// Tests for the extension surface: the week-over-week baseline detector,
+// ROC sweeps, alarm episode grouping, and JSON report export.
+#include <cmath>
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "detect/improved_sst.h"
+#include "detect/sliding.h"
+#include "detect/week_over_week.h"
+#include "evalkit/roc.h"
+#include "funnel/report_json.h"
+#include "workload/generators.h"
+#include "workload/stream.h"
+
+namespace funnel {
+namespace {
+
+TEST(WeekOverWeek, QuietSeasonalScoresLow) {
+  workload::SeasonalParams p;
+  p.noise_sigma = 1.0;
+  p.weekly_amplitude = 0.0;  // day-over-day comparison: no weekly drift
+  workload::KpiStream s(workload::make_seasonal(p, Rng(1)));
+  const auto series = workload::render(s, 0, 2 * kMinutesPerDay + 300);
+  detect::WeekOverWeekParams w;
+  w.season = kMinutesPerDay;  // day-over-day
+  const auto scores = detect::wow_score_series(series, w);
+  ASSERT_EQ(scores.size(), series.size());
+  // Warm-up region is NaN.
+  EXPECT_TRUE(std::isnan(scores[100]));
+  double peak = 0.0;
+  for (std::size_t i = static_cast<std::size_t>(kMinutesPerDay) + 40;
+       i < scores.size(); ++i) {
+    if (std::isfinite(scores[i])) peak = std::max(peak, scores[i]);
+  }
+  EXPECT_LT(peak, 5.0);
+}
+
+TEST(WeekOverWeek, DetectsShiftAgainstLastSeason) {
+  workload::SeasonalParams p;
+  p.noise_sigma = 1.0;
+  p.weekly_amplitude = 0.0;
+  workload::KpiStream s(workload::make_seasonal(p, Rng(2)));
+  const MinuteTime tc = kMinutesPerDay + 400;
+  s.add_effect(workload::LevelShift{tc, 12.0});
+  const auto series = workload::render(s, 0, kMinutesPerDay + 700);
+  detect::WeekOverWeekParams w;
+  w.season = kMinutesPerDay;
+  const auto scores = detect::wow_score_series(series, w);
+  double post_peak = 0.0;
+  for (std::size_t i = static_cast<std::size_t>(tc) + 30;
+       i < static_cast<std::size_t>(tc) + 90; ++i) {
+    if (std::isfinite(scores[i])) post_peak = std::max(post_peak, scores[i]);
+  }
+  EXPECT_GT(post_peak, 6.0);
+}
+
+TEST(WeekOverWeek, ShortSeriesAllNan) {
+  const std::vector<double> tiny(100, 1.0);
+  detect::WeekOverWeekParams w;
+  const auto scores = detect::wow_score_series(tiny, w);
+  for (double v : scores) EXPECT_TRUE(std::isnan(v));
+  EXPECT_THROW((void)detect::wow_score_series(
+                   tiny, detect::WeekOverWeekParams{.season = 0}),
+               InvalidArgument);
+}
+
+TEST(AlarmEpisodes, MergesRefiresKeepsSeparateEpisodes) {
+  std::vector<detect::Alarm> alarms;
+  for (MinuteTime m : {100, 107, 114, 121, 300, 307}) {
+    detect::Alarm a;
+    a.minute = m;
+    a.peak_score = static_cast<double>(m) / 100.0;
+    alarms.push_back(a);
+  }
+  const auto episodes = detect::alarm_episodes(alarms, 30);
+  ASSERT_EQ(episodes.size(), 2u);
+  EXPECT_EQ(episodes[0].minute, 100);
+  EXPECT_DOUBLE_EQ(episodes[0].peak_score, 1.21);  // max of the chain
+  EXPECT_EQ(episodes[1].minute, 300);
+}
+
+TEST(AlarmEpisodes, LongChainStaysOneEpisode) {
+  // Re-fires every 7 minutes for two hours: one episode, however long.
+  std::vector<detect::Alarm> alarms;
+  for (MinuteTime m = 0; m < 120; m += 7) {
+    detect::Alarm a;
+    a.minute = m;
+    alarms.push_back(a);
+  }
+  EXPECT_EQ(detect::alarm_episodes(alarms, 30).size(), 1u);
+  EXPECT_THROW((void)detect::alarm_episodes(alarms, 0), InvalidArgument);
+  EXPECT_TRUE(detect::alarm_episodes({}, 30).empty());
+}
+
+TEST(Roc, SweepIsMonotoneAndAucSane) {
+  evalkit::DatasetParams p;
+  p.seed = 3;
+  p.services = 2;
+  p.servers_per_service = 4;
+  p.treated_servers = 2;
+  p.positive_changes = 2;
+  p.negative_changes = 2;
+  p.history_days = 1;
+  const auto ds = evalkit::build_dataset(p);
+
+  evalkit::DetectorSpec spec;
+  spec.name = "improved";
+  spec.make_scorer = [] {
+    return std::make_unique<detect::ImprovedSst>(
+        detect::SstGeometry{.omega = 9, .eta = 3});
+  };
+  spec.policy = {.threshold = 0.4, .persistence = 7, .patience = 10};
+
+  const std::vector<double> thresholds{0.1, 0.4, 1.0, 3.0};
+  const auto curve = evalkit::detector_roc(*ds, spec, thresholds);
+  ASSERT_EQ(curve.size(), 4u);
+  // Raising the threshold cannot increase TPR or FPR.
+  for (std::size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_LE(curve[i].tpr, curve[i - 1].tpr + 1e-12);
+    EXPECT_LE(curve[i].fpr, curve[i - 1].fpr + 1e-12);
+  }
+  const double area = evalkit::auc(curve);
+  EXPECT_GE(area, 0.5);
+  EXPECT_LE(area, 1.0);
+  EXPECT_THROW((void)evalkit::detector_roc(*ds, spec, {}), InvalidArgument);
+  EXPECT_THROW((void)evalkit::auc({}), InvalidArgument);
+}
+
+TEST(ReportJson, SerializesVerdictAndReport) {
+  core::AssessmentReport report;
+  report.change_id = 7;
+  report.change_time = 1234;
+  report.impact_set.changed_service = "svc \"quoted\"";
+  report.impact_set.dark_launched = true;
+
+  core::ItemVerdict v;
+  v.metric = tsdb::server_metric("web-1", "cpu");
+  v.kpi_change_detected = true;
+  v.cause = core::Cause::kSoftwareChange;
+  detect::Alarm alarm;
+  alarm.minute = 1240;
+  alarm.peak_score = 2.5;
+  v.alarm = alarm;
+  did::DiDResult fit;
+  fit.alpha = 4.5;
+  fit.alpha_scaled = 4.0;
+  fit.t_stat = 10.0;
+  fit.n_treated = 2;
+  fit.n_control = 3;
+  v.did_fit = fit;
+  report.items.push_back(v);
+
+  const std::string json = core::to_json(report);
+  EXPECT_NE(json.find("\"change_id\":7"), std::string::npos);
+  EXPECT_NE(json.find("\"changed_service\":\"svc \\\"quoted\\\"\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"cause\":\"software-change\""), std::string::npos);
+  EXPECT_NE(json.find("\"minute\":1240"), std::string::npos);
+  EXPECT_NE(json.find("\"n_control\":3"), std::string::npos);
+  EXPECT_NE(json.find("\"change_has_impact\":true"), std::string::npos);
+  // Balanced braces/brackets (cheap well-formedness check).
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+  EXPECT_EQ(std::count(json.begin(), json.end(), '['),
+            std::count(json.begin(), json.end(), ']'));
+}
+
+TEST(ReportJson, NonFiniteNumbersBecomeNull) {
+  core::ItemVerdict v;
+  v.metric = tsdb::server_metric("w", "cpu");
+  did::DiDResult fit;
+  fit.alpha = std::nan("");
+  v.did_fit = fit;
+  const std::string json = core::to_json(v);
+  EXPECT_NE(json.find("\"alpha\":null"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace funnel

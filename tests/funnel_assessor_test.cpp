@@ -1,0 +1,205 @@
+// End-to-end tests of the Fig. 3 decision flow: detection, dark-launch DiD,
+// historical DiD, and the verdict taxonomy.
+#include "funnel/assessor.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "workload/generators.h"
+#include "workload/shock.h"
+#include "workload/stream.h"
+
+namespace funnel::core {
+namespace {
+
+constexpr MinuteTime kDay = kMinutesPerDay;
+
+FunnelConfig test_config() {
+  FunnelConfig cfg;
+  cfg.baseline_days = 3;
+  return cfg;
+}
+
+// One service, five servers with a stationary "mem" KPI; optional effect on
+// the treated servers and optional service-wide confounder shock.
+struct Scenario {
+  topology::ServiceTopology topo;
+  changes::ChangeLog log;
+  tsdb::MetricStore store;
+  MinuteTime tc = 4 * kDay + 300;
+  changes::ChangeId change_id = 0;
+
+  Scenario(bool dark, double effect, double confounder,
+           bool seasonal = false, bool transient_only = false) {
+    const std::vector<std::string> servers{"s1", "s2", "s3", "s4", "s5"};
+    for (const auto& s : servers) topo.add_server("svc", s);
+
+    changes::SoftwareChange ch;
+    ch.service = "svc";
+    ch.time = tc;
+    if (dark) {
+      ch.mode = changes::LaunchMode::kDark;
+      ch.servers = {"s1", "s2"};
+    } else {
+      ch.mode = changes::LaunchMode::kFull;
+      ch.servers = servers;
+    }
+    change_id = log.record(ch, topo);
+
+    Rng rng(42);
+    workload::SharedShock shock;
+    if (confounder != 0.0) {
+      shock = workload::make_attack_shock(tc, 50, confounder, rng.split());
+    }
+    const bool treated_all = !dark;
+    for (const auto& s : servers) {
+      std::unique_ptr<workload::KpiGenerator> gen;
+      if (seasonal) {
+        workload::SeasonalParams p;
+        p.noise_sigma = 1.0;
+        p.weekly_amplitude = 0.0;
+        gen = workload::make_seasonal(p, rng.split());
+      } else {
+        workload::StationaryParams p;
+        p.level = 50.0;
+        gen = workload::make_stationary(p, rng.split());
+      }
+      workload::KpiStream stream(std::move(gen));
+      const bool treated = treated_all || s == "s1" || s == "s2";
+      if (treated && effect != 0.0) {
+        if (transient_only) {
+          stream.add_effect(workload::TransientSpike{tc + 3, 2, effect});
+        } else {
+          stream.add_effect(workload::LevelShift{tc, effect});
+        }
+      }
+      if (shock) stream.add_shock(shock);
+      workload::materialize(stream, store, tsdb::server_metric(s, "mem"), 0,
+                            tc + 120);
+    }
+  }
+
+  AssessmentReport assess() const {
+    const Funnel funnel(test_config(), topo, log, store);
+    return funnel.assess(change_id);
+  }
+};
+
+const ItemVerdict& verdict_for(const AssessmentReport& r,
+                               const tsdb::MetricId& id) {
+  for (const auto& v : r.items) {
+    if (v.metric == id) return v;
+  }
+  throw std::runtime_error("no verdict for " + id.to_string());
+}
+
+TEST(Assessor, DarkLaunchEffectAttributedToChange) {
+  const Scenario sc(/*dark=*/true, /*effect=*/8.0, /*confounder=*/0.0);
+  const AssessmentReport r = sc.assess();
+  EXPECT_EQ(r.change_id, sc.change_id);
+  // Only treated-server KPIs are items; both should be flagged as caused.
+  const auto& v1 = verdict_for(r, tsdb::server_metric("s1", "mem"));
+  EXPECT_TRUE(v1.kpi_change_detected);
+  EXPECT_EQ(v1.cause, Cause::kSoftwareChange);
+  EXPECT_FALSE(v1.used_historical_control);
+  ASSERT_TRUE(v1.did_fit.has_value());
+  EXPECT_NEAR(v1.did_fit->alpha, 8.0, 2.0);
+  ASSERT_TRUE(v1.alarm.has_value());
+  EXPECT_GE(v1.alarm->minute, sc.tc);
+  EXPECT_TRUE(r.change_has_impact());
+  EXPECT_GE(r.kpi_changes_caused(), 2u);
+}
+
+TEST(Assessor, ConfounderRejectedByControlGroup) {
+  const Scenario sc(/*dark=*/true, /*effect=*/0.0, /*confounder=*/7.0);
+  const AssessmentReport r = sc.assess();
+  // The shock hits treated and control alike: any detected change must be
+  // labelled other-factors, never software-change.
+  std::size_t detected = 0;
+  for (const auto& v : r.items) {
+    if (!v.kpi_change_detected) continue;
+    ++detected;
+    EXPECT_EQ(v.cause, Cause::kOtherFactors) << v.metric.to_string();
+  }
+  EXPECT_GE(detected, 1u);  // the shock is a real behavior change
+  EXPECT_FALSE(r.change_has_impact());
+  EXPECT_EQ(r.kpi_changes_caused(), 0u);
+}
+
+TEST(Assessor, FullLaunchUsesHistoricalControl) {
+  const Scenario sc(/*dark=*/false, /*effect=*/8.0, /*confounder=*/0.0);
+  const AssessmentReport r = sc.assess();
+  const auto& v = verdict_for(r, tsdb::server_metric("s3", "mem"));
+  EXPECT_TRUE(v.kpi_change_detected);
+  EXPECT_TRUE(v.used_historical_control);
+  EXPECT_EQ(v.cause, Cause::kSoftwareChange);
+}
+
+TEST(Assessor, SeasonalPatternExcludedViaHistory) {
+  const Scenario sc(/*dark=*/false, /*effect=*/0.0, /*confounder=*/0.0,
+                    /*seasonal=*/true);
+  const AssessmentReport r = sc.assess();
+  for (const auto& v : r.items) {
+    EXPECT_NE(v.cause, Cause::kSoftwareChange) << v.metric.to_string();
+    if (v.kpi_change_detected) {
+      EXPECT_EQ(v.cause, Cause::kSeasonality);
+      EXPECT_TRUE(v.used_historical_control);
+    }
+  }
+  EXPECT_FALSE(r.change_has_impact());
+}
+
+TEST(Assessor, TransientSpikeNotReported) {
+  const Scenario sc(/*dark=*/true, /*effect=*/10.0, /*confounder=*/0.0,
+                    /*seasonal=*/false, /*transient_only=*/true);
+  const AssessmentReport r = sc.assess();
+  for (const auto& v : r.items) {
+    EXPECT_FALSE(v.kpi_change_detected) << v.metric.to_string();
+    EXPECT_EQ(v.cause, Cause::kNoKpiChange);
+  }
+}
+
+TEST(Assessor, NegativeShiftAlsoAttributed) {
+  const Scenario sc(/*dark=*/true, /*effect=*/-8.0, /*confounder=*/0.0);
+  const AssessmentReport r = sc.assess();
+  const auto& v = verdict_for(r, tsdb::server_metric("s2", "mem"));
+  EXPECT_EQ(v.cause, Cause::kSoftwareChange);
+  ASSERT_TRUE(v.did_fit.has_value());
+  EXPECT_LT(v.did_fit->alpha, -5.0);
+}
+
+TEST(Assessor, AssessWindowCoversRecordedChanges) {
+  Scenario sc(/*dark=*/true, /*effect=*/8.0, /*confounder=*/0.0);
+  const Funnel funnel(test_config(), sc.topo, sc.log, sc.store);
+  EXPECT_EQ(funnel.assess_window(0, sc.tc + 1).size(), 1u);
+  EXPECT_TRUE(funnel.assess_window(0, sc.tc).empty());
+}
+
+TEST(Assessor, ReportSummaryMentionsKeyFacts) {
+  const Scenario sc(/*dark=*/true, /*effect=*/8.0, /*confounder=*/0.0);
+  const std::string s = sc.assess().summary();
+  EXPECT_NE(s.find("svc"), std::string::npos);
+  EXPECT_NE(s.find("dark"), std::string::npos);
+  EXPECT_NE(s.find("software-change"), std::string::npos);
+}
+
+TEST(Assessor, ShortSeriesYieldsNoChange) {
+  // A KPI created just before the change cannot fill one SST window: the
+  // item is reported as no-KPI-change rather than crashing.
+  Scenario sc(/*dark=*/true, /*effect=*/8.0, /*confounder=*/0.0);
+  sc.store.insert(tsdb::server_metric("s1", "fresh_kpi"),
+                  tsdb::TimeSeries(sc.tc - 5, std::vector<double>(10, 1.0)));
+  const AssessmentReport r = sc.assess();
+  const auto& v = verdict_for(r, tsdb::server_metric("s1", "fresh_kpi"));
+  EXPECT_FALSE(v.kpi_change_detected);
+}
+
+TEST(Assessor, CauseNames) {
+  EXPECT_STREQ(to_string(Cause::kNoKpiChange), "no-kpi-change");
+  EXPECT_STREQ(to_string(Cause::kSoftwareChange), "software-change");
+  EXPECT_STREQ(to_string(Cause::kOtherFactors), "other-factors");
+  EXPECT_STREQ(to_string(Cause::kSeasonality), "seasonality");
+}
+
+}  // namespace
+}  // namespace funnel::core

@@ -1,0 +1,148 @@
+// Tests for impact-set identification (§3.1) and group derivation.
+#include "funnel/impact_set.h"
+
+#include <gtest/gtest.h>
+
+namespace funnel::core {
+namespace {
+
+struct Fixture {
+  topology::ServiceTopology topo;
+  changes::ChangeLog log;
+  tsdb::MetricStore store;
+
+  Fixture() {
+    // Fig. 4: change on A (servers a1..a4), A related to B and D, B to C.
+    for (const char* s : {"a1", "a2", "a3", "a4"}) topo.add_server("A", s);
+    topo.add_server("B", "b1");
+    topo.add_server("C", "c1");
+    topo.add_server("D", "d1");
+    topo.add_relation("A", "B");
+    topo.add_relation("A", "D");
+    topo.add_relation("B", "C");
+
+    // Store contents: server KPIs, instance KPIs, service KPIs.
+    for (const char* s : {"a1", "a2", "a3", "a4"}) {
+      store.insert(tsdb::server_metric(s, "cpu"), tsdb::TimeSeries(0));
+      store.insert(tsdb::server_metric(s, "mem"), tsdb::TimeSeries(0));
+      store.insert(tsdb::instance_metric(std::string("A@") + s, "pvc"),
+                   tsdb::TimeSeries(0));
+    }
+    for (const char* svc : {"A", "B", "C", "D"}) {
+      store.insert(tsdb::service_metric(svc, "pvc"), tsdb::TimeSeries(0));
+    }
+  }
+
+  changes::SoftwareChange dark_change() {
+    changes::SoftwareChange c;
+    c.service = "A";
+    c.servers = {"a1", "a2"};
+    c.time = 500;
+    c.mode = changes::LaunchMode::kDark;
+    c.id = log.record(c, topo);
+    return log.get(c.id);
+  }
+
+  changes::SoftwareChange full_change() {
+    changes::SoftwareChange c;
+    c.service = "A";
+    c.servers = {"a1", "a2", "a3", "a4"};
+    c.time = 600;
+    c.mode = changes::LaunchMode::kFull;
+    c.id = log.record(c, topo);
+    return log.get(c.id);
+  }
+};
+
+TEST(ImpactSet, DarkLaunchSplitsTreatedAndControl) {
+  Fixture f;
+  const ImpactSet set = identify_impact_set(f.dark_change(), f.topo);
+  EXPECT_EQ(set.changed_service, "A");
+  EXPECT_TRUE(set.dark_launched);
+  EXPECT_EQ(set.tservers, (std::vector<std::string>{"a1", "a2"}));
+  EXPECT_EQ(set.cservers, (std::vector<std::string>{"a3", "a4"}));
+  EXPECT_EQ(set.tinstances, (std::vector<std::string>{"A@a1", "A@a2"}));
+  EXPECT_EQ(set.cinstances, (std::vector<std::string>{"A@a3", "A@a4"}));
+  EXPECT_EQ(set.affected_services, (std::vector<std::string>{"B", "C", "D"}));
+  EXPECT_TRUE(set.has_control_group());
+}
+
+TEST(ImpactSet, FullLaunchHasNoControl) {
+  Fixture f;
+  const ImpactSet set = identify_impact_set(f.full_change(), f.topo);
+  EXPECT_FALSE(set.dark_launched);
+  EXPECT_EQ(set.tservers.size(), 4u);
+  EXPECT_TRUE(set.cservers.empty());
+  EXPECT_TRUE(set.cinstances.empty());
+  EXPECT_FALSE(set.has_control_group());
+}
+
+TEST(ImpactMetrics, CoversAllImpactEntities) {
+  Fixture f;
+  const ImpactSet set = identify_impact_set(f.dark_change(), f.topo);
+  const auto metrics = impact_metrics(set, f.store);
+  // tservers: 2 servers x 2 KPIs; tinstances: 2 x 1; changed service: 1;
+  // affected services: 3 x 1.
+  EXPECT_EQ(metrics.size(), 4u + 2u + 1u + 3u);
+  // Control entities' KPIs are NOT in the impact set.
+  for (const auto& m : metrics) {
+    EXPECT_NE(m.entity, "a3");
+    EXPECT_NE(m.entity, "A@a4");
+  }
+}
+
+TEST(ImpactMetrics, AffectedServiceDetection) {
+  Fixture f;
+  const ImpactSet set = identify_impact_set(f.dark_change(), f.topo);
+  EXPECT_TRUE(
+      is_affected_service_metric(set, tsdb::service_metric("B", "pvc")));
+  EXPECT_TRUE(
+      is_affected_service_metric(set, tsdb::service_metric("C", "pvc")));
+  EXPECT_FALSE(
+      is_affected_service_metric(set, tsdb::service_metric("A", "pvc")));
+  EXPECT_FALSE(
+      is_affected_service_metric(set, tsdb::server_metric("B", "pvc")));
+}
+
+TEST(Groups, ServerKpiUsesServerGroups) {
+  Fixture f;
+  const ImpactSet set = identify_impact_set(f.dark_change(), f.topo);
+  const auto treated =
+      treated_group_for(set, tsdb::server_metric("a1", "cpu"));
+  ASSERT_EQ(treated.size(), 2u);
+  EXPECT_EQ(treated[0], tsdb::server_metric("a1", "cpu"));
+  EXPECT_EQ(treated[1], tsdb::server_metric("a2", "cpu"));
+  const auto control =
+      control_group_for(set, tsdb::server_metric("a1", "cpu"));
+  ASSERT_EQ(control.size(), 2u);
+  EXPECT_EQ(control[0], tsdb::server_metric("a3", "cpu"));
+}
+
+TEST(Groups, InstanceAndServiceKpisUseInstanceGroups) {
+  Fixture f;
+  const ImpactSet set = identify_impact_set(f.dark_change(), f.topo);
+  // Instance KPI.
+  const auto t1 =
+      treated_group_for(set, tsdb::instance_metric("A@a1", "pvc"));
+  ASSERT_EQ(t1.size(), 2u);
+  EXPECT_EQ(t1[0], tsdb::instance_metric("A@a1", "pvc"));
+  // Changed-service KPI maps to the same-named instance KPIs (§3.2.4).
+  const auto t2 = treated_group_for(set, tsdb::service_metric("A", "pvc"));
+  ASSERT_EQ(t2.size(), 2u);
+  EXPECT_EQ(t2[0], tsdb::instance_metric("A@a1", "pvc"));
+  const auto c2 = control_group_for(set, tsdb::service_metric("A", "pvc"));
+  ASSERT_EQ(c2.size(), 2u);
+  EXPECT_EQ(c2[0], tsdb::instance_metric("A@a3", "pvc"));
+}
+
+TEST(Groups, FullLaunchControlIsEmpty) {
+  Fixture f;
+  const ImpactSet set = identify_impact_set(f.full_change(), f.topo);
+  EXPECT_TRUE(
+      control_group_for(set, tsdb::server_metric("a1", "cpu")).empty());
+  EXPECT_EQ(treated_group_for(set, tsdb::server_metric("a1", "cpu")).size(),
+            4u);
+}
+
+}  // namespace
+}  // namespace funnel::core

@@ -1,0 +1,205 @@
+// Tests for the streaming (online) assessor — the deployed FUNNEL of §5.
+#include "funnel/online.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "workload/generators.h"
+#include "workload/stream.h"
+
+namespace funnel::core {
+namespace {
+
+constexpr MinuteTime kDay = kMinutesPerDay;
+
+FunnelConfig test_config() {
+  FunnelConfig cfg;
+  cfg.baseline_days = 3;
+  return cfg;
+}
+
+// Dark-launch scenario streamed minute-by-minute: history is materialized up
+// to the change, the rest is appended live after watch().
+struct OnlineScenario {
+  topology::ServiceTopology topo;
+  changes::ChangeLog log;
+  tsdb::MetricStore store;
+  MinuteTime tc = 4 * kDay + 300;
+  changes::ChangeId change_id = 0;
+  std::vector<std::pair<tsdb::MetricId, std::unique_ptr<workload::KpiStream>>>
+      streams;
+
+  explicit OnlineScenario(double effect) {
+    const std::vector<std::string> servers{"s1", "s2", "s3", "s4"};
+    for (const auto& s : servers) topo.add_server("svc", s);
+    changes::SoftwareChange ch;
+    ch.service = "svc";
+    ch.time = tc;
+    ch.mode = changes::LaunchMode::kDark;
+    ch.servers = {"s1", "s2"};
+    change_id = log.record(ch, topo);
+
+    Rng rng(7);
+    for (const auto& s : servers) {
+      workload::StationaryParams p;
+      p.level = 50.0;
+      auto stream =
+          std::make_unique<workload::KpiStream>(
+              workload::make_stationary(p, rng.split()));
+      if (effect != 0.0 && (s == "s1" || s == "s2")) {
+        stream->add_effect(workload::LevelShift{tc, effect});
+      }
+      const tsdb::MetricId id = tsdb::server_metric(s, "mem");
+      workload::materialize(*stream, store, id, 0, tc);
+      streams.emplace_back(id, std::move(stream));
+    }
+  }
+
+  void stream_minutes(MinuteTime from, MinuteTime to) {
+    for (MinuteTime t = from; t < to; ++t) {
+      for (auto& [id, stream] : streams) {
+        store.append(id, t, stream->sample(t));
+      }
+    }
+  }
+};
+
+TEST(FunnelOnline, DetectsAndAttributesWithinMinutes) {
+  OnlineScenario sc(8.0);
+  FunnelOnline online(test_config(), sc.topo, sc.log, sc.store);
+
+  std::vector<std::pair<changes::ChangeId, ItemVerdict>> verdicts;
+  std::vector<AssessmentReport> reports;
+  online.on_verdict([&](changes::ChangeId id, const ItemVerdict& v) {
+    verdicts.emplace_back(id, v);
+  });
+  online.on_report([&](const AssessmentReport& r) { reports.push_back(r); });
+
+  online.watch(sc.change_id);
+  EXPECT_EQ(online.active_watches(), 1u);
+
+  sc.stream_minutes(sc.tc, sc.tc + 61);
+
+  // Both treated KPIs page the operations team...
+  ASSERT_GE(verdicts.size(), 2u);
+  for (const auto& [id, v] : verdicts) {
+    EXPECT_EQ(id, sc.change_id);
+    EXPECT_EQ(v.cause, Cause::kSoftwareChange);
+    ASSERT_TRUE(v.alarm.has_value());
+    // ... and they do so within ~25 minutes of the change (the §5.2 case was
+    // confirmed in ~10 minutes; the persistence rule alone costs 7).
+    EXPECT_LE(v.alarm->minute, sc.tc + 25);
+  }
+
+  // The watch finalizes at the horizon.
+  ASSERT_EQ(reports.size(), 1u);
+  EXPECT_EQ(online.active_watches(), 0u);
+  EXPECT_TRUE(reports[0].change_has_impact());
+  EXPECT_GE(reports[0].kpi_changes_caused(), 2u);
+}
+
+TEST(FunnelOnline, QuietChangeProducesCleanReport) {
+  OnlineScenario sc(0.0);
+  FunnelOnline online(test_config(), sc.topo, sc.log, sc.store);
+  int verdict_count = 0;
+  std::vector<AssessmentReport> reports;
+  online.on_verdict(
+      [&](changes::ChangeId, const ItemVerdict&) { ++verdict_count; });
+  online.on_report([&](const AssessmentReport& r) { reports.push_back(r); });
+  online.watch(sc.change_id);
+  sc.stream_minutes(sc.tc, sc.tc + 61);
+  EXPECT_EQ(verdict_count, 0);
+  ASSERT_EQ(reports.size(), 1u);
+  EXPECT_FALSE(reports[0].change_has_impact());
+}
+
+TEST(FunnelOnline, AgreesWithBatchAssessment) {
+  OnlineScenario sc(8.0);
+  // Run online to completion.
+  FunnelOnline online(test_config(), sc.topo, sc.log, sc.store);
+  std::vector<AssessmentReport> reports;
+  online.on_report([&](const AssessmentReport& r) { reports.push_back(r); });
+  online.watch(sc.change_id);
+  sc.stream_minutes(sc.tc, sc.tc + 61);
+  ASSERT_EQ(reports.size(), 1u);
+
+  // Batch assessment over the same (now complete) data.
+  const Funnel funnel(test_config(), sc.topo, sc.log, sc.store);
+  const AssessmentReport batch = funnel.assess(sc.change_id);
+
+  ASSERT_EQ(reports[0].items.size(), batch.items.size());
+  std::size_t online_caused = reports[0].kpi_changes_caused();
+  EXPECT_EQ(online_caused, batch.kpi_changes_caused());
+}
+
+TEST(FunnelOnline, PrimingWithExistingPostChangeData) {
+  // If the effect is already in the store when watch() is called (late
+  // registration), priming must pick it up.
+  OnlineScenario sc(8.0);
+  sc.stream_minutes(sc.tc, sc.tc + 30);  // effect data lands pre-watch
+  FunnelOnline online(test_config(), sc.topo, sc.log, sc.store);
+  std::vector<std::pair<changes::ChangeId, ItemVerdict>> verdicts;
+  online.on_verdict([&](changes::ChangeId id, const ItemVerdict& v) {
+    verdicts.emplace_back(id, v);
+  });
+  online.watch(sc.change_id);
+  sc.stream_minutes(sc.tc + 30, sc.tc + 61);
+  EXPECT_GE(verdicts.size(), 2u);
+}
+
+TEST(FunnelOnline, UnsubscribesOnDestruction) {
+  OnlineScenario sc(0.0);
+  EXPECT_EQ(sc.store.subscriber_count(), 0u);
+  {
+    FunnelOnline online(test_config(), sc.topo, sc.log, sc.store);
+    online.watch(sc.change_id);
+    EXPECT_EQ(sc.store.subscriber_count(), 1u);
+  }
+  EXPECT_EQ(sc.store.subscriber_count(), 0u);
+}
+
+TEST(FunnelOnline, PreChangeShiftIsDiscarded) {
+  // A level shift well BEFORE the change: the primed detector alarms on it,
+  // is rearmed, and the report must not attribute anything to the change.
+  OnlineScenario sc(0.0);
+  // Overwrite one treated stream with a pre-change shift by appending a
+  // synthetic shifted tail into the past window (use a fresh metric).
+  workload::StationaryParams p;
+  p.level = 50.0;
+  workload::KpiStream early(workload::make_stationary(p, Rng(99)));
+  early.add_effect(workload::LevelShift{sc.tc - 40, 8.0});
+  workload::materialize(early, sc.store,
+                        tsdb::server_metric("s1", "early_kpi"), 0, sc.tc);
+  // Control servers need the same KPI for DiD; keep them quiet.
+  for (const char* s : {"s2", "s3", "s4"}) {
+    workload::KpiStream quiet(workload::make_stationary(p, Rng(100)));
+    workload::materialize(quiet, sc.store,
+                          tsdb::server_metric(s, "early_kpi"), 0, sc.tc);
+  }
+
+  FunnelOnline online(test_config(), sc.topo, sc.log, sc.store);
+  std::vector<AssessmentReport> reports;
+  online.on_report([&](const AssessmentReport& r) { reports.push_back(r); });
+  online.watch(sc.change_id);
+  // Stream the remaining minutes (early_kpi stays at its shifted level —
+  // constant, no new change).
+  for (MinuteTime t = sc.tc; t < sc.tc + 61; ++t) {
+    for (auto& [id, stream] : sc.streams) {
+      sc.store.append(id, t, stream->sample(t));
+    }
+    sc.store.append(tsdb::server_metric("s1", "early_kpi"), t,
+                    50.0 + 8.0 + 0.1);
+    for (const char* s : {"s2", "s3", "s4"}) {
+      sc.store.append(tsdb::server_metric(s, "early_kpi"), t, 50.0 - 0.1);
+    }
+  }
+  ASSERT_EQ(reports.size(), 1u);
+  for (const auto& v : reports[0].items) {
+    if (v.metric.kpi == "early_kpi") {
+      EXPECT_NE(v.cause, Cause::kSoftwareChange) << v.metric.to_string();
+    }
+  }
+}
+
+}  // namespace
+}  // namespace funnel::core

@@ -1,0 +1,157 @@
+// Tests for the symmetric Jacobi eigensolver and the tridiagonal QL solver.
+#include <cmath>
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "linalg/svd.h"
+#include "linalg/sym_eigen.h"
+#include "linalg/tridiag.h"
+
+namespace funnel::linalg {
+namespace {
+
+Matrix random_symmetric(std::size_t n, Rng& rng) {
+  Matrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i; j < n; ++j) {
+      const double v = rng.gaussian();
+      m(i, j) = v;
+      m(j, i) = v;
+    }
+  }
+  return m;
+}
+
+void expect_eigen_decomposition(const Matrix& a, const SymEigen& e,
+                                double tol = 1e-9) {
+  // A * q_j == lambda_j * q_j for every pair.
+  for (std::size_t j = 0; j < e.values.size(); ++j) {
+    const Vector q = e.vectors.col(j);
+    const Vector aq = matvec(a, q);
+    for (std::size_t i = 0; i < q.size(); ++i) {
+      EXPECT_NEAR(aq[i], e.values[j] * q[i], tol) << "pair " << j;
+    }
+  }
+}
+
+TEST(SymEigen, DiagonalMatrix) {
+  const Matrix a{{2.0, 0.0, 0.0}, {0.0, 5.0, 0.0}, {0.0, 0.0, -1.0}};
+  const SymEigen e = sym_eigen(a);
+  ASSERT_EQ(e.values.size(), 3u);
+  EXPECT_NEAR(e.values[0], 5.0, 1e-12);
+  EXPECT_NEAR(e.values[1], 2.0, 1e-12);
+  EXPECT_NEAR(e.values[2], -1.0, 1e-12);
+}
+
+TEST(SymEigen, Known2x2) {
+  // Eigenvalues of [[2,1],[1,2]] are 3 and 1.
+  const SymEigen e = sym_eigen(Matrix{{2.0, 1.0}, {1.0, 2.0}});
+  EXPECT_NEAR(e.values[0], 3.0, 1e-12);
+  EXPECT_NEAR(e.values[1], 1.0, 1e-12);
+  expect_eigen_decomposition(Matrix{{2.0, 1.0}, {1.0, 2.0}}, e);
+}
+
+TEST(SymEigen, RequiresSquare) {
+  EXPECT_THROW((void)sym_eigen(Matrix(2, 3)), InvalidArgument);
+}
+
+TEST(SymEigen, TraceAndOrderingProperty) {
+  Rng rng(5);
+  for (int n : {2, 3, 5, 9, 16}) {
+    const Matrix a = random_symmetric(static_cast<std::size_t>(n), rng);
+    const SymEigen e = sym_eigen(a);
+    double trace = 0.0, sum = 0.0;
+    for (int i = 0; i < n; ++i) trace += a(static_cast<std::size_t>(i),
+                                           static_cast<std::size_t>(i));
+    for (double v : e.values) sum += v;
+    EXPECT_NEAR(trace, sum, 1e-9);
+    for (std::size_t i = 1; i < e.values.size(); ++i) {
+      EXPECT_GE(e.values[i - 1], e.values[i]);
+    }
+    expect_eigen_decomposition(a, e);
+  }
+}
+
+TEST(SymEigen, AgreesWithSvdOnGramMatrix) {
+  Rng rng(7);
+  Matrix a(6, 4);
+  for (std::size_t i = 0; i < 6; ++i) {
+    for (std::size_t j = 0; j < 4; ++j) a(i, j) = rng.gaussian();
+  }
+  const Svd s = jacobi_svd(a);
+  const SymEigen e = sym_eigen(gram_cols(a));  // AᵀA
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_NEAR(e.values[i], s.singular_values[i] * s.singular_values[i],
+                1e-8);
+  }
+}
+
+TEST(Tridiagonal, ToDense) {
+  const Tridiagonal t{{1.0, 2.0, 3.0}, {4.0, 5.0}};
+  const Matrix d = t.to_dense();
+  EXPECT_DOUBLE_EQ(d(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(d(0, 1), 4.0);
+  EXPECT_DOUBLE_EQ(d(1, 0), 4.0);
+  EXPECT_DOUBLE_EQ(d(1, 2), 5.0);
+  EXPECT_DOUBLE_EQ(d(0, 2), 0.0);
+}
+
+TEST(TridiagEigen, Known2x2) {
+  const Tridiagonal t{{2.0, 2.0}, {1.0}};
+  const SymEigen e = tridiag_eigen(t);
+  EXPECT_NEAR(e.values[0], 3.0, 1e-12);
+  EXPECT_NEAR(e.values[1], 1.0, 1e-12);
+}
+
+TEST(TridiagEigen, SingleElement) {
+  const Tridiagonal t{{42.0}, {}};
+  const SymEigen e = tridiag_eigen(t);
+  ASSERT_EQ(e.values.size(), 1u);
+  EXPECT_DOUBLE_EQ(e.values[0], 42.0);
+  EXPECT_DOUBLE_EQ(e.vectors(0, 0) * e.vectors(0, 0), 1.0);
+}
+
+TEST(TridiagEigen, RejectsBadSubdiagonal) {
+  EXPECT_THROW((void)tridiag_eigen(Tridiagonal{{1.0, 2.0}, {1.0, 2.0}}),
+               InvalidArgument);
+}
+
+// Property: QL on a random tridiagonal agrees with the dense Jacobi solver.
+class TridiagVsJacobi : public ::testing::TestWithParam<int> {};
+
+TEST_P(TridiagVsJacobi, EigenvaluesAndVectorsMatchDense) {
+  const int n = GetParam();
+  Rng rng(static_cast<std::uint64_t>(n));
+  Tridiagonal t;
+  t.diag.resize(static_cast<std::size_t>(n));
+  t.subdiag.resize(static_cast<std::size_t>(n - 1));
+  for (double& v : t.diag) v = rng.gaussian(0.0, 2.0);
+  for (double& v : t.subdiag) v = rng.gaussian(0.0, 1.0);
+
+  const SymEigen ql = tridiag_eigen(t);
+  const SymEigen dense = sym_eigen(t.to_dense());
+  for (std::size_t i = 0; i < ql.values.size(); ++i) {
+    EXPECT_NEAR(ql.values[i], dense.values[i], 1e-9);
+  }
+  expect_eigen_decomposition(t.to_dense(), ql, 1e-8);
+
+  const Vector values_only = tridiag_eigenvalues(t);
+  for (std::size_t i = 0; i < values_only.size(); ++i) {
+    EXPECT_NEAR(values_only[i], dense.values[i], 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, TridiagVsJacobi,
+                         ::testing::Values(2, 3, 5, 6, 9, 16, 33));
+
+TEST(TridiagEigen, ZeroSubdiagonalIsDiagonal) {
+  const Tridiagonal t{{3.0, 1.0, 2.0}, {0.0, 0.0}};
+  const SymEigen e = tridiag_eigen(t);
+  EXPECT_NEAR(e.values[0], 3.0, 1e-12);
+  EXPECT_NEAR(e.values[1], 2.0, 1e-12);
+  EXPECT_NEAR(e.values[2], 1.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace funnel::linalg

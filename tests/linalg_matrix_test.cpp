@@ -1,0 +1,164 @@
+// Tests for the dense matrix/vector primitives.
+#include "linalg/matrix.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "common/rng.h"
+
+namespace funnel::linalg {
+namespace {
+
+Matrix random_matrix(std::size_t r, std::size_t c, Rng& rng) {
+  Matrix m(r, c);
+  for (std::size_t i = 0; i < r; ++i) {
+    for (std::size_t j = 0; j < c; ++j) m(i, j) = rng.gaussian();
+  }
+  return m;
+}
+
+TEST(Matrix, ConstructionAndIndexing) {
+  Matrix m(2, 3);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  for (std::size_t i = 0; i < 2; ++i) {
+    for (std::size_t j = 0; j < 3; ++j) EXPECT_DOUBLE_EQ(m(i, j), 0.0);
+  }
+  m(1, 2) = 5.0;
+  EXPECT_DOUBLE_EQ(m(1, 2), 5.0);
+}
+
+TEST(Matrix, InitializerList) {
+  const Matrix m{{1.0, 2.0}, {3.0, 4.0}, {5.0, 6.0}};
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_EQ(m.cols(), 2u);
+  EXPECT_DOUBLE_EQ(m(2, 1), 6.0);
+  EXPECT_THROW((Matrix{{1.0, 2.0}, {3.0}}), InvalidArgument);
+}
+
+TEST(Matrix, Identity) {
+  const Matrix i = Matrix::identity(3);
+  for (std::size_t r = 0; r < 3; ++r) {
+    for (std::size_t c = 0; c < 3; ++c) {
+      EXPECT_DOUBLE_EQ(i(r, c), r == c ? 1.0 : 0.0);
+    }
+  }
+}
+
+TEST(Matrix, RowViewAndColCopy) {
+  Matrix m{{1.0, 2.0}, {3.0, 4.0}};
+  const auto row = m.row(1);
+  EXPECT_DOUBLE_EQ(row[0], 3.0);
+  EXPECT_DOUBLE_EQ(row[1], 4.0);
+  const Vector col = m.col(0);
+  EXPECT_EQ(col, (Vector{1.0, 3.0}));
+  m.set_col(1, Vector{7.0, 8.0});
+  EXPECT_DOUBLE_EQ(m(0, 1), 7.0);
+  EXPECT_DOUBLE_EQ(m(1, 1), 8.0);
+}
+
+TEST(Matvec, KnownProduct) {
+  const Matrix m{{1.0, 2.0}, {3.0, 4.0}};
+  EXPECT_EQ(matvec(m, Vector{1.0, 1.0}), (Vector{3.0, 7.0}));
+  EXPECT_EQ(matvec_transposed(m, Vector{1.0, 1.0}), (Vector{4.0, 6.0}));
+}
+
+TEST(Matvec, DimensionChecks) {
+  const Matrix m(2, 3);
+  EXPECT_THROW((void)matvec(m, Vector{1.0, 2.0}), InvalidArgument);
+  EXPECT_THROW((void)matvec_transposed(m, Vector{1.0}), InvalidArgument);
+}
+
+TEST(Matmul, KnownProductAndIdentity) {
+  const Matrix a{{1.0, 2.0}, {3.0, 4.0}};
+  const Matrix b{{5.0, 6.0}, {7.0, 8.0}};
+  const Matrix c = matmul(a, b);
+  EXPECT_DOUBLE_EQ(c(0, 0), 19.0);
+  EXPECT_DOUBLE_EQ(c(0, 1), 22.0);
+  EXPECT_DOUBLE_EQ(c(1, 0), 43.0);
+  EXPECT_DOUBLE_EQ(c(1, 1), 50.0);
+  EXPECT_EQ(matmul(a, Matrix::identity(2)), a);
+  EXPECT_EQ(matmul(Matrix::identity(2), a), a);
+}
+
+TEST(Transpose, Involution) {
+  Rng rng(1);
+  const Matrix a = random_matrix(4, 7, rng);
+  EXPECT_EQ(transpose(transpose(a)), a);
+  EXPECT_EQ(transpose(a).rows(), 7u);
+}
+
+TEST(Gram, MatchesExplicitProducts) {
+  Rng rng(2);
+  const Matrix a = random_matrix(5, 3, rng);
+  EXPECT_LT(max_abs_difference(gram_rows(a), matmul(a, transpose(a))), 1e-12);
+  EXPECT_LT(max_abs_difference(gram_cols(a), matmul(transpose(a), a)), 1e-12);
+}
+
+TEST(DotNorm, Basics) {
+  EXPECT_DOUBLE_EQ(dot(Vector{1.0, 2.0, 3.0}, Vector{4.0, 5.0, 6.0}), 32.0);
+  EXPECT_DOUBLE_EQ(norm2(Vector{3.0, 4.0}), 5.0);
+  EXPECT_THROW((void)dot(Vector{1.0}, Vector{1.0, 2.0}), InvalidArgument);
+}
+
+TEST(Normalize, UnitNormAndZeroVector) {
+  Vector v{3.0, 4.0};
+  EXPECT_DOUBLE_EQ(normalize(v), 5.0);
+  EXPECT_NEAR(norm2(v), 1.0, 1e-15);
+  Vector z{0.0, 0.0};
+  EXPECT_DOUBLE_EQ(normalize(z), 0.0);
+  EXPECT_EQ(z, (Vector{0.0, 0.0}));
+}
+
+TEST(Axpy, AccumulatesScaled) {
+  Vector y{1.0, 1.0};
+  axpy(2.0, Vector{3.0, 4.0}, y);
+  EXPECT_EQ(y, (Vector{7.0, 9.0}));
+}
+
+TEST(Distances, FrobeniusAndMaxAbs) {
+  const Matrix a{{1.0, 2.0}, {3.0, 4.0}};
+  Matrix b = a;
+  b(1, 1) += 3.0;
+  b(0, 0) -= 4.0;
+  EXPECT_DOUBLE_EQ(frobenius_distance(a, b), 5.0);
+  EXPECT_DOUBLE_EQ(max_abs_difference(a, b), 4.0);
+  EXPECT_DOUBLE_EQ(frobenius_distance(a, a), 0.0);
+}
+
+// Property: (A·B)ᵀ == Bᵀ·Aᵀ and matvec agrees with matmul for random shapes.
+class MatrixAlgebraProperty
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(MatrixAlgebraProperty, TransposeOfProductAndMatvecAgreement) {
+  const auto [m, k, n] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(m * 100 + k * 10 + n));
+  const Matrix a = random_matrix(static_cast<std::size_t>(m),
+                                 static_cast<std::size_t>(k), rng);
+  const Matrix b = random_matrix(static_cast<std::size_t>(k),
+                                 static_cast<std::size_t>(n), rng);
+  EXPECT_LT(max_abs_difference(transpose(matmul(a, b)),
+                               matmul(transpose(b), transpose(a))),
+            1e-12);
+  // matvec against matmul with a 1-column matrix.
+  Matrix x(static_cast<std::size_t>(n), 1);
+  Vector xv(static_cast<std::size_t>(n));
+  for (std::size_t i = 0; i < xv.size(); ++i) {
+    xv[i] = rng.gaussian();
+    x(i, 0) = xv[i];
+  }
+  const Matrix abx = matmul(matmul(a, b), x);
+  const Vector abv = matvec(a, matvec(b, xv));
+  for (std::size_t i = 0; i < abv.size(); ++i) {
+    EXPECT_NEAR(abx(i, 0), abv[i], 1e-10);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, MatrixAlgebraProperty,
+    ::testing::Values(std::tuple{2, 3, 4}, std::tuple{5, 5, 5},
+                      std::tuple{1, 7, 2}, std::tuple{9, 2, 9},
+                      std::tuple{6, 1, 3}));
+
+}  // namespace
+}  // namespace funnel::linalg

@@ -1,0 +1,187 @@
+// Cross-module property sweeps: randomized topologies and panels must
+// satisfy structural invariants regardless of the draw.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "common/rng.h"
+#include "did/did.h"
+#include "funnel/impact_set.h"
+
+namespace funnel {
+namespace {
+
+// ---- Impact-set invariants over random topologies and changes. ----
+
+struct RandomDeployment {
+  topology::ServiceTopology topo;
+  changes::ChangeLog log;
+  std::vector<changes::ChangeId> ids;
+};
+
+RandomDeployment random_deployment(std::uint64_t seed) {
+  Rng rng(seed);
+  RandomDeployment d;
+  const int services = static_cast<int>(rng.uniform_int(2, 6));
+  for (int s = 0; s < services; ++s) {
+    const std::string svc = "s" + std::to_string(s);
+    const int servers = static_cast<int>(rng.uniform_int(2, 7));
+    for (int v = 0; v < servers; ++v) {
+      d.topo.add_server(svc, svc + "-h" + std::to_string(v));
+    }
+  }
+  // Random sparse relations.
+  for (int a = 0; a < services; ++a) {
+    for (int b = a + 1; b < services; ++b) {
+      if (rng.bernoulli(0.3)) {
+        d.topo.add_relation("s" + std::to_string(a), "s" + std::to_string(b));
+      }
+    }
+  }
+  // One change per service, dark or full.
+  for (int s = 0; s < services; ++s) {
+    const std::string svc = "s" + std::to_string(s);
+    const auto& servers = d.topo.servers_of(svc);
+    changes::SoftwareChange ch;
+    ch.service = svc;
+    ch.time = 1000 + 200 * s;
+    if (servers.size() >= 2 && rng.bernoulli(0.7)) {
+      ch.mode = changes::LaunchMode::kDark;
+      const auto treated = static_cast<std::size_t>(
+          rng.uniform_int(1, static_cast<std::int64_t>(servers.size()) - 1));
+      ch.servers.assign(servers.begin(),
+                        servers.begin() + static_cast<std::ptrdiff_t>(treated));
+    } else {
+      ch.mode = changes::LaunchMode::kFull;
+      ch.servers = servers;
+    }
+    d.ids.push_back(d.log.record(ch, d.topo));
+  }
+  return d;
+}
+
+class ImpactSetInvariants : public ::testing::TestWithParam<int> {};
+
+TEST_P(ImpactSetInvariants, PartitionAndClosureProperties) {
+  const RandomDeployment d =
+      random_deployment(static_cast<std::uint64_t>(GetParam()));
+  for (changes::ChangeId id : d.ids) {
+    const auto& ch = d.log.get(id);
+    const core::ImpactSet set = core::identify_impact_set(ch, d.topo);
+
+    // tservers + cservers partition the service's servers exactly.
+    std::set<std::string> all(set.tservers.begin(), set.tservers.end());
+    for (const auto& s : set.cservers) {
+      EXPECT_TRUE(all.insert(s).second) << "server in both groups: " << s;
+    }
+    const auto& owned = d.topo.servers_of(ch.service);
+    EXPECT_EQ(all.size(), owned.size());
+
+    // Instances mirror servers 1:1 in both groups.
+    EXPECT_EQ(set.tinstances.size(), set.tservers.size());
+    EXPECT_EQ(set.cinstances.size(), set.cservers.size());
+    for (const auto& inst : set.tinstances) {
+      EXPECT_EQ(topology::parse_instance_name(inst).first, ch.service);
+    }
+
+    // Affected services: never contains the changed service; every member
+    // is reachable, and membership is symmetric (if A affects B, a change
+    // on B affects A).
+    for (const auto& svc : set.affected_services) {
+      EXPECT_NE(svc, ch.service);
+      const auto back = d.topo.affected_services(svc);
+      EXPECT_TRUE(std::find(back.begin(), back.end(), ch.service) !=
+                  back.end())
+          << svc << " not symmetric with " << ch.service;
+    }
+
+    // Launch-mode consistency.
+    EXPECT_EQ(set.dark_launched, ch.dark_launched());
+    EXPECT_EQ(set.has_control_group(), ch.dark_launched());
+
+    // Group derivation: treated/control metric lists are disjoint and stay
+    // within the changed service's entities.
+    const tsdb::MetricId probe =
+        tsdb::server_metric(set.tservers.front(), "cpu");
+    const auto treated = core::treated_group_for(set, probe);
+    const auto control = core::control_group_for(set, probe);
+    std::set<tsdb::MetricId> seen(treated.begin(), treated.end());
+    for (const auto& m : control) {
+      EXPECT_TRUE(seen.insert(m).second);
+    }
+    EXPECT_EQ(treated.size() + control.size(), owned.size());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ImpactSetInvariants, ::testing::Range(1, 13));
+
+// ---- DiD estimator properties over random panels. ----
+
+class DidProperties : public ::testing::TestWithParam<int> {};
+
+TEST_P(DidProperties, EstimatorInvariances) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 131u);
+  const auto nt = static_cast<std::size_t>(rng.uniform_int(2, 6));
+  const auto nc = static_cast<std::size_t>(rng.uniform_int(2, 12));
+  const double effect = rng.uniform(-10.0, 10.0);
+
+  std::vector<double> tp(nt), to(nt), cp(nc), co(nc);
+  for (std::size_t i = 0; i < nt; ++i) {
+    tp[i] = rng.gaussian(50.0, 2.0);
+    to[i] = tp[i] + effect + rng.gaussian(0.0, 0.5);
+  }
+  for (std::size_t i = 0; i < nc; ++i) {
+    cp[i] = rng.gaussian(50.0, 2.0);
+    co[i] = cp[i] + rng.gaussian(0.0, 0.5);
+  }
+  const did::DiDResult base = did::did_from_groups(tp, to, cp, co);
+  EXPECT_NEAR(base.alpha, effect, 2.0);
+  EXPECT_EQ(base.n_treated, nt);
+  EXPECT_EQ(base.n_control, nc);
+
+  // Location invariance: adding a constant to every observation leaves
+  // alpha unchanged.
+  auto shifted = [&](const std::vector<double>& v) {
+    std::vector<double> out = v;
+    for (double& x : out) x += 1000.0;
+    return out;
+  };
+  const did::DiDResult moved = did::did_from_groups(
+      shifted(tp), shifted(to), shifted(cp), shifted(co));
+  EXPECT_NEAR(moved.alpha, base.alpha, 1e-9);
+  EXPECT_NEAR(moved.std_error, base.std_error, 1e-9);
+
+  // Scale equivariance: scaling all data by c scales alpha by c and leaves
+  // the t statistic unchanged.
+  auto scaled = [&](const std::vector<double>& v) {
+    std::vector<double> out = v;
+    for (double& x : out) x *= 3.0;
+    return out;
+  };
+  const did::DiDResult sc =
+      did::did_from_groups(scaled(tp), scaled(to), scaled(cp), scaled(co));
+  EXPECT_NEAR(sc.alpha, 3.0 * base.alpha, 1e-9);
+  if (base.std_error > 0.0) {
+    EXPECT_NEAR(sc.t_stat, base.t_stat, 1e-6);
+  }
+
+  // A common post-period shock on both groups cancels exactly.
+  auto bumped = [&](const std::vector<double>& v) {
+    std::vector<double> out = v;
+    for (double& x : out) x += 77.0;
+    return out;
+  };
+  const did::DiDResult common =
+      did::did_from_groups(tp, bumped(to), cp, bumped(co));
+  EXPECT_NEAR(common.alpha, base.alpha, 1e-9);
+
+  // Swapping the roles negates alpha.
+  const did::DiDResult swapped = did::did_from_groups(cp, co, tp, to);
+  EXPECT_NEAR(swapped.alpha, -base.alpha, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DidProperties, ::testing::Range(1, 16));
+
+}  // namespace
+}  // namespace funnel

@@ -1,0 +1,135 @@
+// Tests for the service/server/instance model and impact-scope relations
+// (§3.1, Fig. 4).
+#include "topology/topology.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace funnel::topology {
+namespace {
+
+TEST(InstanceName, RoundTrip) {
+  const std::string n = instance_name("search.web", "host-17");
+  EXPECT_EQ(n, "search.web@host-17");
+  const auto [svc, srv] = parse_instance_name(n);
+  EXPECT_EQ(svc, "search.web");
+  EXPECT_EQ(srv, "host-17");
+}
+
+TEST(InstanceName, ParseRejectsMalformed) {
+  EXPECT_THROW((void)parse_instance_name("no-separator"), InvalidArgument);
+  EXPECT_THROW((void)parse_instance_name("@host"), InvalidArgument);
+  EXPECT_THROW((void)parse_instance_name("svc@"), InvalidArgument);
+}
+
+TEST(ServiceTopology, AddServiceIdempotent) {
+  ServiceTopology t;
+  t.add_service("a");
+  t.add_service("a");
+  EXPECT_EQ(t.service_count(), 1u);
+  EXPECT_TRUE(t.has_service("a"));
+  EXPECT_FALSE(t.has_service("b"));
+  EXPECT_THROW(t.add_service(""), InvalidArgument);
+}
+
+TEST(ServiceTopology, ServersAndInstances) {
+  ServiceTopology t;
+  t.add_server("svc", "h1");
+  t.add_server("svc", "h2");
+  EXPECT_EQ(t.servers_of("svc"), (std::vector<std::string>{"h1", "h2"}));
+  EXPECT_EQ(t.instances_of("svc"),
+            (std::vector<std::string>{"svc@h1", "svc@h2"}));
+  EXPECT_EQ(t.service_of_server("h1"), "svc");
+  EXPECT_EQ(t.server_count(), 2u);
+}
+
+TEST(ServiceTopology, ServerDedicatedToOneService) {
+  ServiceTopology t;
+  t.add_server("a", "h1");
+  t.add_server("a", "h1");  // same owner: fine
+  EXPECT_EQ(t.servers_of("a").size(), 1u);
+  EXPECT_THROW(t.add_server("b", "h1"), InvalidArgument);
+}
+
+TEST(ServiceTopology, LookupErrors) {
+  ServiceTopology t;
+  EXPECT_THROW((void)t.servers_of("none"), NotFound);
+  EXPECT_THROW((void)t.service_of_server("none"), NotFound);
+  EXPECT_THROW((void)t.related_to("none"), NotFound);
+  EXPECT_THROW((void)t.affected_services("none"), InvalidArgument);
+}
+
+TEST(ServiceTopology, RelationsAreSymmetric) {
+  ServiceTopology t;
+  t.add_relation("a", "b");
+  EXPECT_EQ(t.related_to("a"), (std::vector<std::string>{"b"}));
+  EXPECT_EQ(t.related_to("b"), (std::vector<std::string>{"a"}));
+  EXPECT_THROW(t.add_relation("a", "a"), InvalidArgument);
+}
+
+TEST(ServiceTopology, AffectedServicesIsFigure4Closure) {
+  // Fig. 4: A related to B and D; B related to C
+  // => affected services of a change on A are {B, C, D}.
+  ServiceTopology t;
+  t.add_relation("A", "B");
+  t.add_relation("A", "D");
+  t.add_relation("B", "C");
+  EXPECT_EQ(t.affected_services("A"),
+            (std::vector<std::string>{"B", "C", "D"}));
+  // From C the closure reaches everything through B.
+  EXPECT_EQ(t.affected_services("C"),
+            (std::vector<std::string>{"A", "B", "D"}));
+}
+
+TEST(ServiceTopology, IsolatedServiceHasNoAffected) {
+  ServiceTopology t;
+  t.add_service("alone");
+  EXPECT_TRUE(t.affected_services("alone").empty());
+  EXPECT_TRUE(t.related_to("alone").empty());
+}
+
+TEST(ServiceTopology, DisconnectedComponentsStaySeparate) {
+  ServiceTopology t;
+  t.add_relation("a", "b");
+  t.add_relation("x", "y");
+  EXPECT_EQ(t.affected_services("a"), (std::vector<std::string>{"b"}));
+  EXPECT_EQ(t.affected_services("x"), (std::vector<std::string>{"y"}));
+}
+
+TEST(ServiceTopology, DeriveRelationsFromNames) {
+  // The paper: service names encode the hierarchy; FUNNEL derives the
+  // relationships from the naming rules.
+  ServiceTopology t;
+  t.add_service("search");
+  t.add_service("search.web");
+  t.add_service("search.web.frontend");
+  t.add_service("search.ads");
+  t.add_service("mail");  // unrelated root
+  t.derive_relations_from_names();
+  EXPECT_EQ(t.related_to("search"),
+            (std::vector<std::string>{"search.ads", "search.web"}));
+  EXPECT_EQ(t.related_to("search.web"),
+            (std::vector<std::string>{"search", "search.web.frontend"}));
+  EXPECT_TRUE(t.related_to("mail").empty());
+  // Closure from the leaf climbs to every search service.
+  EXPECT_EQ(t.affected_services("search.web.frontend"),
+            (std::vector<std::string>{"search", "search.ads", "search.web"}));
+}
+
+TEST(ServiceTopology, DeriveSkipsMissingParents) {
+  ServiceTopology t;
+  t.add_service("a.b.c");  // neither "a" nor "a.b" registered
+  t.derive_relations_from_names();
+  EXPECT_TRUE(t.related_to("a.b.c").empty());
+}
+
+TEST(ServiceTopology, ServicesListsAll) {
+  ServiceTopology t;
+  t.add_service("b");
+  t.add_service("a");
+  EXPECT_EQ(t.services(), (std::vector<std::string>{"a", "b"}));
+}
+
+}  // namespace
+}  // namespace funnel::topology

@@ -1,0 +1,121 @@
+// Tests for the CSV / snapshot serialization of series and stores.
+#include "tsdb/io.h"
+
+#include <cmath>
+#include <gtest/gtest.h>
+#include <sstream>
+
+#include "common/error.h"
+
+namespace funnel::tsdb {
+namespace {
+
+TEST(SeriesCsv, RoundTrip) {
+  TimeSeries s(100, {1.5, 2.5, 3.5});
+  std::ostringstream out;
+  write_series_csv(out, s);
+  std::istringstream in(out.str());
+  const TimeSeries back = read_series_csv(in);
+  EXPECT_EQ(back.start_time(), 100);
+  ASSERT_EQ(back.size(), 3u);
+  EXPECT_DOUBLE_EQ(back.at(101), 2.5);
+}
+
+TEST(SeriesCsv, GapsRoundTripAsNan) {
+  TimeSeries s(0, {1.0, std::nan(""), 3.0});
+  std::ostringstream out;
+  write_series_csv(out, s);
+  std::istringstream in(out.str());
+  const TimeSeries back = read_series_csv(in);
+  ASSERT_EQ(back.size(), 3u);
+  EXPECT_TRUE(std::isnan(back.at(1)));
+  EXPECT_DOUBLE_EQ(back.at(2), 3.0);
+}
+
+TEST(SeriesCsv, ParsesWithoutHeaderAndWithComments) {
+  std::istringstream in("# exported KPI\n5,1.0\n6,2.0\n\n8,4.0\n");
+  const TimeSeries s = read_series_csv(in);
+  EXPECT_EQ(s.start_time(), 5);
+  EXPECT_EQ(s.size(), 4u);      // minute 7 filled as a gap
+  EXPECT_TRUE(std::isnan(s.at(7)));
+  EXPECT_DOUBLE_EQ(s.at(8), 4.0);
+}
+
+TEST(SeriesCsv, AcceptsNanLiteralAndCrLf) {
+  std::istringstream in("minute,value\r\n0,1.0\r\n1,nan\r\n");
+  const TimeSeries s = read_series_csv(in);
+  ASSERT_EQ(s.size(), 2u);
+  EXPECT_TRUE(std::isnan(s.at(1)));
+}
+
+TEST(SeriesCsv, RejectsMalformedRows) {
+  {
+    std::istringstream in("0,1.0,extra\n");
+    EXPECT_THROW((void)read_series_csv(in), InvalidArgument);
+  }
+  {
+    std::istringstream in("zero,1.0\n");
+    EXPECT_THROW((void)read_series_csv(in), InvalidArgument);
+  }
+  {
+    std::istringstream in("0,not-a-number\n");
+    EXPECT_THROW((void)read_series_csv(in), InvalidArgument);
+  }
+  {
+    std::istringstream in("5,1.0\n4,1.0\n");  // decreasing minutes
+    EXPECT_THROW((void)read_series_csv(in), InvalidArgument);
+  }
+}
+
+TEST(SeriesCsv, EmptyInputGivesEmptySeries) {
+  std::istringstream in("minute,value\n");
+  EXPECT_TRUE(read_series_csv(in).empty());
+}
+
+TEST(SeriesCsv, FileErrorsThrowNotFound) {
+  EXPECT_THROW((void)load_series_csv("/no/such/dir/x.csv"), NotFound);
+  EXPECT_THROW(save_series_csv("/no/such/dir/x.csv", TimeSeries(0)),
+               NotFound);
+}
+
+TEST(StoreSnapshot, RoundTripsAllKindsAndGaps) {
+  MetricStore store;
+  store.insert(server_metric("web-1", "cpu"), TimeSeries(10, {1.0, 2.0}));
+  store.insert(instance_metric("svc@web-1", "pvc"),
+               TimeSeries(0, {5.0, std::nan(""), 7.0}));
+  store.insert(service_metric("svc", "pvc"), TimeSeries(3, {9.0}));
+
+  std::ostringstream out;
+  write_store(out, store);
+
+  MetricStore back;
+  std::istringstream in(out.str());
+  read_store(in, back);
+  EXPECT_EQ(back.metric_count(), 3u);
+  EXPECT_EQ(back.series(server_metric("web-1", "cpu")).start_time(), 10);
+  EXPECT_TRUE(
+      std::isnan(back.series(instance_metric("svc@web-1", "pvc")).at(1)));
+  EXPECT_DOUBLE_EQ(back.series(service_metric("svc", "pvc")).at(3), 9.0);
+}
+
+TEST(StoreSnapshot, RejectsWrongMagicAndTruncation) {
+  {
+    MetricStore store;
+    std::istringstream in("not a snapshot\n");
+    EXPECT_THROW(read_store(in, store), InvalidArgument);
+  }
+  {
+    MetricStore store;
+    std::istringstream in(
+        "# funnel-store-v1\n# metric server web cpu 0 3\n1.0\n2.0\n");
+    EXPECT_THROW(read_store(in, store), InvalidArgument);
+  }
+  {
+    MetricStore store;
+    std::istringstream in("# funnel-store-v1\n# metric gizmo web cpu 0 0\n");
+    EXPECT_THROW(read_store(in, store), InvalidArgument);
+  }
+}
+
+}  // namespace
+}  // namespace funnel::tsdb

@@ -1,0 +1,118 @@
+// Tests for the 1-minute-binned TimeSeries and aggregation.
+#include "tsdb/series.h"
+
+#include <cmath>
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace funnel::tsdb {
+namespace {
+
+TEST(TimeSeries, StartEndAndAppend) {
+  TimeSeries s(100);
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.start_time(), 100);
+  EXPECT_EQ(s.end_time(), 100);
+  s.append(1.0);
+  s.append(2.0);
+  EXPECT_EQ(s.size(), 2u);
+  EXPECT_EQ(s.end_time(), 102);
+  EXPECT_DOUBLE_EQ(s.at(100), 1.0);
+  EXPECT_DOUBLE_EQ(s.at(101), 2.0);
+}
+
+TEST(TimeSeries, AtValidatesRange) {
+  TimeSeries s(10, {1.0, 2.0});
+  EXPECT_THROW((void)s.at(9), InvalidArgument);
+  EXPECT_THROW((void)s.at(12), InvalidArgument);
+  EXPECT_TRUE(s.contains(11));
+  EXPECT_FALSE(s.contains(12));
+}
+
+TEST(TimeSeries, AppendAtFillsGapsWithNan) {
+  TimeSeries s(0);
+  s.append_at(0, 1.0);
+  s.append_at(3, 2.0);  // minutes 1, 2 become NaN
+  EXPECT_EQ(s.size(), 4u);
+  EXPECT_TRUE(std::isnan(s.at(1)));
+  EXPECT_TRUE(std::isnan(s.at(2)));
+  EXPECT_DOUBLE_EQ(s.at(3), 2.0);
+}
+
+TEST(TimeSeries, AppendAtRejectsPast) {
+  TimeSeries s(0);
+  s.append_at(0, 1.0);
+  s.append_at(1, 2.0);
+  EXPECT_THROW(s.append_at(1, 3.0), InvalidArgument);
+  EXPECT_THROW(s.append_at(0, 3.0), InvalidArgument);
+}
+
+TEST(TimeSeries, FirstExplicitAppendDefinesStart) {
+  TimeSeries s(0);
+  s.append_at(500, 9.0);
+  EXPECT_EQ(s.start_time(), 500);
+  EXPECT_DOUBLE_EQ(s.at(500), 9.0);
+}
+
+TEST(TimeSeries, ViewAndSlice) {
+  TimeSeries s(10, {1.0, 2.0, 3.0, 4.0});
+  const auto v = s.view(11, 13);
+  ASSERT_EQ(v.size(), 2u);
+  EXPECT_DOUBLE_EQ(v[0], 2.0);
+  EXPECT_DOUBLE_EQ(v[1], 3.0);
+  EXPECT_EQ(s.slice(10, 14), (std::vector<double>{1.0, 2.0, 3.0, 4.0}));
+  EXPECT_THROW((void)s.view(9, 12), InvalidArgument);
+  EXPECT_THROW((void)s.view(12, 15), InvalidArgument);
+  EXPECT_TRUE(s.slice(12, 12).empty());
+}
+
+TEST(TimeSeries, CoversAndClean) {
+  TimeSeries s(0, {1.0, std::nan(""), 3.0});
+  EXPECT_TRUE(s.covers(0, 3));
+  EXPECT_FALSE(s.covers(0, 4));
+  EXPECT_TRUE(s.clean(0, 1));
+  EXPECT_FALSE(s.clean(0, 2));
+  EXPECT_TRUE(s.clean(2, 3));
+  EXPECT_FALSE(s.clean(0, 4));  // not covered
+}
+
+TEST(AggregateMean, AveragesOverlappingSeries) {
+  const TimeSeries a(0, {1.0, 2.0, 3.0});
+  const TimeSeries b(0, {3.0, 4.0, 5.0});
+  const std::vector<const TimeSeries*> parts{&a, &b};
+  const TimeSeries m = aggregate_mean(parts, 0, 3);
+  EXPECT_DOUBLE_EQ(m.at(0), 2.0);
+  EXPECT_DOUBLE_EQ(m.at(1), 3.0);
+  EXPECT_DOUBLE_EQ(m.at(2), 4.0);
+}
+
+TEST(AggregateMean, SkipsMissingMinutesAndNan) {
+  const TimeSeries a(0, {1.0, std::nan(""), 3.0});
+  const TimeSeries b(1, {10.0, 20.0});  // covers minutes 1, 2
+  const std::vector<const TimeSeries*> parts{&a, &b};
+  const TimeSeries m = aggregate_mean(parts, 0, 4);
+  EXPECT_DOUBLE_EQ(m.at(0), 1.0);    // only a
+  EXPECT_DOUBLE_EQ(m.at(1), 10.0);   // a is NaN here
+  EXPECT_DOUBLE_EQ(m.at(2), 11.5);   // both
+  EXPECT_TRUE(std::isnan(m.at(3)));  // nobody
+}
+
+TEST(AggregateMean, NullPointersIgnored) {
+  const TimeSeries a(0, {2.0});
+  const std::vector<const TimeSeries*> parts{nullptr, &a};
+  const TimeSeries m = aggregate_mean(parts, 0, 1);
+  EXPECT_DOUBLE_EQ(m.at(0), 2.0);
+}
+
+TEST(AggregateMean, EmptyInputsProduceNan) {
+  const std::vector<const TimeSeries*> parts;
+  const TimeSeries m = aggregate_mean(parts, 5, 7);
+  EXPECT_EQ(m.start_time(), 5);
+  EXPECT_EQ(m.size(), 2u);
+  EXPECT_TRUE(std::isnan(m.at(5)));
+  EXPECT_THROW((void)aggregate_mean(parts, 7, 5), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace funnel::tsdb

@@ -1,0 +1,234 @@
+// Tests for the synthetic KPI generators, effect injectors, shared shocks
+// and stream composition.
+#include <cmath>
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "common/stats.h"
+#include "tsdb/store.h"
+#include "workload/effects.h"
+#include "workload/generators.h"
+#include "workload/shock.h"
+#include "workload/stream.h"
+
+namespace funnel::workload {
+namespace {
+
+std::vector<double> sample_range(KpiGenerator& g, MinuteTime t0,
+                                 MinuteTime t1) {
+  std::vector<double> out;
+  for (MinuteTime t = t0; t < t1; ++t) out.push_back(g.sample(t));
+  return out;
+}
+
+TEST(SeasonalGenerator, DailyPatternRepeats) {
+  SeasonalParams p;
+  p.noise_sigma = 0.0;
+  p.weekly_amplitude = 0.0;
+  auto g = make_seasonal(p, Rng(1));
+  EXPECT_EQ(g->kpi_class(), tsdb::KpiClass::kSeasonal);
+  // Noise-free daily signal is 1440-periodic.
+  for (MinuteTime t : {0, 100, 720, 1000}) {
+    EXPECT_NEAR(g->sample(t), g->sample(t + kMinutesPerDay), 1e-9);
+  }
+}
+
+TEST(SeasonalGenerator, AmplitudeIsVisible) {
+  SeasonalParams p;
+  p.base = 100.0;
+  p.daily_amplitude = 40.0;
+  p.noise_sigma = 0.5;
+  auto g = make_seasonal(p, Rng(2));
+  const std::vector<double> day = sample_range(*g, 0, kMinutesPerDay);
+  EXPECT_GT(max_value(day) - min_value(day), 60.0);
+  EXPECT_NEAR(mean(day), 100.0, 5.0);
+}
+
+TEST(StationaryGenerator, MeanAndSpread) {
+  StationaryParams p;
+  p.level = 50.0;
+  p.noise_sigma = 1.0;
+  auto g = make_stationary(p, Rng(3));
+  EXPECT_EQ(g->kpi_class(), tsdb::KpiClass::kStationary);
+  const std::vector<double> xs = sample_range(*g, 0, 5000);
+  EXPECT_NEAR(mean(xs), 50.0, 0.1);
+  EXPECT_NEAR(stddev(xs), 1.0, 0.1);
+}
+
+TEST(VariableGenerator, IsAutocorrelated) {
+  VariableParams p;
+  p.ar_coefficient = 0.8;
+  p.burst_sigma = 10.0;
+  p.spike_rate = 0.0;  // isolate the AR component
+  auto g = make_variable(p, Rng(4));
+  EXPECT_EQ(g->kpi_class(), tsdb::KpiClass::kVariable);
+  const std::vector<double> xs = sample_range(*g, 0, 20000);
+  std::vector<double> a(xs.begin(), xs.end() - 1);
+  std::vector<double> b(xs.begin() + 1, xs.end());
+  EXPECT_GT(correlation(a, b), 0.7);
+}
+
+TEST(VariableGenerator, ProducesSpikes) {
+  VariableParams p;
+  p.ar_coefficient = 0.5;
+  p.burst_sigma = 5.0;
+  p.spike_rate = 0.02;
+  p.spike_scale = 100.0;
+  auto g = make_variable(p, Rng(4));
+  const std::vector<double> xs = sample_range(*g, 0, 20000);
+  const double marginal = 5.0 / std::sqrt(1.0 - 0.25);
+  int extreme = 0;
+  for (double x : xs) {
+    if (std::abs(x - 200.0) > 8.0 * marginal) ++extreme;
+  }
+  EXPECT_GT(extreme, 10);
+}
+
+TEST(VariableGenerator, RejectsBadArCoefficient) {
+  VariableParams p;
+  p.ar_coefficient = 1.0;
+  EXPECT_THROW((void)make_variable(p, Rng(5)), InvalidArgument);
+}
+
+TEST(Generators, DefaultFactoryMatchesClass) {
+  for (auto cls : {tsdb::KpiClass::kSeasonal, tsdb::KpiClass::kStationary,
+                   tsdb::KpiClass::kVariable}) {
+    EXPECT_EQ(make_default(cls, Rng(6))->kpi_class(), cls);
+  }
+}
+
+TEST(Generators, SameSeedReproduces) {
+  auto a = make_default(tsdb::KpiClass::kVariable, Rng(7));
+  auto b = make_default(tsdb::KpiClass::kVariable, Rng(7));
+  for (MinuteTime t = 0; t < 100; ++t) {
+    EXPECT_DOUBLE_EQ(a->sample(t), b->sample(t));
+  }
+}
+
+TEST(Effects, LevelShiftStep) {
+  const Effect e = LevelShift{100, 5.0};
+  EXPECT_DOUBLE_EQ(effect_value(e, 99), 0.0);
+  EXPECT_DOUBLE_EQ(effect_value(e, 100), 5.0);
+  EXPECT_DOUBLE_EQ(effect_value(e, 10000), 5.0);
+  EXPECT_EQ(effect_start(e), 100);
+  EXPECT_TRUE(is_persistent(e));
+}
+
+TEST(Effects, RampInterpolatesLinearly) {
+  const Effect e = Ramp{100, 120, 10.0};
+  EXPECT_DOUBLE_EQ(effect_value(e, 99), 0.0);
+  EXPECT_DOUBLE_EQ(effect_value(e, 100), 0.0);
+  EXPECT_DOUBLE_EQ(effect_value(e, 110), 5.0);
+  EXPECT_DOUBLE_EQ(effect_value(e, 120), 10.0);
+  EXPECT_DOUBLE_EQ(effect_value(e, 500), 10.0);
+  EXPECT_TRUE(is_persistent(e));
+}
+
+TEST(Effects, DegenerateRampActsAsShift) {
+  const Effect e = Ramp{100, 100, 3.0};
+  EXPECT_DOUBLE_EQ(effect_value(e, 100), 3.0);
+}
+
+TEST(Effects, TransientSpikeReturnsToBaseline) {
+  const Effect e = TransientSpike{100, 3, -4.0};
+  EXPECT_DOUBLE_EQ(effect_value(e, 99), 0.0);
+  EXPECT_DOUBLE_EQ(effect_value(e, 100), -4.0);
+  EXPECT_DOUBLE_EQ(effect_value(e, 102), -4.0);
+  EXPECT_DOUBLE_EQ(effect_value(e, 103), 0.0);
+  EXPECT_FALSE(is_persistent(e));
+}
+
+TEST(EffectTimeline, SumsContributions) {
+  EffectTimeline tl;
+  tl.add(LevelShift{10, 2.0});
+  tl.add(Ramp{10, 20, 10.0});
+  EXPECT_DOUBLE_EQ(tl.value_at(9), 0.0);
+  EXPECT_DOUBLE_EQ(tl.value_at(15), 2.0 + 5.0);
+  EXPECT_DOUBLE_EQ(tl.value_at(100), 12.0);
+  EXPECT_EQ(tl.effects().size(), 2u);
+}
+
+TEST(Shocks, EventShockShape) {
+  const SharedShock s = make_event_shock(100, 10, 8.0);
+  EXPECT_DOUBLE_EQ(s->value_at(99), 0.0);
+  EXPECT_DOUBLE_EQ(s->value_at(110), 0.0);
+  EXPECT_NEAR(s->value_at(105), 8.0, 0.5);  // peak mid-bump
+  EXPECT_GE(s->value_at(101), 0.0);
+  EXPECT_EQ(s->start(), 100);
+  EXPECT_EQ(s->end(), 110);
+}
+
+TEST(Shocks, AttackShockSustained) {
+  const SharedShock s = make_attack_shock(0, 50, 10.0, Rng(8));
+  for (MinuteTime t = 0; t < 50; ++t) {
+    EXPECT_GE(s->value_at(t), 8.0 - 1e-9);
+    EXPECT_LE(s->value_at(t), 12.0 + 1e-9);
+  }
+  EXPECT_DOUBLE_EQ(s->value_at(50), 0.0);
+}
+
+TEST(Shocks, DriftIsCumulative) {
+  const SharedShock s = make_drift_shock(0, 1000, 1.0, Rng(9));
+  // A random walk wanders: end magnitude typically >> step sigma.
+  double m = 0.0;
+  for (MinuteTime t = 0; t < 1000; ++t) {
+    m = std::max(m, std::abs(s->value_at(t)));
+  }
+  EXPECT_GT(m, 5.0);
+  EXPECT_THROW((void)make_event_shock(0, 0, 1.0), InvalidArgument);
+}
+
+TEST(KpiStream, ComposesGeneratorEffectsAndShocks) {
+  StationaryParams p;
+  p.level = 10.0;
+  p.noise_sigma = 0.0;
+  KpiStream s(make_stationary(p, Rng(10)));
+  s.add_effect(LevelShift{5, 3.0});
+  s.add_shock(make_event_shock(100, 10, 4.0));
+  EXPECT_DOUBLE_EQ(s.sample(0), 10.0);
+  EXPECT_DOUBLE_EQ(s.sample(5), 13.0);
+  EXPECT_NEAR(s.sample(105), 13.0 + 4.0, 0.5);
+  EXPECT_EQ(s.kpi_class(), tsdb::KpiClass::kStationary);
+}
+
+TEST(KpiStream, SharedShockIdenticalAcrossStreams) {
+  // The same SharedShock on two streams contributes identically — the
+  // common-mode property the DiD step relies on.
+  StationaryParams p;
+  p.noise_sigma = 0.0;
+  const SharedShock shock = make_attack_shock(10, 20, 6.0, Rng(11));
+  KpiStream a(make_stationary(p, Rng(12)));
+  KpiStream b(make_stationary(p, Rng(13)));
+  a.add_shock(shock);
+  b.add_shock(shock);
+  for (MinuteTime t = 0; t < 40; ++t) {
+    EXPECT_DOUBLE_EQ(a.sample(t), b.sample(t));
+  }
+}
+
+TEST(KpiStream, RejectsNulls) {
+  EXPECT_THROW(KpiStream(nullptr), InvalidArgument);
+  KpiStream s(make_default(tsdb::KpiClass::kStationary, Rng(14)));
+  EXPECT_THROW(s.add_shock(nullptr), InvalidArgument);
+}
+
+TEST(Materialize, FillsStoreRange) {
+  KpiStream s(make_default(tsdb::KpiClass::kStationary, Rng(15)));
+  tsdb::MetricStore store;
+  const tsdb::MetricId id = tsdb::server_metric("h", "mem");
+  materialize(s, store, id, 100, 160);
+  const tsdb::TimeSeries& ts = store.series(id);
+  EXPECT_EQ(ts.start_time(), 100);
+  EXPECT_EQ(ts.size(), 60u);
+  EXPECT_TRUE(ts.clean(100, 160));
+}
+
+TEST(Render, ProducesRequestedLength) {
+  KpiStream s(make_default(tsdb::KpiClass::kSeasonal, Rng(16)));
+  EXPECT_EQ(render(s, 0, 100).size(), 100u);
+  EXPECT_TRUE(render(s, 5, 5).empty());
+  EXPECT_THROW((void)render(s, 5, 4), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace funnel::workload

@@ -1,0 +1,177 @@
+// funnel_detect_csv — run a FUNNEL change detector on a CSV time series.
+//
+// Usage:
+//   funnel_detect_csv <series.csv> [--method ika|improved|classic|cusum|mrls]
+//                     [--threshold X] [--persistence N] [--patience N]
+//                     [--omega N] [--scores]
+//
+// Input: `minute,value` rows (one sample per minute; empty value = gap).
+// Output: alarm episodes (minute, peak score) on stdout; with --scores the
+// full per-window score series is printed instead (gnuplot-ready).
+//
+// This is the "bring your own KPI" entry point: export any metric from your
+// monitoring system and see what FUNNEL's detector family thinks of it.
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+
+#include "common/error.h"
+#include "detect/classic_sst.h"
+#include "detect/cusum.h"
+#include "detect/ika_sst.h"
+#include "detect/improved_sst.h"
+#include "detect/mrls.h"
+#include "detect/sliding.h"
+#include "tsdb/io.h"
+
+using namespace funnel;
+
+namespace {
+
+void usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s <series.csv> [--method ika|improved|classic|cusum|mrls]\n"
+      "          [--threshold X] [--persistence N] [--patience N]\n"
+      "          [--omega N] [--scores]\n",
+      argv0);
+}
+
+struct Options {
+  std::string path;
+  std::string method = "ika";
+  double threshold = 0.35;
+  bool threshold_set = false;
+  std::size_t persistence = 7;
+  std::size_t patience = 10;
+  std::size_t omega = 9;
+  bool print_scores = false;
+};
+
+bool parse(int argc, char** argv, Options& opt) {
+  if (argc < 2) return false;
+  opt.path = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto next = [&](double* d, std::size_t* z) {
+      if (++i >= argc) return false;
+      if (d != nullptr) *d = std::atof(argv[i]);
+      if (z != nullptr) *z = static_cast<std::size_t>(std::atoll(argv[i]));
+      return true;
+    };
+    if (a == "--method") {
+      if (++i >= argc) return false;
+      opt.method = argv[i];
+    } else if (a == "--threshold") {
+      if (!next(&opt.threshold, nullptr)) return false;
+      opt.threshold_set = true;
+    } else if (a == "--persistence") {
+      if (!next(nullptr, &opt.persistence)) return false;
+    } else if (a == "--patience") {
+      if (!next(nullptr, &opt.patience)) return false;
+    } else if (a == "--omega") {
+      if (!next(nullptr, &opt.omega)) return false;
+    } else if (a == "--scores") {
+      opt.print_scores = true;
+    } else {
+      std::fprintf(stderr, "unknown option: %s\n", a.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+std::unique_ptr<detect::ChangeScorer> make_scorer(const Options& opt,
+                                                  double* default_thr) {
+  const detect::SstGeometry g{.omega = opt.omega, .eta = 3};
+  if (opt.method == "ika") {
+    *default_thr = 0.35;
+    return std::make_unique<detect::IkaSst>(g);
+  }
+  if (opt.method == "improved") {
+    *default_thr = 0.4;
+    return std::make_unique<detect::ImprovedSst>(g);
+  }
+  if (opt.method == "classic") {
+    *default_thr = 0.95;
+    return std::make_unique<detect::ClassicSst>(g);
+  }
+  if (opt.method == "cusum") {
+    *default_thr = 70.0;
+    return std::make_unique<detect::Cusum>(detect::CusumParams{});
+  }
+  if (opt.method == "mrls") {
+    *default_thr = 7.0;
+    return std::make_unique<detect::Mrls>(detect::MrlsParams{});
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  if (!parse(argc, argv, opt)) {
+    usage(argv[0]);
+    return 2;
+  }
+  try {
+    const tsdb::TimeSeries series = tsdb::load_series_csv(opt.path);
+    if (series.empty()) {
+      std::fprintf(stderr, "no samples in %s\n", opt.path.c_str());
+      return 1;
+    }
+    double default_thr = 0.35;
+    const auto scorer = make_scorer(opt, &default_thr);
+    if (scorer == nullptr) {
+      std::fprintf(stderr, "unknown method: %s\n", opt.method.c_str());
+      return 2;
+    }
+    if (!opt.threshold_set) opt.threshold = default_thr;
+
+    const auto scores = detect::score_series(*scorer, series.values());
+    if (scores.empty()) {
+      std::fprintf(stderr,
+                   "series too short: %zu samples < window %zu\n",
+                   series.size(), scorer->window_size());
+      return 1;
+    }
+
+    if (opt.print_scores) {
+      std::printf("# minute score  (method=%s window=%zu)\n",
+                  scorer->name(), scorer->window_size());
+      for (std::size_t i = 0; i < scores.size(); ++i) {
+        std::printf("%lld %.6f\n",
+                    static_cast<long long>(series.start_time()) +
+                        static_cast<long long>(i + scorer->window_size() - 1),
+                    scores[i]);
+      }
+      return 0;
+    }
+
+    const detect::AlarmPolicy policy{
+        .threshold = opt.threshold,
+        .persistence = opt.persistence,
+        .patience = std::max(opt.patience, opt.persistence)};
+    const auto alarms = detect::all_alarms(
+        scores, scorer->window_size(), series.start_time(), policy);
+    const auto episodes = detect::alarm_episodes(alarms, 30);
+    std::printf("# %zu samples, method=%s, threshold=%.3f, "
+                "persistence=%zu/%zu\n",
+                series.size(), scorer->name(), opt.threshold,
+                opt.persistence, std::max(opt.patience, opt.persistence));
+    if (episodes.empty()) {
+      std::printf("no behavior changes detected\n");
+      return 0;
+    }
+    for (const auto& e : episodes) {
+      std::printf("change episode at minute %lld (peak score %.3f)\n",
+                  static_cast<long long>(e.minute), e.peak_score);
+    }
+    return 0;
+  } catch (const funnel::Error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

@@ -1,0 +1,138 @@
+// funnel_generate — synthesize a KPI time series as CSV.
+//
+// Usage:
+//   funnel_generate --class seasonal|stationary|variable [--minutes N]
+//                   [--seed S] [--shift T,DELTA] [--ramp T0,T1,DELTA]
+//                   [--spike T,DUR,DELTA] [--out FILE]
+//
+// Companion of funnel_detect_csv: produce a synthetic KPI with known
+// injected changes, feed it to the detector, check what comes back.
+// Effects may be repeated (e.g. two --shift options).
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "common/error.h"
+#include "common/strings.h"
+#include "tsdb/io.h"
+#include "workload/effects.h"
+#include "workload/generators.h"
+#include "workload/stream.h"
+
+using namespace funnel;
+
+namespace {
+
+void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s --class seasonal|stationary|variable\n"
+               "          [--minutes N] [--seed S] [--shift T,DELTA]\n"
+               "          [--ramp T0,T1,DELTA] [--spike T,DUR,DELTA]\n"
+               "          [--out FILE]\n",
+               argv0);
+}
+
+bool parse_numbers(const std::string& arg, std::vector<double>& out,
+                   std::size_t expected) {
+  out.clear();
+  for (const std::string& f : split(arg, ',')) {
+    try {
+      out.push_back(std::stod(f));
+    } catch (const std::exception&) {
+      return false;
+    }
+  }
+  return out.size() == expected;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string cls;
+  MinuteTime minutes = 1440;
+  std::uint64_t seed = 1;
+  std::string out_path;
+  std::vector<workload::Effect> effects;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto value = [&]() -> const char* {
+      return ++i < argc ? argv[i] : nullptr;
+    };
+    std::vector<double> nums;
+    if (a == "--class") {
+      const char* v = value();
+      if (v == nullptr) return usage(argv[0]), 2;
+      cls = v;
+    } else if (a == "--minutes") {
+      const char* v = value();
+      if (v == nullptr) return usage(argv[0]), 2;
+      minutes = std::atoll(v);
+    } else if (a == "--seed") {
+      const char* v = value();
+      if (v == nullptr) return usage(argv[0]), 2;
+      seed = static_cast<std::uint64_t>(std::atoll(v));
+    } else if (a == "--out") {
+      const char* v = value();
+      if (v == nullptr) return usage(argv[0]), 2;
+      out_path = v;
+    } else if (a == "--shift") {
+      const char* v = value();
+      if (v == nullptr || !parse_numbers(v, nums, 2)) {
+        return usage(argv[0]), 2;
+      }
+      effects.push_back(workload::LevelShift{
+          static_cast<MinuteTime>(nums[0]), nums[1]});
+    } else if (a == "--ramp") {
+      const char* v = value();
+      if (v == nullptr || !parse_numbers(v, nums, 3)) {
+        return usage(argv[0]), 2;
+      }
+      effects.push_back(workload::Ramp{static_cast<MinuteTime>(nums[0]),
+                                       static_cast<MinuteTime>(nums[1]),
+                                       nums[2]});
+    } else if (a == "--spike") {
+      const char* v = value();
+      if (v == nullptr || !parse_numbers(v, nums, 3)) {
+        return usage(argv[0]), 2;
+      }
+      effects.push_back(workload::TransientSpike{
+          static_cast<MinuteTime>(nums[0]),
+          static_cast<MinuteTime>(nums[1]), nums[2]});
+    } else {
+      std::fprintf(stderr, "unknown option: %s\n", a.c_str());
+      return 2;
+    }
+  }
+
+  tsdb::KpiClass kpi_class;
+  if (cls == "seasonal") {
+    kpi_class = tsdb::KpiClass::kSeasonal;
+  } else if (cls == "stationary") {
+    kpi_class = tsdb::KpiClass::kStationary;
+  } else if (cls == "variable") {
+    kpi_class = tsdb::KpiClass::kVariable;
+  } else {
+    usage(argv[0]);
+    return 2;
+  }
+
+  workload::KpiStream stream(workload::make_default(kpi_class, Rng(seed)));
+  for (const auto& e : effects) stream.add_effect(e);
+  const tsdb::TimeSeries series(0, workload::render(stream, 0, minutes));
+
+  try {
+    if (out_path.empty()) {
+      tsdb::write_series_csv(std::cout, series);
+    } else {
+      tsdb::save_series_csv(out_path, series);
+      std::fprintf(stderr, "wrote %zu samples to %s\n", series.size(),
+                   out_path.c_str());
+    }
+  } catch (const funnel::Error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}

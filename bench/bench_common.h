@@ -86,6 +86,17 @@ inline bool quick_mode(int argc, char** argv) {
   return false;
 }
 
+/// `--threads N` for the parallel assessment engine; defaults to 0
+/// (hardware concurrency). 1 forces the serial baseline.
+inline std::size_t threads_arg(int argc, char** argv) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--threads") == 0) {
+      return static_cast<std::size_t>(std::atoll(argv[i + 1]));
+    }
+  }
+  return 0;
+}
+
 inline void print_header(const std::string& title) {
   std::printf("\n================================================================\n");
   std::printf("%s\n", title.c_str());

@@ -1,0 +1,135 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+
+#include "common/error.h"
+
+namespace funnel {
+namespace {
+
+// Which pool (if any) the current thread belongs to, and its worker index.
+// Thread-locals rather than a map: a thread belongs to at most one pool.
+thread_local const ThreadPool* tls_pool = nullptr;
+thread_local std::size_t tls_worker = 0;
+
+}  // namespace
+
+/// One parallel_for invocation. Lives on the heap (shared_ptr) because
+/// runner tasks may still be dequeued after the batch has completed and the
+/// initiating frame has returned; they find next_ >= end and exit without
+/// touching the (by then dangling) body.
+struct ThreadPool::ForBatch {
+  std::atomic<std::size_t> next{0};  ///< next unclaimed index
+  std::size_t end = 0;
+  std::size_t total = 0;  ///< indices in the batch
+  const ForBody* body = nullptr;
+
+  std::atomic<std::size_t> done{0};  ///< completed indices
+  std::mutex mutex;                  ///< guards error + completion wait
+  std::condition_variable finished;
+  std::exception_ptr error;  ///< first exception thrown by a body
+};
+
+ThreadPool::ThreadPool(std::size_t num_threads) {
+  const std::size_t n = resolve_threads(num_threads);
+  workers_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    workers_.emplace_back([this, i] { worker_loop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  wake_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+std::size_t ThreadPool::this_slot() const {
+  return tls_pool == this ? tls_worker : size();
+}
+
+std::size_t ThreadPool::resolve_threads(std::size_t requested) {
+  if (requested != 0) return requested;
+  return std::max<std::size_t>(1, std::thread::hardware_concurrency());
+}
+
+void ThreadPool::enqueue(std::function<void()> task) {
+  FUNNEL_REQUIRE(static_cast<bool>(task), "thread pool task must be callable");
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    FUNNEL_REQUIRE(!stop_, "thread pool is shutting down");
+    queue_.push_back(std::move(task));
+  }
+  wake_.notify_one();
+}
+
+void ThreadPool::worker_loop(std::size_t worker_index) {
+  tls_pool = this;
+  tls_worker = worker_index;
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      wake_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ set and queue drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+void ThreadPool::run_batch(const std::shared_ptr<ForBatch>& batch) const {
+  const std::size_t slot = this_slot();
+  for (;;) {
+    const std::size_t i =
+        batch->next.fetch_add(1, std::memory_order_relaxed);
+    if (i >= batch->end) return;
+    try {
+      (*batch->body)(i, slot);
+    } catch (...) {
+      const std::lock_guard<std::mutex> lock(batch->mutex);
+      if (!batch->error) batch->error = std::current_exception();
+    }
+    if (batch->done.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+        batch->total) {
+      // Completing thread takes the lock before notifying so the initiator
+      // cannot miss the wake-up between its predicate check and wait.
+      const std::lock_guard<std::mutex> lock(batch->mutex);
+      batch->finished.notify_all();
+    }
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
+                              const ForBody& body) {
+  if (end <= begin) return;
+  const std::size_t total = end - begin;
+
+  auto batch = std::make_shared<ForBatch>();
+  batch->next.store(begin, std::memory_order_relaxed);
+  batch->end = end;
+  batch->total = total;
+  batch->body = &body;
+
+  // One runner per worker (capped at the batch size): each loops claiming
+  // indices until the range is exhausted. The caller is runner number
+  // size()+1 — it drains too, so progress never depends on a free worker.
+  const std::size_t runners = std::min(size(), total);
+  for (std::size_t r = 0; r < runners; ++r) {
+    enqueue([this, batch] { run_batch(batch); });
+  }
+  run_batch(batch);
+
+  std::unique_lock<std::mutex> lock(batch->mutex);
+  batch->finished.wait(lock, [&] {
+    return batch->done.load(std::memory_order_acquire) == total;
+  });
+  if (batch->error) std::rethrow_exception(batch->error);
+}
+
+}  // namespace funnel

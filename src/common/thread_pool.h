@@ -1,0 +1,93 @@
+// Fixed-size thread pool for the embarrassingly-parallel fan-outs of the
+// assessment engine (per-KPI scoring inside one change, per-change batches
+// inside a window).
+//
+// Design constraints, in order:
+//   * deterministic callers: parallel_for hands the body an index so results
+//     go into pre-sized slots — output never depends on scheduling;
+//   * no work stealing, no task dependencies: a batch is an atomic claim
+//     counter over [begin, end) that idle workers and the calling thread
+//     drain together. The caller always participates, so a nested
+//     parallel_for issued from inside a worker completes even when every
+//     other worker is busy (the initiator drains its own batch) — no
+//     circular wait, no deadlock;
+//   * exceptions propagate: the first exception thrown by any body is
+//     captured and rethrown on the calling thread after the batch finishes
+//     (remaining indices still run — batches are small and cancellation
+//     would complicate the completion accounting for no benefit here).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace funnel {
+
+class ThreadPool {
+ public:
+  /// Spawn `num_threads` workers; 0 picks the hardware concurrency.
+  explicit ThreadPool(std::size_t num_threads = 0);
+
+  /// Joins all workers; outstanding submitted tasks are drained first.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Number of worker threads.
+  std::size_t size() const { return workers_.size(); }
+
+  /// Number of distinct execution slots a parallel_for body can observe:
+  /// one per worker plus one for the calling thread (which helps drain its
+  /// own batches). Size per-slot scratch (e.g. warm-started scorers) by
+  /// this.
+  std::size_t slots() const { return workers_.size() + 1; }
+
+  /// Slot of the calling thread: the worker index when called from a pool
+  /// worker, size() otherwise.
+  std::size_t this_slot() const;
+
+  /// 0 -> hardware concurrency (at least 1), anything else verbatim.
+  static std::size_t resolve_threads(std::size_t requested);
+
+  /// Run `body(index, slot)` for every index in [begin, end), distributing
+  /// indices over the workers and the calling thread. Blocks until every
+  /// index has run; rethrows the first exception a body threw. `slot` is
+  /// stable for the executing thread (see slots()) and distinct bodies
+  /// running concurrently always observe distinct slots. An empty or
+  /// inverted range is a no-op.
+  using ForBody = std::function<void(std::size_t index, std::size_t slot)>;
+  void parallel_for(std::size_t begin, std::size_t end, const ForBody& body);
+
+  /// Enqueue a single task; the future carries the result or exception.
+  template <typename F>
+  auto submit(F&& f) -> std::future<std::invoke_result_t<std::decay_t<F>>> {
+    using R = std::invoke_result_t<std::decay_t<F>>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(f));
+    std::future<R> future = task->get_future();
+    enqueue([task] { (*task)(); });
+    return future;
+  }
+
+ private:
+  struct ForBatch;
+
+  void enqueue(std::function<void()> task);
+  void worker_loop(std::size_t worker_index);
+  void run_batch(const std::shared_ptr<ForBatch>& batch) const;
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  mutable std::mutex mutex_;
+  std::condition_variable wake_;
+  bool stop_ = false;
+};
+
+}  // namespace funnel

@@ -10,7 +10,13 @@ namespace funnel::core {
 
 Funnel::Funnel(FunnelConfig config, const topology::ServiceTopology& topo,
                const changes::ChangeLog& log, const tsdb::MetricStore& store)
-    : config_(config), topo_(topo), log_(log), store_(store) {}
+    : config_(config), topo_(topo), log_(log), store_(store) {
+  if (ThreadPool::resolve_threads(config_.num_threads) > 1) {
+    pool_ = std::make_unique<ThreadPool>(config_.num_threads);
+  }
+}
+
+Funnel::~Funnel() = default;
 
 AssessmentReport Funnel::assess(changes::ChangeId id) const {
   const changes::SoftwareChange& change = log_.get(id);
@@ -18,18 +24,40 @@ AssessmentReport Funnel::assess(changes::ChangeId id) const {
   report.change_id = id;
   report.change_time = change.time;
   report.impact_set = identify_impact_set(change, topo_);
-  for (const tsdb::MetricId& metric :
-       impact_metrics(report.impact_set, store_)) {
-    report.items.push_back(assess_metric(change, report.impact_set, metric));
+  const std::vector<tsdb::MetricId> metrics =
+      impact_metrics(report.impact_set, store_);
+  report.items.resize(metrics.size());
+  if (pool_ == nullptr || metrics.size() < 2) {
+    detect::IkaSst scorer(config_.geometry);
+    for (std::size_t i = 0; i < metrics.size(); ++i) {
+      report.items[i] =
+          assess_metric_with(scorer, change, report.impact_set, metrics[i]);
+    }
+  } else {
+    // One scorer per execution slot: the warm-start basis stays
+    // thread-local, and assess_metric_with resets it before every KPI so a
+    // slot's previous stream never bleeds into the next score.
+    std::vector<detect::IkaSst> scorers(pool_->slots(),
+                                        detect::IkaSst(config_.geometry));
+    pool_->parallel_for(
+        0, metrics.size(), [&](std::size_t i, std::size_t slot) {
+          report.items[i] = assess_metric_with(scorers[slot], change,
+                                               report.impact_set, metrics[i]);
+        });
   }
   return report;
 }
 
 std::vector<AssessmentReport> Funnel::assess_window(MinuteTime t0,
                                                     MinuteTime t1) const {
-  std::vector<AssessmentReport> out;
-  for (changes::ChangeId id : log_.in_window(t0, t1)) {
-    out.push_back(assess(id));
+  const std::vector<changes::ChangeId> ids = log_.in_window(t0, t1);
+  std::vector<AssessmentReport> out(ids.size());
+  if (pool_ == nullptr || ids.size() < 2) {
+    for (std::size_t i = 0; i < ids.size(); ++i) out[i] = assess(ids[i]);
+  } else {
+    pool_->parallel_for(0, ids.size(), [&](std::size_t i, std::size_t) {
+      out[i] = assess(ids[i]);
+    });
   }
   return out;
 }
@@ -37,6 +65,18 @@ std::vector<AssessmentReport> Funnel::assess_window(MinuteTime t0,
 ItemVerdict Funnel::assess_metric(const changes::SoftwareChange& change,
                                   const ImpactSet& set,
                                   const tsdb::MetricId& metric) const {
+  detect::IkaSst scorer(config_.geometry);
+  return assess_metric_with(scorer, change, set, metric);
+}
+
+ItemVerdict Funnel::assess_metric_with(detect::IkaSst& scorer,
+                                       const changes::SoftwareChange& change,
+                                       const ImpactSet& set,
+                                       const tsdb::MetricId& metric) const {
+  // The scorer may have been warm-started on a different KPI stream; a
+  // stale basis would silently change scores (and with them verdicts).
+  scorer.reset();
+
   ItemVerdict verdict;
   verdict.metric = metric;
 
@@ -45,7 +85,6 @@ ItemVerdict Funnel::assess_metric(const changes::SoftwareChange& change,
   const MinuteTime t0 = std::max(series.start_time(), tc - config_.lookback);
   const MinuteTime t1 = std::min(series.end_time(), tc + config_.horizon);
 
-  detect::IkaSst scorer(config_.geometry);
   const auto w = static_cast<MinuteTime>(scorer.window_size());
   if (t1 - t0 < w) return verdict;  // not enough data to score even once
 

@@ -11,19 +11,41 @@
 //   4. assembles the AssessmentReport delivered to the operations team.
 #pragma once
 
+#include <memory>
+
 #include "changes/change_log.h"
+#include "common/thread_pool.h"
 #include "funnel/config.h"
 #include "funnel/impact_set.h"
 #include "funnel/report.h"
 #include "topology/topology.h"
 #include "tsdb/store.h"
 
+namespace funnel::detect {
+class IkaSst;
+}  // namespace funnel::detect
+
 namespace funnel::core {
 
+/// Batch assessment engine. With config.num_threads != 1 the two hot
+/// fan-outs run on a fixed-size ThreadPool: assess() scores each impact-set
+/// KPI on its own task (one warm-started IkaSst scorer per execution slot,
+/// reset() between KPIs so the basis never leaks across streams) and
+/// assess_window() additionally distributes whole changes across the pool.
+/// Both paths write into pre-sized slots indexed by KPI/change order, so a
+/// report is byte-identical regardless of thread count or scheduling. The
+/// referenced topology, change log and metric store are only read through
+/// const methods, which hold no hidden mutable state (no caches, no lazy
+/// indexes) — concurrent readers need no locks. Callers must not mutate the
+/// store/topology/log while an assessment is in flight.
 class Funnel {
  public:
   Funnel(FunnelConfig config, const topology::ServiceTopology& topo,
          const changes::ChangeLog& log, const tsdb::MetricStore& store);
+  ~Funnel();
+
+  Funnel(const Funnel&) = delete;
+  Funnel& operator=(const Funnel&) = delete;
 
   /// Assess one recorded change against the data currently in the store.
   AssessmentReport assess(changes::ChangeId id) const;
@@ -49,10 +71,18 @@ class Funnel {
                        MinuteTime post_window, ItemVerdict& verdict) const;
 
  private:
+  /// assess_metric with an explicit scorer (reset()-ed before use) so the
+  /// parallel path can keep one warm-started scorer per execution slot.
+  ItemVerdict assess_metric_with(detect::IkaSst& scorer,
+                                 const changes::SoftwareChange& change,
+                                 const ImpactSet& set,
+                                 const tsdb::MetricId& metric) const;
+
   FunnelConfig config_;
   const topology::ServiceTopology& topo_;
   const changes::ChangeLog& log_;
   const tsdb::MetricStore& store_;
+  std::unique_ptr<ThreadPool> pool_;  ///< null when running serially
 };
 
 }  // namespace funnel::core

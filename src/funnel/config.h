@@ -50,6 +50,14 @@ struct FunnelConfig {
   /// after the change minute count.
   MinuteTime lookback = 60;
   MinuteTime horizon = 60;
+
+  /// Worker threads for the batch fan-outs (per-KPI scoring in assess, and
+  /// per-change distribution in assess_window). 0 = hardware concurrency,
+  /// 1 = strictly serial (no pool). Reports are byte-identical for every
+  /// value: tasks write into pre-sized slots indexed by KPI/change order
+  /// and each KPI is scored by a freshly reset()-ed scorer, so scheduling
+  /// never shows in the output.
+  std::size_t num_threads = 0;
 };
 
 }  // namespace funnel::core

@@ -5,6 +5,17 @@
 #include "common/error.h"
 
 namespace funnel::core {
+namespace {
+
+// The internal batch engine only serves per-metric determine_cause calls
+// from inside store callbacks — it never runs the batch fan-outs, so it
+// must not spawn a pool of idle workers.
+FunnelConfig serial(FunnelConfig config) {
+  config.num_threads = 1;
+  return config;
+}
+
+}  // namespace
 
 FunnelOnline::FunnelOnline(FunnelConfig config,
                            const topology::ServiceTopology& topo,
@@ -14,7 +25,7 @@ FunnelOnline::FunnelOnline(FunnelConfig config,
       topo_(topo),
       log_(log),
       store_(store),
-      batch_(config, topo, log, store) {}
+      batch_(serial(config), topo, log, store) {}
 
 FunnelOnline::~FunnelOnline() {
   if (subscribed_) store_.unsubscribe(subscription_);

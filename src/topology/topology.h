@@ -9,6 +9,11 @@
 //
 // An instance is a process of one service on one server; its canonical name
 // is "<service>@<server>".
+//
+// Thread-safety contract (audited for the parallel assessment engine): all
+// const methods are pure reads over the three maps — no memoized
+// reachability, no mutable members — so concurrent readers need no locks.
+// The add_* mutators are not synchronized against readers.
 #pragma once
 
 #include <map>

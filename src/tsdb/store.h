@@ -5,6 +5,13 @@
 // (batch assessment) or subscribe and get samples pushed as they arrive
 // (online FUNNEL). Service KPIs can be stored directly or derived by
 // aggregating instance KPIs.
+//
+// Thread-safety contract (audited for the parallel assessment engine): the
+// const methods perform pure lookups — no caches, no lazy indexes, no
+// mutable members — so any number of threads may read concurrently without
+// locks. Mutation (create/append/insert/subscribe/unsubscribe) is NOT
+// synchronized against readers; interleave writes and parallel assessment
+// only with external coordination.
 #pragma once
 
 #include <cstdint>

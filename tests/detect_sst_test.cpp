@@ -307,5 +307,35 @@ TEST(SstFamilyAblation, OmegaFiveIsFasterToAlarmThanFifteen) {
   EXPECT_LE(median(d5), median(d15));
 }
 
+TEST(IkaSst, RetargetingWithoutResetCorruptsScores) {
+  // The warm-start basis is per-KPI state: feeding a scorer a different
+  // stream without reset() seeds the (short) warm iteration with the old
+  // stream's eigen-directions and silently changes scores. This is the
+  // hazard the assessment engine guards against by resetting per-slot
+  // scorers between KPI streams.
+  const SstGeometry g{.omega = 9, .eta = 3};
+  const std::vector<double> a = stationary_series(7, 300, 10.0, 150);
+  std::vector<double> b = stationary_series(8, 300);
+  for (std::size_t i = 0; i < b.size(); ++i) {
+    b[i] += 6.0 * std::sin(static_cast<double>(i) / 11.0);  // different shape
+  }
+
+  IkaSst fresh(g);
+  const std::vector<double> b_fresh = score_series(fresh, b);
+
+  IkaSst reused(g);
+  score_series(reused, a);  // warm-started on stream A
+  const std::vector<double> b_stale = score_series(reused, b);
+  EXPECT_NE(b_stale, b_fresh)
+      << "stale warm-start basis did not affect scores; the reset() "
+         "guard in the assessment engine would be untestable";
+
+  IkaSst reset_scorer(g);
+  score_series(reset_scorer, a);
+  reset_scorer.reset();  // the retargeting fix
+  EXPECT_EQ(score_series(reset_scorer, b), b_fresh)
+      << "reset() must restore exact fresh-scorer behavior";
+}
+
 }  // namespace
 }  // namespace funnel::detect

@@ -1,0 +1,101 @@
+// Golden-file test for the JSON export: a hand-built AssessmentReport
+// (covering every branch of the renderer — alarm present/absent, DiD
+// present/absent, historical vs entity control, non-finite numbers, string
+// escaping) is rendered and compared byte-for-byte against a committed
+// fixture. Report formatting is an integration surface for paging and
+// ticketing systems; it must not drift silently under refactors. If a
+// change to the format is intentional, regenerate tests/data/
+// report_golden.json from the test's failure output.
+#include "funnel/report_json.h"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <string>
+
+#include "funnel/report.h"
+
+namespace funnel::core {
+namespace {
+
+AssessmentReport golden_report() {
+  AssessmentReport report;
+  report.change_id = 42;
+  report.change_time = 6060;
+  report.impact_set.change_id = 42;
+  // Exercises string escaping: quote, backslash, newline, control char.
+  report.impact_set.changed_service = "search.web\"front\\end\n\x01";
+  report.impact_set.dark_launched = true;
+
+  {  // Full verdict: alarm + entity-control DiD, attributed to the change.
+    ItemVerdict v;
+    v.metric = tsdb::server_metric("s1", "mem");
+    v.kpi_change_detected = true;
+    v.alarm = detect::Alarm{.minute = 6067, .first_window = 7,
+                            .peak_score = 0.75};
+    v.cause = Cause::kSoftwareChange;
+    v.did_fit = did::DiDResult{.alpha = 8.25,
+                               .alpha_scaled = 3.5,
+                               .std_error = 0.66,
+                               .t_stat = 12.5,
+                               .n_treated = 2,
+                               .n_control = 3};
+    v.used_historical_control = false;
+    report.items.push_back(v);
+  }
+  {  // Quiet KPI: no alarm, no DiD.
+    ItemVerdict v;
+    v.metric = tsdb::instance_metric("svc@s2", "latency");
+    report.items.push_back(v);
+  }
+  {  // Historical-control rejection with a non-finite score (renders null).
+    ItemVerdict v;
+    v.metric = tsdb::service_metric("search.web", "qps");
+    v.kpi_change_detected = true;
+    v.alarm = detect::Alarm{
+        .minute = 6100, .first_window = 0,
+        .peak_score = std::numeric_limits<double>::quiet_NaN()};
+    v.cause = Cause::kSeasonality;
+    v.did_fit = did::DiDResult{.alpha = -0.125,
+                               .alpha_scaled = -0.25,
+                               .std_error = 1.0,
+                               .t_stat = -0.125,
+                               .n_treated = 1,
+                               .n_control = 0};
+    v.used_historical_control = true;
+    report.items.push_back(v);
+  }
+  return report;
+}
+
+std::string read_fixture(const std::string& name) {
+  const std::string path = std::string(FUNNEL_TEST_DATA_DIR) + "/" + name;
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "missing fixture: " << path;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  std::string content = buf.str();
+  // The committed fixture ends with a POSIX trailing newline; the renderer
+  // does not emit one.
+  if (!content.empty() && content.back() == '\n') content.pop_back();
+  return content;
+}
+
+TEST(ReportJson, MatchesGoldenFixture) {
+  const std::string rendered = to_json(golden_report());
+  const std::string golden = read_fixture("report_golden.json");
+  EXPECT_EQ(rendered, golden)
+      << "report_json output drifted; if intentional, update "
+         "tests/data/report_golden.json to:\n"
+      << rendered;
+}
+
+TEST(ReportJson, RenderingIsDeterministic) {
+  const AssessmentReport r = golden_report();
+  EXPECT_EQ(to_json(r), to_json(r));
+}
+
+}  // namespace
+}  // namespace funnel::core

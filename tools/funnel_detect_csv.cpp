@@ -1,22 +1,31 @@
-// funnel_detect_csv — run a FUNNEL change detector on a CSV time series.
+// funnel_detect_csv — run a FUNNEL change detector on CSV time series.
 //
 // Usage:
-//   funnel_detect_csv <series.csv> [--method ika|improved|classic|cusum|mrls]
+//   funnel_detect_csv <series.csv> [more.csv ...]
+//                     [--method ika|improved|classic|cusum|mrls]
 //                     [--threshold X] [--persistence N] [--patience N]
-//                     [--omega N] [--scores]
+//                     [--omega N] [--scores] [--threads N]
 //
 // Input: `minute,value` rows (one sample per minute; empty value = gap).
 // Output: alarm episodes (minute, peak score) on stdout; with --scores the
 // full per-window score series is printed instead (gnuplot-ready).
+//
+// Several CSV files are scored concurrently on a thread pool (--threads 0 =
+// one per hardware thread, 1 = serial); output is buffered per file and
+// printed in argument order, so it is byte-identical for every thread
+// count.
 //
 // This is the "bring your own KPI" entry point: export any metric from your
 // monitoring system and see what FUNNEL's detector family thinks of it.
 #include <cstdio>
 #include <cstring>
 #include <memory>
+#include <sstream>
 #include <string>
+#include <vector>
 
 #include "common/error.h"
+#include "common/thread_pool.h"
 #include "detect/classic_sst.h"
 #include "detect/cusum.h"
 #include "detect/ika_sst.h"
@@ -32,27 +41,27 @@ namespace {
 void usage(const char* argv0) {
   std::fprintf(
       stderr,
-      "usage: %s <series.csv> [--method ika|improved|classic|cusum|mrls]\n"
+      "usage: %s <series.csv> [more.csv ...]\n"
+      "          [--method ika|improved|classic|cusum|mrls]\n"
       "          [--threshold X] [--persistence N] [--patience N]\n"
-      "          [--omega N] [--scores]\n",
+      "          [--omega N] [--scores] [--threads N]\n",
       argv0);
 }
 
 struct Options {
-  std::string path;
+  std::vector<std::string> paths;
   std::string method = "ika";
   double threshold = 0.35;
   bool threshold_set = false;
   std::size_t persistence = 7;
   std::size_t patience = 10;
   std::size_t omega = 9;
+  std::size_t threads = 0;  // 0 = hardware concurrency
   bool print_scores = false;
 };
 
 bool parse(int argc, char** argv, Options& opt) {
-  if (argc < 2) return false;
-  opt.path = argv[1];
-  for (int i = 2; i < argc; ++i) {
+  for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
     auto next = [&](double* d, std::size_t* z) {
       if (++i >= argc) return false;
@@ -72,14 +81,18 @@ bool parse(int argc, char** argv, Options& opt) {
       if (!next(nullptr, &opt.patience)) return false;
     } else if (a == "--omega") {
       if (!next(nullptr, &opt.omega)) return false;
+    } else if (a == "--threads") {
+      if (!next(nullptr, &opt.threads)) return false;
     } else if (a == "--scores") {
       opt.print_scores = true;
-    } else {
+    } else if (!a.empty() && a[0] == '-') {
       std::fprintf(stderr, "unknown option: %s\n", a.c_str());
       return false;
+    } else {
+      opt.paths.push_back(a);
     }
   }
-  return true;
+  return !opt.paths.empty();
 }
 
 std::unique_ptr<detect::ChangeScorer> make_scorer(const Options& opt,
@@ -108,6 +121,87 @@ std::unique_ptr<detect::ChangeScorer> make_scorer(const Options& opt,
   return nullptr;
 }
 
+struct FileResult {
+  int code = 0;
+  std::string out;  ///< stdout payload, printed in argument order
+  std::string err;  ///< stderr payload
+};
+
+// Score one file with a scorer of its own (the SST scorers are stateful —
+// warm starts must never cross files). All output is buffered so the
+// parallel path can preserve argument order exactly.
+FileResult process_file(const std::string& path, const Options& opt) {
+  FileResult res;
+  std::ostringstream out;
+  try {
+    const tsdb::TimeSeries series = tsdb::load_series_csv(path);
+    if (series.empty()) {
+      res.err = "no samples in " + path + "\n";
+      res.code = 1;
+      return res;
+    }
+    double default_thr = 0.35;
+    const auto scorer = make_scorer(opt, &default_thr);
+    const double threshold = opt.threshold_set ? opt.threshold : default_thr;
+
+    const auto scores = detect::score_series(*scorer, series.values());
+    if (scores.empty()) {
+      res.err = "series too short: " + std::to_string(series.size()) +
+                " samples < window " +
+                std::to_string(scorer->window_size()) + "\n";
+      res.code = 1;
+      return res;
+    }
+
+    if (opt.print_scores) {
+      char line[128];
+      std::snprintf(line, sizeof(line), "# minute score  (method=%s window=%zu)\n",
+                    scorer->name(), scorer->window_size());
+      out << line;
+      for (std::size_t i = 0; i < scores.size(); ++i) {
+        std::snprintf(line, sizeof(line), "%lld %.6f\n",
+                      static_cast<long long>(series.start_time()) +
+                          static_cast<long long>(i + scorer->window_size() - 1),
+                      scores[i]);
+        out << line;
+      }
+      res.out = out.str();
+      return res;
+    }
+
+    const detect::AlarmPolicy policy{
+        .threshold = threshold,
+        .persistence = opt.persistence,
+        .patience = std::max(opt.patience, opt.persistence)};
+    const auto alarms = detect::all_alarms(
+        scores, scorer->window_size(), series.start_time(), policy);
+    const auto episodes = detect::alarm_episodes(alarms, 30);
+    char line[160];
+    std::snprintf(line, sizeof(line),
+                  "# %zu samples, method=%s, threshold=%.3f, "
+                  "persistence=%zu/%zu\n",
+                  series.size(), scorer->name(), threshold, opt.persistence,
+                  std::max(opt.patience, opt.persistence));
+    out << line;
+    if (episodes.empty()) {
+      out << "no behavior changes detected\n";
+    } else {
+      for (const auto& e : episodes) {
+        std::snprintf(line, sizeof(line),
+                      "change episode at minute %lld (peak score %.3f)\n",
+                      static_cast<long long>(e.minute), e.peak_score);
+        out << line;
+      }
+    }
+    res.out = out.str();
+    return res;
+  } catch (const funnel::Error& e) {
+    res.err = std::string("error: ") + e.what() + "\n";
+    res.code = 1;
+    return res;
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -116,62 +210,35 @@ int main(int argc, char** argv) {
     usage(argv[0]);
     return 2;
   }
-  try {
-    const tsdb::TimeSeries series = tsdb::load_series_csv(opt.path);
-    if (series.empty()) {
-      std::fprintf(stderr, "no samples in %s\n", opt.path.c_str());
-      return 1;
-    }
-    double default_thr = 0.35;
-    const auto scorer = make_scorer(opt, &default_thr);
-    if (scorer == nullptr) {
+  {
+    double default_thr = 0.0;
+    if (make_scorer(opt, &default_thr) == nullptr) {
       std::fprintf(stderr, "unknown method: %s\n", opt.method.c_str());
       return 2;
     }
-    if (!opt.threshold_set) opt.threshold = default_thr;
-
-    const auto scores = detect::score_series(*scorer, series.values());
-    if (scores.empty()) {
-      std::fprintf(stderr,
-                   "series too short: %zu samples < window %zu\n",
-                   series.size(), scorer->window_size());
-      return 1;
-    }
-
-    if (opt.print_scores) {
-      std::printf("# minute score  (method=%s window=%zu)\n",
-                  scorer->name(), scorer->window_size());
-      for (std::size_t i = 0; i < scores.size(); ++i) {
-        std::printf("%lld %.6f\n",
-                    static_cast<long long>(series.start_time()) +
-                        static_cast<long long>(i + scorer->window_size() - 1),
-                    scores[i]);
-      }
-      return 0;
-    }
-
-    const detect::AlarmPolicy policy{
-        .threshold = opt.threshold,
-        .persistence = opt.persistence,
-        .patience = std::max(opt.patience, opt.persistence)};
-    const auto alarms = detect::all_alarms(
-        scores, scorer->window_size(), series.start_time(), policy);
-    const auto episodes = detect::alarm_episodes(alarms, 30);
-    std::printf("# %zu samples, method=%s, threshold=%.3f, "
-                "persistence=%zu/%zu\n",
-                series.size(), scorer->name(), opt.threshold,
-                opt.persistence, std::max(opt.patience, opt.persistence));
-    if (episodes.empty()) {
-      std::printf("no behavior changes detected\n");
-      return 0;
-    }
-    for (const auto& e : episodes) {
-      std::printf("change episode at minute %lld (peak score %.3f)\n",
-                  static_cast<long long>(e.minute), e.peak_score);
-    }
-    return 0;
-  } catch (const funnel::Error& e) {
-    std::fprintf(stderr, "error: %s\n", e.what());
-    return 1;
   }
+
+  std::vector<FileResult> results(opt.paths.size());
+  const std::size_t threads = ThreadPool::resolve_threads(opt.threads);
+  if (threads > 1 && opt.paths.size() > 1) {
+    ThreadPool pool(opt.threads);
+    pool.parallel_for(0, opt.paths.size(), [&](std::size_t i, std::size_t) {
+      results[i] = process_file(opt.paths[i], opt);
+    });
+  } else {
+    for (std::size_t i = 0; i < opt.paths.size(); ++i) {
+      results[i] = process_file(opt.paths[i], opt);
+    }
+  }
+
+  int code = 0;
+  for (std::size_t i = 0; i < opt.paths.size(); ++i) {
+    if (opt.paths.size() > 1) {
+      std::printf("== %s ==\n", opt.paths[i].c_str());
+    }
+    std::fputs(results[i].out.c_str(), stdout);
+    std::fputs(results[i].err.c_str(), stderr);
+    if (results[i].code != 0) code = results[i].code;
+  }
+  return code;
 }

@@ -8,6 +8,7 @@
 
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <memory>
 #include <string>
 
@@ -19,6 +20,8 @@
 #include "evalkit/dataset.h"
 #include "evalkit/evaluate.h"
 #include "funnel/config.h"
+#include "obs/export.h"
+#include "obs/registry.h"
 
 namespace funnel::bench {
 
@@ -95,6 +98,39 @@ inline std::size_t threads_arg(int argc, char** argv) {
     }
   }
   return 0;
+}
+
+/// `--stats`: print the run's self-telemetry (Prometheus text) to stderr.
+inline bool stats_arg(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--stats") == 0) return true;
+  }
+  return false;
+}
+
+/// `--stats-json FILE`: write the telemetry snapshot as JSON.
+inline const char* stats_json_arg(int argc, char** argv) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--stats-json") == 0) return argv[i + 1];
+  }
+  return nullptr;
+}
+
+/// Dump a registry per the two flags above. Stats go to stderr/a file so
+/// the table output on stdout stays clean for diffing across runs.
+inline void dump_stats(const obs::Registry& reg, bool print,
+                       const char* json_path) {
+  if (!print && json_path == nullptr) return;
+  const obs::Snapshot snap = reg.snapshot();
+  if (print) std::fputs(obs::prometheus_text(snap).c_str(), stderr);
+  if (json_path != nullptr) {
+    std::ofstream out(json_path);
+    if (!out) {
+      std::fprintf(stderr, "error: cannot write %s\n", json_path);
+      return;
+    }
+    out << obs::snapshot_json(snap) << '\n';
+  }
 }
 
 inline void print_header(const std::string& title) {

@@ -11,10 +11,12 @@
 
 #include <chrono>
 #include <cstdio>
+#include <cstring>
 #include <memory>
 #include <thread>
 #include <vector>
 
+#include "bench_common.h"
 #include "common/rng.h"
 #include "common/strings.h"
 #include "common/table.h"
@@ -147,7 +149,7 @@ void print_summary_table() {
 // table scores the same fan-out with the assessment engine's ThreadPool at
 // 1/2/4/8 threads — each KPI keeps its own warm-started scorer, results go
 // into order-indexed slots, so every row computes the identical scores.
-void print_parallel_fanout_table() {
+void print_parallel_fanout_table(const obs::Registry* stats) {
   std::printf(
       "\n=== Parallel fan-out: %s ===\n\n",
       "one IKA-SST pass over a KPI fleet, wall clock by thread count");
@@ -163,7 +165,7 @@ void print_parallel_fanout_table() {
     fleet.push_back(workload::render(s, 0, static_cast<MinuteTime>(kLen)));
   }
 
-  const auto score_fleet = [&fleet](std::size_t threads) {
+  const auto score_fleet = [&fleet, stats](std::size_t threads) {
     const auto start = std::chrono::steady_clock::now();
     std::vector<double> checksum(fleet.size(), 0.0);
     const auto score_one = [&](std::size_t i) {
@@ -180,6 +182,7 @@ void print_parallel_fanout_table() {
       for (std::size_t i = 0; i < fleet.size(); ++i) score_one(i);
     } else {
       ThreadPool pool(threads);
+      pool.set_stats(stats);
       pool.parallel_for(0, fleet.size(),
                         [&](std::size_t i, std::size_t) { score_one(i); });
     }
@@ -208,10 +211,29 @@ void print_parallel_fanout_table() {
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Pull our telemetry flags out before benchmark::Initialize parses the
+  // command line (it owns the remaining flags).
+  bool stats = false;
+  const char* stats_json = nullptr;
+  int kept = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--stats") == 0) {
+      stats = true;
+    } else if (std::strcmp(argv[i], "--stats-json") == 0 && i + 1 < argc) {
+      stats_json = argv[++i];
+    } else {
+      argv[kept++] = argv[i];
+    }
+  }
+  argc = kept;
+
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   print_summary_table();
-  print_parallel_fanout_table();
+  const obs::Registry reg;
+  const bool want_stats = stats || stats_json != nullptr;
+  print_parallel_fanout_table(want_stats ? &reg : nullptr);
+  bench::dump_stats(reg, stats, stats_json);
   return 0;
 }

@@ -19,6 +19,8 @@ using namespace funnel;
 int main(int argc, char** argv) {
   const bool quick = bench::quick_mode(argc, argv);
   const std::size_t threads = bench::threads_arg(argc, argv);
+  const bool stats = bench::stats_arg(argc, argv);
+  const char* stats_json = bench::stats_json_arg(argc, argv);
   bench::print_header("Table 3: simulated deployment statistics");
 
   evalkit::DatasetParams p;
@@ -41,6 +43,8 @@ int main(int argc, char** argv) {
   core::FunnelConfig cfg = bench::funnel_config();
   cfg.did.alpha_threshold = 1.0;
   cfg.num_threads = threads;
+  const obs::Registry reg;
+  if (stats || stats_json != nullptr) cfg.stats = &reg;
   const core::Funnel funnel(cfg, ds->topo, ds->log, ds->store);
 
   std::uint64_t tp = 0, fp = 0;
@@ -113,5 +117,22 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(fp));
   std::printf("(absolute counts are scaled down ~170x from production; the "
               "row to compare is precision)\n");
+  if (cfg.stats != nullptr) {
+    const obs::Snapshot snap = reg.snapshot();
+    const auto sst = snap.histograms.find("funnel.assess.sst_us");
+    const auto wait = snap.histograms.find("pool.queue_wait_us");
+    if (sst != snap.histograms.end() && sst->second.count > 0) {
+      std::printf("stage timing: SST scoring mean %.1f us over %llu KPI "
+                  "series\n",
+                  sst->second.mean(),
+                  static_cast<unsigned long long>(sst->second.count));
+    }
+    if (wait != snap.histograms.end() && wait->second.count > 0) {
+      std::printf("pool queue wait: mean %.1f us over %llu tasks\n",
+                  wait->second.mean(),
+                  static_cast<unsigned long long>(wait->second.count));
+    }
+  }
+  bench::dump_stats(reg, stats, stats_json);
   return 0;
 }

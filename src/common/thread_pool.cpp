@@ -57,12 +57,28 @@ std::size_t ThreadPool::resolve_threads(std::size_t requested) {
   return std::max<std::size_t>(1, std::thread::hardware_concurrency());
 }
 
+void ThreadPool::set_stats(const obs::Registry* stats) {
+  stats_.store(stats, std::memory_order_relaxed);
+  if (stats != nullptr) {
+    stats->set("pool.workers", static_cast<double>(size()));
+    stats->declare_counter("pool.tasks_executed");
+    stats->declare_counter("pool.busy_us");
+    stats->declare_counter("pool.idle_us");
+    stats->declare_histogram("pool.queue_wait_us");
+    stats->declare_histogram("pool.task_run_us");
+  }
+}
+
 void ThreadPool::enqueue(std::function<void()> task) {
   FUNNEL_REQUIRE(static_cast<bool>(task), "thread pool task must be callable");
+  QueuedTask queued{std::move(task), {}};
+  if (stats_.load(std::memory_order_relaxed) != nullptr) {
+    queued.enqueued = std::chrono::steady_clock::now();
+  }
   {
     const std::lock_guard<std::mutex> lock(mutex_);
     FUNNEL_REQUIRE(!stop_, "thread pool is shutting down");
-    queue_.push_back(std::move(task));
+    queue_.push_back(std::move(queued));
   }
   wake_.notify_one();
 }
@@ -71,7 +87,11 @@ void ThreadPool::worker_loop(std::size_t worker_index) {
   tls_pool = this;
   tls_worker = worker_index;
   for (;;) {
-    std::function<void()> task;
+    QueuedTask task;
+    const obs::Registry* stats = stats_.load(std::memory_order_relaxed);
+    const auto idle_start =
+        stats != nullptr ? std::chrono::steady_clock::now()
+                         : std::chrono::steady_clock::time_point{};
     {
       std::unique_lock<std::mutex> lock(mutex_);
       wake_.wait(lock, [this] { return stop_ || !queue_.empty(); });
@@ -79,7 +99,28 @@ void ThreadPool::worker_loop(std::size_t worker_index) {
       task = std::move(queue_.front());
       queue_.pop_front();
     }
-    task();
+    // Re-read: telemetry may have been attached while this worker slept.
+    stats = stats_.load(std::memory_order_relaxed);
+    if (stats == nullptr) {
+      task.fn();
+      continue;
+    }
+    const auto run_start = std::chrono::steady_clock::now();
+    const auto micros = [](auto d) {
+      return std::chrono::duration<double, std::micro>(d).count();
+    };
+    if (idle_start.time_since_epoch().count() != 0) {
+      stats->add("pool.idle_us",
+                 static_cast<std::uint64_t>(micros(run_start - idle_start)));
+    }
+    if (task.enqueued.time_since_epoch().count() != 0) {
+      stats->observe("pool.queue_wait_us", micros(run_start - task.enqueued));
+    }
+    task.fn();
+    const auto run_us = micros(std::chrono::steady_clock::now() - run_start);
+    stats->observe("pool.task_run_us", run_us);
+    stats->add("pool.busy_us", static_cast<std::uint64_t>(run_us));
+    stats->add("pool.tasks_executed");
   }
 }
 

@@ -17,6 +17,8 @@
 //     would complicate the completion accounting for no benefit here).
 #pragma once
 
+#include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
@@ -27,6 +29,8 @@
 #include <thread>
 #include <type_traits>
 #include <vector>
+
+#include "obs/registry.h"
 
 namespace funnel {
 
@@ -57,6 +61,13 @@ class ThreadPool {
   /// 0 -> hardware concurrency (at least 1), anything else verbatim.
   static std::size_t resolve_threads(std::size_t requested);
 
+  /// Attach a telemetry registry (null detaches). The pool then records
+  /// `pool.tasks_executed`, queue-wait and task-run histograms, and
+  /// busy/idle microsecond counters (worker utilization =
+  /// busy / (busy + idle)). The registry must outlive the pool. Tasks
+  /// already queued keep the stamping decision made at enqueue time.
+  void set_stats(const obs::Registry* stats);
+
   /// Run `body(index, slot)` for every index in [begin, end), distributing
   /// indices over the workers and the calling thread. Blocks until every
   /// index has run; rethrows the first exception a body threw. `slot` is
@@ -79,15 +90,23 @@ class ThreadPool {
  private:
   struct ForBatch;
 
+  /// A queued task plus its enqueue stamp (zero when telemetry is off, so
+  /// the uninstrumented path never reads the clock).
+  struct QueuedTask {
+    std::function<void()> fn;
+    std::chrono::steady_clock::time_point enqueued{};
+  };
+
   void enqueue(std::function<void()> task);
   void worker_loop(std::size_t worker_index);
   void run_batch(const std::shared_ptr<ForBatch>& batch) const;
 
   std::vector<std::thread> workers_;
-  std::deque<std::function<void()>> queue_;
+  std::deque<QueuedTask> queue_;
   mutable std::mutex mutex_;
   std::condition_variable wake_;
   bool stop_ = false;
+  std::atomic<const obs::Registry*> stats_{nullptr};
 };
 
 }  // namespace funnel

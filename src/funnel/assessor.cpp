@@ -1,10 +1,13 @@
 #include "funnel/assessor.h"
 
 #include <algorithm>
+#include <string>
 
 #include "common/error.h"
 #include "detect/ika_sst.h"
 #include "did/groups.h"
+#include "obs/registry.h"
+#include "obs/timer.h"
 
 namespace funnel::core {
 
@@ -13,17 +16,23 @@ Funnel::Funnel(FunnelConfig config, const topology::ServiceTopology& topo,
     : config_(config), topo_(topo), log_(log), store_(store) {
   if (ThreadPool::resolve_threads(config_.num_threads) > 1) {
     pool_ = std::make_unique<ThreadPool>(config_.num_threads);
+    pool_->set_stats(config_.stats);
   }
 }
 
 Funnel::~Funnel() = default;
 
 AssessmentReport Funnel::assess(changes::ChangeId id) const {
+  const obs::ScopedTimer total(config_.stats, "funnel.assess.total_us");
   const changes::SoftwareChange& change = log_.get(id);
   AssessmentReport report;
   report.change_id = id;
   report.change_time = change.time;
-  report.impact_set = identify_impact_set(change, topo_);
+  {
+    const obs::ScopedTimer span(config_.stats,
+                                "funnel.assess.impact_set_us");
+    report.impact_set = identify_impact_set(change, topo_);
+  }
   const std::vector<tsdb::MetricId> metrics =
       impact_metrics(report.impact_set, store_);
   report.items.resize(metrics.size());
@@ -45,11 +54,27 @@ AssessmentReport Funnel::assess(changes::ChangeId id) const {
                                                report.impact_set, metrics[i]);
         });
   }
+  if (config_.stats != nullptr) {
+    // Report assembly: tally the delivered verdicts into the pipeline
+    // counters. Telemetry reads the report; it never writes into it.
+    const obs::ScopedTimer span(config_.stats, "funnel.assess.assemble_us");
+    config_.stats->add("funnel.assess.changes_assessed");
+    config_.stats->add("funnel.assess.kpis_scored", report.items.size());
+    for (const ItemVerdict& v : report.items) {
+      if (v.kpi_change_detected) {
+        config_.stats->add("funnel.assess.alarms_raised");
+      }
+      config_.stats->add(std::string("funnel.assess.verdicts.") +
+                         to_string(v.cause));
+    }
+  }
   return report;
 }
 
 std::vector<AssessmentReport> Funnel::assess_window(MinuteTime t0,
                                                     MinuteTime t1) const {
+  const obs::ScopedTimer total(config_.stats,
+                               "funnel.assess_window.total_us");
   const std::vector<changes::ChangeId> ids = log_.in_window(t0, t1);
   std::vector<AssessmentReport> out(ids.size());
   if (pool_ == nullptr || ids.size() < 2) {
@@ -58,6 +83,9 @@ std::vector<AssessmentReport> Funnel::assess_window(MinuteTime t0,
     pool_->parallel_for(0, ids.size(), [&](std::size_t i, std::size_t) {
       out[i] = assess(ids[i]);
     });
+  }
+  if (config_.stats != nullptr) {
+    config_.stats->add("funnel.assess_window.batches");
   }
   return out;
 }
@@ -88,10 +116,17 @@ ItemVerdict Funnel::assess_metric_with(detect::IkaSst& scorer,
   const auto w = static_cast<MinuteTime>(scorer.window_size());
   if (t1 - t0 < w) return verdict;  // not enough data to score even once
 
-  const std::vector<double> slice = series.slice(t0, t1);
-  const std::vector<double> scores = detect::score_series(scorer, slice);
-  const std::vector<detect::Alarm> alarms =
-      detect::all_alarms(scores, scorer.window_size(), t0, config_.alarm);
+  // Per-KPI detection stage (runs on a pool worker in the parallel path —
+  // the shard-per-thread registry absorbs the concurrent recording). The
+  // span covers scoring + alarm scan only; determination has its own span.
+  std::vector<detect::Alarm> alarms;
+  {
+    const obs::ScopedTimer span(config_.stats, "funnel.assess.sst_us");
+    const std::vector<double> slice = series.slice(t0, t1);
+    const std::vector<double> scores = detect::score_series(scorer, slice);
+    alarms = detect::all_alarms(scores, scorer.window_size(), t0,
+                                config_.alarm);
+  }
 
   // Only alarms raised at/after the deployment minute are attributable.
   const auto it = std::find_if(
@@ -110,6 +145,7 @@ void Funnel::determine_cause(const changes::SoftwareChange& change,
                              const tsdb::MetricId& metric,
                              MinuteTime post_window,
                              ItemVerdict& verdict) const {
+  const obs::ScopedTimer span(config_.stats, "funnel.assess.did_us");
   const MinuteTime tc = change.time;
   const auto omega = static_cast<std::size_t>(
       std::min<MinuteTime>(config_.did_window, post_window));

@@ -11,6 +11,10 @@
 #include "detect/sst_common.h"
 #include "did/did.h"
 
+namespace funnel::obs {
+class Registry;
+}  // namespace funnel::obs
+
 namespace funnel::core {
 
 struct FunnelConfig {
@@ -50,6 +54,13 @@ struct FunnelConfig {
   /// after the change minute count.
   MinuteTime lookback = 60;
   MinuteTime horizon = 60;
+
+  /// Self-telemetry sink (see obs/registry.h): stage-duration histograms,
+  /// pipeline counters and — online — time-to-verdict are recorded here.
+  /// Null (the default) disables telemetry at zero cost. Telemetry is a
+  /// side channel only: assessment reports are byte-identical with it on or
+  /// off. The registry must outlive every Funnel/FunnelOnline using it.
+  const obs::Registry* stats = nullptr;
 
   /// Worker threads for the batch fan-outs (per-KPI scoring in assess, and
   /// per-change distribution in assess_window). 0 = hardware concurrency,

@@ -1,8 +1,11 @@
 #include "funnel/online.h"
 
 #include <algorithm>
+#include <string>
 
 #include "common/error.h"
+#include "obs/registry.h"
+#include "obs/timer.h"
 
 namespace funnel::core {
 namespace {
@@ -64,6 +67,11 @@ void FunnelOnline::watch(changes::ChangeId id) {
     watch.metrics.emplace(metric, std::move(mw));
   }
   watches_.emplace(id, std::move(watch));
+  if (config_.stats != nullptr) {
+    config_.stats->add("funnel.online.watches_started");
+    config_.stats->set("funnel.online.active_watches",
+                       static_cast<double>(watches_.size()));
+  }
 
   if (!subscribed_) {
     subscription_ = store_.subscribe(
@@ -76,6 +84,10 @@ void FunnelOnline::watch(changes::ChangeId id) {
 
 void FunnelOnline::handle_sample(const tsdb::MetricId& id, MinuteTime t,
                                  double value) {
+  const obs::ScopedTimer span(config_.stats, "funnel.online.sample_us");
+  if (config_.stats != nullptr) {
+    config_.stats->add("funnel.online.samples_ingested");
+  }
   std::vector<changes::ChangeId> finished;
   for (auto& [cid, watch] : watches_) {
     const changes::SoftwareChange& change = log_.get(cid);
@@ -110,8 +122,24 @@ void FunnelOnline::try_determination(ChangeWatch& watch, MetricWatch& mw,
   if (post < config_.min_did_window) return;  // wait for more post data
   batch_.determine_cause(change, watch.set, mw.metric, post, mw.verdict);
   mw.pending_determination = false;
+  note_determined(change, mw, now);
   if (mw.verdict.caused_by_software_change() && verdict_cb_) {
     verdict_cb_(watch.change_id, mw.verdict);
+  }
+}
+
+void FunnelOnline::note_determined(const changes::SoftwareChange& change,
+                                   MetricWatch& mw, MinuteTime minute) {
+  mw.verdict.determined_at = minute;
+  if (config_.stats == nullptr) return;
+  config_.stats->add(std::string("funnel.online.verdicts.") +
+                     to_string(mw.verdict.cause));
+  if (mw.verdict.caused_by_software_change()) {
+    config_.stats->add("funnel.online.verdicts_confirmed");
+    // The headline series: minutes from change deployment to a confirmed
+    // verdict (§5.2 was ~10 against 1.5 h of manual assessment).
+    config_.stats->observe("funnel.online.time_to_verdict_min",
+                           static_cast<double>(minute - change.time));
   }
 }
 
@@ -133,6 +161,7 @@ void FunnelOnline::finalize(changes::ChangeId id) {
       batch_.determine_cause(change, watch.set, mw.metric,
                              watch.deadline - change.time, mw.verdict);
       mw.pending_determination = false;
+      note_determined(change, mw, watch.deadline);
       if (mw.verdict.caused_by_software_change() && verdict_cb_) {
         verdict_cb_(id, mw.verdict);
       }
@@ -140,6 +169,11 @@ void FunnelOnline::finalize(changes::ChangeId id) {
     report.items.push_back(mw.verdict);
   }
   watches_.erase(wit);
+  if (config_.stats != nullptr) {
+    config_.stats->add("funnel.online.reports_finalized");
+    config_.stats->set("funnel.online.active_watches",
+                       static_cast<double>(watches_.size()));
+  }
   if (report_cb_) report_cb_(report);
 }
 

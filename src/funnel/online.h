@@ -67,6 +67,11 @@ class FunnelOnline {
   void try_determination(ChangeWatch& watch, MetricWatch& mw, MinuteTime now);
   void finalize(changes::ChangeId id);
 
+  /// Stamp the confirming minute on the verdict and record the online
+  /// verdict counters + time-to-verdict (the paper's rapidity metric).
+  void note_determined(const changes::SoftwareChange& change, MetricWatch& mw,
+                       MinuteTime minute);
+
   FunnelConfig config_;
   const topology::ServiceTopology& topo_;
   const changes::ChangeLog& log_;

@@ -50,6 +50,10 @@ std::string AssessmentReport::summary() const {
     if (!v.kpi_change_detected) continue;
     os << "    " << v.metric.to_string() << " -> " << to_string(v.cause);
     if (v.alarm) os << " (alarm at minute " << v.alarm->minute << ")";
+    if (const auto ttv = v.time_to_verdict(change_time)) {
+      os << " (verdict at minute " << *v.determined_at << ", " << *ttv
+         << " min after deployment)";
+    }
     if (v.did_fit) {
       os << " [alpha=" << v.did_fit->alpha
          << ", alpha_scaled=" << v.did_fit->alpha_scaled

@@ -33,8 +33,20 @@ struct ItemVerdict {
   std::optional<did::DiDResult> did_fit;  ///< set when DiD ran
   bool used_historical_control = false;   ///< §3.2.5 path vs §3.2.4 path
 
+  /// Online path only: the minute causality determination ran — the
+  /// paper's rapidity metric is `determined_at - change time` (the §5.2
+  /// incident: ~10 minutes). Unset for retrospective batch assessment,
+  /// where the verdict has no meaningful wall-clock anchor.
+  std::optional<MinuteTime> determined_at;
+
   bool caused_by_software_change() const {
     return cause == Cause::kSoftwareChange;
+  }
+
+  /// Minutes from change deployment to this verdict (online path only).
+  std::optional<MinuteTime> time_to_verdict(MinuteTime change_time) const {
+    if (!determined_at) return std::nullopt;
+    return *determined_at - change_time;
   }
 };
 

@@ -53,6 +53,9 @@ std::string to_json(const ItemVerdict& verdict) {
      << (verdict.kpi_change_detected ? "true" : "false");
   os << ",\"cause\":";
   escape_to(os, to_string(verdict.cause));
+  if (verdict.determined_at) {
+    os << ",\"determined_at\":" << *verdict.determined_at;
+  }
   if (verdict.alarm) {
     os << ",\"alarm\":{\"minute\":" << verdict.alarm->minute
        << ",\"peak_score\":";

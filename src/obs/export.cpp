@@ -1,0 +1,123 @@
+#include "obs/export.h"
+
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+namespace funnel::obs {
+namespace {
+
+// Stat names follow the dotted convention and never need escaping beyond
+// this (no quotes/backslashes/control characters); values are numbers.
+void key_to(std::ostringstream& os, const std::string& s) {
+  os << '"' << s << '"';
+}
+
+void number_to(std::ostringstream& os, double v) {
+  if (!std::isfinite(v)) {
+    os << "null";
+    return;
+  }
+  // %.17g round-trips doubles; trim the default ostream precision issues.
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  os << buf;
+}
+
+std::string prom_name(const std::string& name) {
+  std::string out = name;
+  for (char& c : out) {
+    if (c == '.' || c == '-') c = '_';
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string snapshot_json(const Snapshot& snap) {
+  std::ostringstream os;
+  os << "{\"enabled\":" << (snap.enabled ? "true" : "false");
+  os << ",\"counters\":{";
+  bool first = true;
+  for (const auto& [name, value] : snap.counters) {
+    if (!first) os << ',';
+    first = false;
+    key_to(os, name);
+    os << ':' << value;
+  }
+  os << "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, value] : snap.gauges) {
+    if (!first) os << ',';
+    first = false;
+    key_to(os, name);
+    os << ':';
+    number_to(os, value);
+  }
+  os << "},\"histograms\":{";
+  first = true;
+  const std::span<const double> bounds = bucket_bounds();
+  for (const auto& [name, h] : snap.histograms) {
+    if (!first) os << ',';
+    first = false;
+    key_to(os, name);
+    os << ":{\"count\":" << h.count << ",\"sum\":";
+    number_to(os, h.sum);
+    os << ",\"min\":";
+    number_to(os, h.min);
+    os << ",\"max\":";
+    number_to(os, h.max);
+    os << ",\"mean\":";
+    number_to(os, h.mean());
+    os << ",\"buckets\":[";
+    for (std::size_t b = 0; b < h.buckets.size(); ++b) {
+      if (b > 0) os << ',';
+      os << "{\"le\":";
+      if (b < bounds.size()) {
+        number_to(os, bounds[b]);
+      } else {
+        os << "\"+Inf\"";
+      }
+      os << ",\"count\":" << h.buckets[b] << '}';
+    }
+    os << "]}";
+  }
+  os << "}}";
+  return os.str();
+}
+
+std::string prometheus_text(const Snapshot& snap) {
+  std::ostringstream os;
+  for (const auto& [name, value] : snap.counters) {
+    const std::string n = prom_name(name);
+    os << "# TYPE " << n << " counter\n" << n << ' ' << value << '\n';
+  }
+  for (const auto& [name, value] : snap.gauges) {
+    const std::string n = prom_name(name);
+    os << "# TYPE " << n << " gauge\n" << n << ' ';
+    number_to(os, value);
+    os << '\n';
+  }
+  const std::span<const double> bounds = bucket_bounds();
+  for (const auto& [name, h] : snap.histograms) {
+    const std::string n = prom_name(name);
+    os << "# TYPE " << n << " histogram\n";
+    std::uint64_t cumulative = 0;
+    for (std::size_t b = 0; b < h.buckets.size(); ++b) {
+      cumulative += h.buckets[b];
+      os << n << "_bucket{le=\"";
+      if (b < bounds.size()) {
+        number_to(os, bounds[b]);
+      } else {
+        os << "+Inf";
+      }
+      os << "\"} " << cumulative << '\n';
+    }
+    os << n << "_sum ";
+    number_to(os, h.sum);
+    os << '\n' << n << "_count " << h.count << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace funnel::obs

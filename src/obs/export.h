@@ -1,0 +1,26 @@
+// Exporters for telemetry snapshots (obs/registry.h).
+//
+// Both formats render a merged Snapshot, so they work identically for a
+// live registry (`snapshot_json(reg.snapshot())`) and in the FUNNEL_OBS=OFF
+// build (where the snapshot is empty and `"enabled":false`).
+#pragma once
+
+#include <string>
+
+#include "obs/registry.h"
+
+namespace funnel::obs {
+
+/// Machine-readable dump: one JSON object with "enabled", "counters",
+/// "gauges" and "histograms" members. Histograms carry count/sum/min/max/
+/// mean plus per-bucket counts with their upper bounds ("+Inf" for the
+/// overflow bucket). Keys are sorted (std::map order), so two dumps of the
+/// same snapshot are byte-identical.
+std::string snapshot_json(const Snapshot& snap);
+
+/// Prometheus-style text exposition: counters and gauges as single series,
+/// histograms as cumulative `_bucket{le="..."}` series plus `_sum` and
+/// `_count`. Dots and dashes in stat names become underscores.
+std::string prometheus_text(const Snapshot& snap);
+
+}  // namespace funnel::obs

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/error.h"
+#include "obs/timer.h"
 
 namespace funnel::tsdb {
 
@@ -22,12 +23,23 @@ void MetricStore::append(const MetricId& id, MinuteTime t, double value) {
     it = series_.emplace(id, TimeSeries(t)).first;
   }
   it->second.append_at(t, value);
+  if (stats_ != nullptr) stats_->add("tsdb.store.appends");
+  if (subs_.empty()) return;
+  // Time the synchronous dispatch as one span per append: this is the
+  // latency a producing agent pays for slow consumers (the ROADMAP's async
+  // ingestion item needs exactly this series to justify itself).
+  const obs::ScopedTimer dispatch(stats_, "tsdb.store.dispatch_us");
+  std::uint64_t notified = 0;
   for (const auto& [sid, sub] : subs_) {
     (void)sid;
     if (sub.filter.empty() ||
         std::binary_search(sub.filter.begin(), sub.filter.end(), id)) {
       sub.callback(id, t, value);
+      ++notified;
     }
+  }
+  if (stats_ != nullptr && notified > 0) {
+    stats_->add("tsdb.store.notifications", notified);
   }
 }
 

@@ -20,6 +20,7 @@
 #include <span>
 #include <vector>
 
+#include "obs/registry.h"
 #include "tsdb/metric.h"
 #include "tsdb/series.h"
 
@@ -74,6 +75,12 @@ class MetricStore {
   void unsubscribe(SubscriptionId id);
   std::size_t subscriber_count() const { return subs_.size(); }
 
+  /// Attach a telemetry registry (null detaches): append() then counts
+  /// samples (`tsdb.store.appends`), subscriber callbacks
+  /// (`tsdb.store.notifications`) and times the synchronous dispatch loop
+  /// (`tsdb.store.dispatch_us`). The registry must outlive the store.
+  void set_stats(const obs::Registry* stats) { stats_ = stats; }
+
  private:
   struct Subscription {
     std::vector<MetricId> filter;  // sorted; empty = all
@@ -83,6 +90,7 @@ class MetricStore {
   std::map<MetricId, TimeSeries> series_;
   std::map<SubscriptionId, Subscription> subs_;
   SubscriptionId next_sub_ = 1;
+  const obs::Registry* stats_ = nullptr;
 };
 
 }  // namespace funnel::tsdb

@@ -29,13 +29,15 @@ AssessmentReport golden_report() {
   report.impact_set.changed_service = "search.web\"front\\end\n\x01";
   report.impact_set.dark_launched = true;
 
-  {  // Full verdict: alarm + entity-control DiD, attributed to the change.
+  {  // Full verdict: alarm + entity-control DiD, attributed to the change,
+     // with the online confirming-minute stamp (time-to-verdict = 16 min).
     ItemVerdict v;
     v.metric = tsdb::server_metric("s1", "mem");
     v.kpi_change_detected = true;
     v.alarm = detect::Alarm{.minute = 6067, .first_window = 7,
                             .peak_score = 0.75};
     v.cause = Cause::kSoftwareChange;
+    v.determined_at = 6076;
     v.did_fit = did::DiDResult{.alpha = 8.25,
                                .alpha_scaled = 3.5,
                                .std_error = 0.66,

@@ -1,0 +1,79 @@
+# End-to-end smoke check for the tools + telemetry path:
+#   funnel_generate -> funnel_detect_csv --change-minute --stats-json
+# The generated KPI carries a level shift at the change minute, so the
+# online pipeline must attribute it and the stats snapshot must parse as
+# JSON with the core telemetry keys. Also asserts a malformed CSV makes
+# the tool exit non-zero (no silent skips).
+#
+# Invoked by ctest as:
+#   cmake -DGEN=<funnel_generate> -DDET=<funnel_detect_csv>
+#         -DWORK_DIR=<scratch dir> -P tools_smoke.cmake
+
+foreach(var GEN DET WORK_DIR)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "missing -D${var}=")
+  endif()
+endforeach()
+
+file(MAKE_DIRECTORY "${WORK_DIR}")
+set(csv "${WORK_DIR}/smoke_series.csv")
+set(stats "${WORK_DIR}/smoke_stats.json")
+
+execute_process(
+  COMMAND "${GEN}" --class stationary --minutes 600 --seed 7
+          --shift 300,8 --out "${csv}"
+  RESULT_VARIABLE rc ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "funnel_generate failed (${rc}): ${err}")
+endif()
+
+execute_process(
+  COMMAND "${DET}" "${csv}" --change-minute 300 --stats-json "${stats}"
+  OUTPUT_VARIABLE out RESULT_VARIABLE rc ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "funnel_detect_csv failed (${rc}): ${err}")
+endif()
+if(NOT out MATCHES "verdict: change has impact")
+  message(FATAL_ERROR "expected an impact verdict, stdout was: ${out}")
+endif()
+
+file(READ "${stats}" json)
+string(JSON enabled ERROR_VARIABLE jerr GET "${json}" enabled)
+if(jerr)
+  message(FATAL_ERROR "stats JSON did not parse: ${jerr}")
+endif()
+
+# With FUNNEL_OBS=OFF the registry is a no-op: the snapshot still parses
+# (enabled=false, empty sections) but carries no keys to check.
+if(enabled)
+  foreach(key
+      "tsdb.store.appends"
+      "funnel.online.samples_ingested"
+      "funnel.online.verdicts_confirmed"
+      "pool.tasks_executed")
+    string(JSON val ERROR_VARIABLE jerr GET "${json}" counters "${key}")
+    if(jerr)
+      message(FATAL_ERROR "stats JSON missing counter '${key}'")
+    endif()
+  endforeach()
+  string(JSON confirmed GET "${json}" counters "funnel.online.verdicts_confirmed")
+  if(confirmed LESS 1)
+    message(FATAL_ERROR "pipeline confirmed no verdict (counter=${confirmed})")
+  endif()
+  string(JSON ttv ERROR_VARIABLE jerr GET "${json}"
+         histograms "funnel.online.time_to_verdict_min" count)
+  if(jerr OR ttv LESS 1)
+    message(FATAL_ERROR "time_to_verdict histogram empty or missing (${jerr})")
+  endif()
+endif()
+
+# A CSV that does not parse must fail the run, not be skipped silently.
+set(bad "${WORK_DIR}/smoke_bad.csv")
+file(WRITE "${bad}" "garbage,not,a,csv\nrow2\n")
+execute_process(COMMAND "${DET}" "${bad}"
+                RESULT_VARIABLE rc OUTPUT_QUIET ERROR_QUIET)
+if(rc EQUAL 0)
+  message(FATAL_ERROR "malformed CSV must exit non-zero")
+endif()
+
+message(STATUS "tools smoke OK (telemetry enabled=${enabled})")

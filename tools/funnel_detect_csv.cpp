@@ -5,25 +5,46 @@
 //                     [--method ika|improved|classic|cusum|mrls]
 //                     [--threshold X] [--persistence N] [--patience N]
 //                     [--omega N] [--scores] [--threads N]
+//                     [--change-minute T]
+//                     [--stats] [--stats-json FILE]
 //
 // Input: `minute,value` rows (one sample per minute; empty value = gap).
 // Output: alarm episodes (minute, peak score) on stdout; with --scores the
 // full per-window score series is printed instead (gnuplot-ready).
 //
+// With --change-minute T each CSV is treated as the KPI of a service that
+// deployed a software change at minute T: history before T primes the
+// online assessor, the rest is streamed sample-by-sample through the full
+// FUNNEL pipeline (IKA-SST detection, persistence rule, causality
+// determination), and the verdict — including the confirming minute and
+// time-to-verdict — is printed. This exercises every pipeline stage, so the
+// telemetry dump below covers detection, DiD, the store and the online
+// assessor.
+//
+// --stats prints the run's self-telemetry (Prometheus text) to stderr;
+// --stats-json FILE writes the JSON snapshot. Per-CSV wall clock always
+// goes to stderr. Stats are a side channel: stdout is byte-identical with
+// telemetry on or off, and for every --threads value.
+//
 // Several CSV files are scored concurrently on a thread pool (--threads 0 =
 // one per hardware thread, 1 = serial); output is buffered per file and
-// printed in argument order, so it is byte-identical for every thread
-// count.
+// printed in argument order. A CSV that fails to load or parse is reported
+// on stderr and makes the exit status non-zero; the remaining files are
+// still processed.
 //
 // This is the "bring your own KPI" entry point: export any metric from your
 // monitoring system and see what FUNNEL's detector family thinks of it.
+#include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <exception>
+#include <fstream>
 #include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "changes/change_log.h"
 #include "common/error.h"
 #include "common/thread_pool.h"
 #include "detect/classic_sst.h"
@@ -32,6 +53,11 @@
 #include "detect/improved_sst.h"
 #include "detect/mrls.h"
 #include "detect/sliding.h"
+#include "funnel/online.h"
+#include "funnel/report.h"
+#include "obs/export.h"
+#include "obs/registry.h"
+#include "topology/topology.h"
 #include "tsdb/io.h"
 
 using namespace funnel;
@@ -44,7 +70,8 @@ void usage(const char* argv0) {
       "usage: %s <series.csv> [more.csv ...]\n"
       "          [--method ika|improved|classic|cusum|mrls]\n"
       "          [--threshold X] [--persistence N] [--patience N]\n"
-      "          [--omega N] [--scores] [--threads N]\n",
+      "          [--omega N] [--scores] [--threads N]\n"
+      "          [--change-minute T] [--stats] [--stats-json FILE]\n",
       argv0);
 }
 
@@ -58,6 +85,9 @@ struct Options {
   std::size_t omega = 9;
   std::size_t threads = 0;  // 0 = hardware concurrency
   bool print_scores = false;
+  MinuteTime change_minute = -1;  // >= 0 switches to the pipeline mode
+  bool print_stats = false;
+  std::string stats_json_path;
 };
 
 bool parse(int argc, char** argv, Options& opt) {
@@ -83,6 +113,15 @@ bool parse(int argc, char** argv, Options& opt) {
       if (!next(nullptr, &opt.omega)) return false;
     } else if (a == "--threads") {
       if (!next(nullptr, &opt.threads)) return false;
+    } else if (a == "--change-minute") {
+      if (++i >= argc) return false;
+      opt.change_minute = std::atoll(argv[i]);
+      if (opt.change_minute < 0) return false;
+    } else if (a == "--stats") {
+      opt.print_stats = true;
+    } else if (a == "--stats-json") {
+      if (++i >= argc) return false;
+      opt.stats_json_path = argv[i];
     } else if (a == "--scores") {
       opt.print_scores = true;
     } else if (!a.empty() && a[0] == '-') {
@@ -130,76 +169,191 @@ struct FileResult {
 // Score one file with a scorer of its own (the SST scorers are stateful —
 // warm starts must never cross files). All output is buffered so the
 // parallel path can preserve argument order exactly.
-FileResult process_file(const std::string& path, const Options& opt) {
+FileResult score_file(const std::string& path, const Options& opt) {
   FileResult res;
   std::ostringstream out;
-  try {
-    const tsdb::TimeSeries series = tsdb::load_series_csv(path);
-    if (series.empty()) {
-      res.err = "no samples in " + path + "\n";
-      res.code = 1;
-      return res;
-    }
-    double default_thr = 0.35;
-    const auto scorer = make_scorer(opt, &default_thr);
-    const double threshold = opt.threshold_set ? opt.threshold : default_thr;
-
-    const auto scores = detect::score_series(*scorer, series.values());
-    if (scores.empty()) {
-      res.err = "series too short: " + std::to_string(series.size()) +
-                " samples < window " +
-                std::to_string(scorer->window_size()) + "\n";
-      res.code = 1;
-      return res;
-    }
-
-    if (opt.print_scores) {
-      char line[128];
-      std::snprintf(line, sizeof(line), "# minute score  (method=%s window=%zu)\n",
-                    scorer->name(), scorer->window_size());
-      out << line;
-      for (std::size_t i = 0; i < scores.size(); ++i) {
-        std::snprintf(line, sizeof(line), "%lld %.6f\n",
-                      static_cast<long long>(series.start_time()) +
-                          static_cast<long long>(i + scorer->window_size() - 1),
-                      scores[i]);
-        out << line;
-      }
-      res.out = out.str();
-      return res;
-    }
-
-    const detect::AlarmPolicy policy{
-        .threshold = threshold,
-        .persistence = opt.persistence,
-        .patience = std::max(opt.patience, opt.persistence)};
-    const auto alarms = detect::all_alarms(
-        scores, scorer->window_size(), series.start_time(), policy);
-    const auto episodes = detect::alarm_episodes(alarms, 30);
-    char line[160];
-    std::snprintf(line, sizeof(line),
-                  "# %zu samples, method=%s, threshold=%.3f, "
-                  "persistence=%zu/%zu\n",
-                  series.size(), scorer->name(), threshold, opt.persistence,
-                  std::max(opt.patience, opt.persistence));
-    out << line;
-    if (episodes.empty()) {
-      out << "no behavior changes detected\n";
-    } else {
-      for (const auto& e : episodes) {
-        std::snprintf(line, sizeof(line),
-                      "change episode at minute %lld (peak score %.3f)\n",
-                      static_cast<long long>(e.minute), e.peak_score);
-        out << line;
-      }
-    }
-    res.out = out.str();
-    return res;
-  } catch (const funnel::Error& e) {
-    res.err = std::string("error: ") + e.what() + "\n";
+  const tsdb::TimeSeries series = tsdb::load_series_csv(path);
+  if (series.empty()) {
+    res.err = "no samples in " + path + "\n";
     res.code = 1;
     return res;
   }
+  double default_thr = 0.35;
+  const auto scorer = make_scorer(opt, &default_thr);
+  const double threshold = opt.threshold_set ? opt.threshold : default_thr;
+
+  const auto scores = detect::score_series(*scorer, series.values());
+  if (scores.empty()) {
+    res.err = "series too short: " + std::to_string(series.size()) +
+              " samples < window " +
+              std::to_string(scorer->window_size()) + "\n";
+    res.code = 1;
+    return res;
+  }
+
+  if (opt.print_scores) {
+    char line[128];
+    std::snprintf(line, sizeof(line), "# minute score  (method=%s window=%zu)\n",
+                  scorer->name(), scorer->window_size());
+    out << line;
+    for (std::size_t i = 0; i < scores.size(); ++i) {
+      std::snprintf(line, sizeof(line), "%lld %.6f\n",
+                    static_cast<long long>(series.start_time()) +
+                        static_cast<long long>(i + scorer->window_size() - 1),
+                    scores[i]);
+      out << line;
+    }
+    res.out = out.str();
+    return res;
+  }
+
+  const detect::AlarmPolicy policy{
+      .threshold = threshold,
+      .persistence = opt.persistence,
+      .patience = std::max(opt.patience, opt.persistence)};
+  const auto alarms = detect::all_alarms(
+      scores, scorer->window_size(), series.start_time(), policy);
+  const auto episodes = detect::alarm_episodes(alarms, 30);
+  char line[160];
+  std::snprintf(line, sizeof(line),
+                "# %zu samples, method=%s, threshold=%.3f, "
+                "persistence=%zu/%zu\n",
+                series.size(), scorer->name(), threshold, opt.persistence,
+                std::max(opt.patience, opt.persistence));
+  out << line;
+  if (episodes.empty()) {
+    out << "no behavior changes detected\n";
+  } else {
+    for (const auto& e : episodes) {
+      std::snprintf(line, sizeof(line),
+                    "change episode at minute %lld (peak score %.3f)\n",
+                    static_cast<long long>(e.minute), e.peak_score);
+      out << line;
+    }
+  }
+  res.out = out.str();
+  return res;
+}
+
+// --change-minute mode: treat the CSV as the KPI of a one-service world
+// whose change deployed at minute T, and stream it through the full online
+// assessor. History before T primes the detector; the remainder arrives
+// sample-by-sample exactly like the production push feed.
+FileResult assess_file(const std::string& path, const Options& opt,
+                       const obs::Registry* stats) {
+  FileResult res;
+  std::ostringstream out;
+  const tsdb::TimeSeries series = tsdb::load_series_csv(path);
+  const MinuteTime tc = opt.change_minute;
+  if (series.empty()) {
+    res.err = "no samples in " + path + "\n";
+    res.code = 1;
+    return res;
+  }
+  if (tc <= series.start_time() || tc + 2 > series.end_time()) {
+    res.err = "change minute " + std::to_string(tc) +
+              " needs history before it and at least 2 post-change samples "
+              "(series covers [" + std::to_string(series.start_time()) +
+              ", " + std::to_string(series.end_time()) + "))\n";
+    res.code = 1;
+    return res;
+  }
+
+  topology::ServiceTopology topo;
+  topo.add_server("csv", "host");
+  changes::ChangeLog log;
+  changes::SoftwareChange ch;
+  ch.service = "csv";
+  ch.servers = {"host"};
+  ch.time = tc;
+  ch.mode = changes::LaunchMode::kFull;
+  ch.description = path;
+  const changes::ChangeId cid = log.record(ch, topo);
+
+  tsdb::MetricStore store;
+  store.set_stats(stats);
+  const tsdb::MetricId metric = tsdb::server_metric("host", "kpi");
+  tsdb::TimeSeries history(series.start_time());
+  for (MinuteTime t = series.start_time(); t < tc; ++t) {
+    history.append(series.at(t));
+  }
+  store.insert(metric, std::move(history));
+
+  core::FunnelConfig cfg;
+  cfg.geometry.omega = opt.omega;
+  if (opt.threshold_set) cfg.alarm.threshold = opt.threshold;
+  cfg.alarm.persistence = opt.persistence;
+  cfg.alarm.patience = std::max(opt.patience, opt.persistence);
+  // A hand-exported CSV rarely carries the 30-day baseline; with less
+  // history the seasonality exclusion degrades conservatively (dubious
+  // changes are still delivered, §2.2).
+  cfg.baseline_days = 3;
+  cfg.horizon = std::min<MinuteTime>(cfg.horizon, series.end_time() - tc - 1);
+  cfg.num_threads = 1;
+  cfg.stats = stats;
+
+  core::FunnelOnline online(cfg, topo, log, store);
+  core::AssessmentReport report;
+  bool finalized = false;
+  online.on_report([&](const core::AssessmentReport& r) {
+    report = r;
+    finalized = true;
+  });
+  online.watch(cid);
+  for (MinuteTime t = tc; t < series.end_time(); ++t) {
+    store.append(metric, t, series.at(t));
+  }
+
+  char line[160];
+  std::snprintf(line, sizeof(line),
+                "# change at minute %lld, online FUNNEL pipeline "
+                "(ika-sst, omega=%zu, horizon=%lld)\n",
+                static_cast<long long>(tc), opt.omega,
+                static_cast<long long>(cfg.horizon));
+  out << line;
+  if (!finalized) {
+    res.err = "watch did not finalize within the series\n";
+    res.code = 1;
+    return res;
+  }
+  out << report.summary();
+  out << (report.change_has_impact() ? "verdict: change has impact\n"
+                                     : "verdict: no impact attributed\n");
+  res.out = out.str();
+  return res;
+}
+
+FileResult process_file(const std::string& path, const Options& opt,
+                        const obs::Registry* stats) {
+  try {
+    return opt.change_minute >= 0 ? assess_file(path, opt, stats)
+                                  : score_file(path, opt);
+  } catch (const std::exception& e) {
+    // Parse/load failures are per-file: report, keep going, exit non-zero.
+    FileResult res;
+    res.err = "error: failed to process " + path + ": " + e.what() + "\n";
+    res.code = 1;
+    return res;
+  }
+}
+
+void declare_core_keys(const obs::Registry& reg) {
+  // A stable key set for dashboards and the ctest smoke check, present
+  // even before (or without) the first event of each kind.
+  for (const char* c :
+       {"funnel.assess.changes_assessed", "funnel.assess.kpis_scored",
+        "funnel.assess.alarms_raised", "funnel.online.samples_ingested",
+        "funnel.online.verdicts_confirmed", "pool.tasks_executed",
+        "tsdb.store.appends", "csv.files_processed", "csv.files_failed"}) {
+    reg.declare_counter(c);
+  }
+  for (const char* h :
+       {"funnel.assess.sst_us", "funnel.assess.did_us",
+        "funnel.assess.total_us", "funnel.online.time_to_verdict_min",
+        "pool.queue_wait_us", "csv.process_us"}) {
+    reg.declare_histogram(h);
+  }
+  reg.declare_gauge("funnel.online.active_watches");
 }
 
 }  // namespace
@@ -218,17 +372,32 @@ int main(int argc, char** argv) {
     }
   }
 
+  obs::Registry reg;
+  declare_core_keys(reg);
+
   std::vector<FileResult> results(opt.paths.size());
+  const auto run_one = [&](std::size_t i) {
+    const auto start = std::chrono::steady_clock::now();
+    results[i] = process_file(opt.paths[i], opt, &reg);
+    const double ms = std::chrono::duration<double, std::milli>(
+                          std::chrono::steady_clock::now() - start)
+                          .count();
+    char line[512];
+    std::snprintf(line, sizeof(line), "# %s: %.1f ms\n",
+                  opt.paths[i].c_str(), ms);
+    results[i].err += line;
+    reg.observe("csv.process_us", ms * 1000.0);
+    reg.add(results[i].code == 0 ? "csv.files_processed"
+                                 : "csv.files_failed");
+  };
   const std::size_t threads = ThreadPool::resolve_threads(opt.threads);
   if (threads > 1 && opt.paths.size() > 1) {
     ThreadPool pool(opt.threads);
-    pool.parallel_for(0, opt.paths.size(), [&](std::size_t i, std::size_t) {
-      results[i] = process_file(opt.paths[i], opt);
-    });
+    pool.set_stats(&reg);
+    pool.parallel_for(0, opt.paths.size(),
+                      [&](std::size_t i, std::size_t) { run_one(i); });
   } else {
-    for (std::size_t i = 0; i < opt.paths.size(); ++i) {
-      results[i] = process_file(opt.paths[i], opt);
-    }
+    for (std::size_t i = 0; i < opt.paths.size(); ++i) run_one(i);
   }
 
   int code = 0;
@@ -239,6 +408,22 @@ int main(int argc, char** argv) {
     std::fputs(results[i].out.c_str(), stdout);
     std::fputs(results[i].err.c_str(), stderr);
     if (results[i].code != 0) code = results[i].code;
+  }
+
+  if (opt.print_stats || !opt.stats_json_path.empty()) {
+    const obs::Snapshot snap = reg.snapshot();
+    if (opt.print_stats) {
+      std::fputs(obs::prometheus_text(snap).c_str(), stderr);
+    }
+    if (!opt.stats_json_path.empty()) {
+      std::ofstream out(opt.stats_json_path);
+      if (!out) {
+        std::fprintf(stderr, "error: cannot write %s\n",
+                     opt.stats_json_path.c_str());
+        return 1;
+      }
+      out << obs::snapshot_json(snap) << '\n';
+    }
   }
   return code;
 }

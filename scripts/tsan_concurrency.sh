@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# Build and run the concurrency test suite under ThreadSanitizer.
+#
+# This is the FUNNEL_SANITIZE=thread ctest job: it configures a dedicated
+# build tree with -DFUNNEL_SANITIZE=thread and runs the tests that exercise
+# shared state across threads — the sharded store + ingest dispatcher, the
+# thread pool, the parallel assessment engine, the online assessor and the
+# telemetry registry. docs/CONCURRENCY.md describes the model these tests
+# pin down; a TSan report here means that model has been violated.
+#
+# Usage: scripts/tsan_concurrency.sh [build-dir]   (default: build-tsan)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build-tsan}"
+
+TARGETS=(
+  tsdb_sharded_store_test
+  common_thread_pool_test
+  funnel_parallel_test
+  funnel_online_test
+  obs_registry_test
+)
+
+cmake -B "${BUILD_DIR}" -S . \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DFUNNEL_SANITIZE=thread
+cmake --build "${BUILD_DIR}" -j "$(nproc)" --target "${TARGETS[@]}"
+
+# halt_on_error: a single race fails the job instead of scrolling past.
+export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}"
+FILTER="$(IFS='|'; echo "${TARGETS[*]}")"
+ctest --test-dir "${BUILD_DIR}" --output-on-failure -R "^(${FILTER})$"
+
+echo "tsan concurrency suite: OK"

@@ -15,6 +15,9 @@
 //     captured and rethrown on the calling thread after the batch finishes
 //     (remaining indices still run — batches are small and cancellation
 //     would complicate the completion accounting for no benefit here).
+//
+// The repo-wide threading model (who runs on which thread, nesting rules,
+// what may be shared) is documented in docs/CONCURRENCY.md.
 #pragma once
 
 #include <atomic>

@@ -50,14 +50,16 @@ GroupMeans collect_group(const tsdb::MetricStore& store,
   GroupMeans out;
   std::vector<std::vector<double>> pre_windows;
   for (const tsdb::MetricId& id : metrics) {
-    if (!store.has(id)) continue;
-    const tsdb::TimeSeries& s = store.series(id);
-    const auto pre = window_mean(s, change_time - w, change_time);
-    const auto post = window_mean(s, change_time, change_time + w);
-    if (!pre || !post) continue;
-    out.pre.push_back(*pre);
-    out.post.push_back(*post);
-    pre_windows.push_back(s.slice(change_time - w, change_time));
+    // read_if takes the shard's reader lock: the online assessor builds
+    // groups on the dispatcher thread while agents keep appending.
+    store.read_if(id, [&](const tsdb::TimeSeries& s) {
+      const auto pre = window_mean(s, change_time - w, change_time);
+      const auto post = window_mean(s, change_time, change_time + w);
+      if (!pre || !post) return;
+      out.pre.push_back(*pre);
+      out.post.push_back(*post);
+      pre_windows.push_back(s.slice(change_time - w, change_time));
+    });
   }
   out.pooled_scale = pooled_robust_sigma(pre_windows);
   return out;

@@ -108,13 +108,19 @@ ItemVerdict Funnel::assess_metric_with(detect::IkaSst& scorer,
   ItemVerdict verdict;
   verdict.metric = metric;
 
-  const tsdb::TimeSeries& series = store_.series(metric);
   const MinuteTime tc = change.time;
-  const MinuteTime t0 = std::max(series.start_time(), tc - config_.lookback);
-  const MinuteTime t1 = std::min(series.end_time(), tc + config_.horizon);
-
   const auto w = static_cast<MinuteTime>(scorer.window_size());
-  if (t1 - t0 < w) return verdict;  // not enough data to score even once
+
+  // Copy the assessment window under the shard's reader lock; scoring then
+  // runs lock-free, and concurrent ingestion cannot tear the read.
+  MinuteTime t0 = 0;
+  std::vector<double> slice;
+  store_.read(metric, [&](const tsdb::TimeSeries& series) {
+    t0 = std::max(series.start_time(), tc - config_.lookback);
+    const MinuteTime t1 = std::min(series.end_time(), tc + config_.horizon);
+    if (t1 - t0 >= w) slice = series.slice(t0, t1);
+  });
+  if (slice.empty()) return verdict;  // not enough data to score even once
 
   // Per-KPI detection stage (runs on a pool worker in the parallel path —
   // the shard-per-thread registry absorbs the concurrent recording). The
@@ -122,7 +128,6 @@ ItemVerdict Funnel::assess_metric_with(detect::IkaSst& scorer,
   std::vector<detect::Alarm> alarms;
   {
     const obs::ScopedTimer span(config_.stats, "funnel.assess.sst_us");
-    const std::vector<double> slice = series.slice(t0, t1);
     const std::vector<double> scores = detect::score_series(scorer, slice);
     alarms = detect::all_alarms(scores, scorer.window_size(), t0,
                                 config_.alarm);
@@ -161,8 +166,11 @@ void Funnel::determine_cause(const changes::SoftwareChange& change,
   try {
     did::DiDResult fit;
     if (historical) {
-      fit = did::did_historical(store_.series(metric), tc, omega,
-                                config_.baseline_days);
+      // Reader-locked: the online assessor runs this on the dispatcher
+      // thread while producers append (docs/CONCURRENCY.md).
+      fit = store_.read(metric, [&](const tsdb::TimeSeries& s) {
+        return did::did_historical(s, tc, omega, config_.baseline_days);
+      });
     } else {
       const auto treated = treated_group_for(set, metric);
       const auto control = control_group_for(set, metric);

@@ -62,6 +62,14 @@ struct FunnelConfig {
   /// off. The registry must outlive every Funnel/FunnelOnline using it.
   const obs::Registry* stats = nullptr;
 
+  /// Metric-store construction knobs, consumed by the entry points that own
+  /// their store (funnel_detect_csv, scenario builders): hash-shard count
+  /// and the async ingest-queue capacity (0 = synchronous subscriber
+  /// dispatch on the producer thread). Reports are byte-identical for every
+  /// combination; see tsdb::StoreOptions and docs/CONCURRENCY.md.
+  std::size_t num_shards = 1;
+  std::size_t ingest_queue_capacity = 0;
+
   /// Worker threads for the batch fan-outs (per-KPI scoring in assess, and
   /// per-change distribution in assess_window). 0 = hardware concurrency,
   /// 1 = strictly serial (no pool). Reports are byte-identical for every

@@ -46,16 +46,25 @@ void FunnelOnline::watch(changes::ChangeId id) {
     mw.metric = metric;
     mw.verdict.metric = metric;
     mw.scorer = std::make_unique<detect::IkaSst>(config_.geometry);
-    const tsdb::TimeSeries& series = store_.series(metric);
-    const MinuteTime prime_start =
-        std::max(series.start_time(), change.time - config_.lookback);
+    // Copy the priming window under the shard's reader lock — watch() runs
+    // on the control thread and must not race a store that is already
+    // ingesting (docs/CONCURRENCY.md, "Online assessor").
+    MinuteTime prime_start = 0;
+    std::vector<double> prime;
+    store_.read(metric, [&](const tsdb::TimeSeries& series) {
+      prime_start =
+          std::max(series.start_time(), change.time - config_.lookback);
+      prime = series.slice(prime_start, series.end_time());
+    });
     mw.detector = std::make_unique<detect::OnlineDetector>(
         *mw.scorer, config_.alarm, prime_start);
     // Prime with whatever history is already in the store; pre-change
     // alarms are discarded (rearmed) — only post-deployment behavior
     // changes are attributable.
-    for (MinuteTime t = prime_start; t < series.end_time(); ++t) {
-      const auto alarm = mw.detector->push(series.at(t));
+    for (MinuteTime t = prime_start;
+         t < prime_start + static_cast<MinuteTime>(prime.size()); ++t) {
+      const auto alarm = mw.detector->push(
+          prime[static_cast<std::size_t>(t - prime_start)]);
       if (alarm && alarm->minute < change.time) mw.detector->rearm();
       if (alarm && alarm->minute >= change.time &&
           !mw.verdict.kpi_change_detected) {

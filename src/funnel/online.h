@@ -9,6 +9,16 @@
 // which is how the §5.2 ad-system incident was confirmed within ~10 minutes
 // instead of the 1.5 hours manual assessment took. After `horizon` minutes
 // the watch finalizes into an AssessmentReport.
+//
+// Threading (full model in docs/CONCURRENCY.md, "Online assessor"): with a
+// synchronous store, everything runs on the producing thread, as before.
+// With an async store (StoreOptions::ingest_queue_capacity > 0) the sample
+// handler — and therefore every verdict/report callback — runs on the
+// store's dispatcher thread. Register watches and callbacks before
+// streaming samples (or quiesce with store.flush() first); read
+// active_watches() only after a flush(). Destruction is safe while samples
+// are in flight: unsubscribing from an async store blocks until the
+// in-flight callback completes.
 #pragma once
 
 #include <functional>

@@ -28,6 +28,9 @@
 // Key naming convention (see DESIGN.md "Self-observability"):
 //   <subsystem>.<object>.<stat>[_<unit>]   e.g. funnel.assess.sst_us,
 //   pool.queue_wait_us, tsdb.store.appends, funnel.online.time_to_verdict_min.
+//
+// The shard-merge model and the rest of the repo-wide threading contract
+// are documented in docs/CONCURRENCY.md.
 #pragma once
 
 #include <cstdint>

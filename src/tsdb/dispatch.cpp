@@ -1,0 +1,119 @@
+#include "tsdb/dispatch.h"
+
+#include <utility>
+
+#include "common/error.h"
+
+namespace funnel::tsdb {
+
+IngestDispatcher::IngestDispatcher(std::size_t capacity, Backpressure policy,
+                                   Sink sink)
+    : capacity_(capacity), policy_(policy), sink_(std::move(sink)) {
+  FUNNEL_REQUIRE(capacity_ >= 1, "ingest queue needs capacity >= 1");
+  FUNNEL_REQUIRE(static_cast<bool>(sink_), "ingest dispatcher needs a sink");
+  thread_ = std::thread([this] { run(); });
+}
+
+IngestDispatcher::~IngestDispatcher() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  arrival_cv_.notify_all();
+  space_cv_.notify_all();
+  thread_.join();
+}
+
+void IngestDispatcher::submit(Sample s) {
+  const obs::Registry* stats = stats_.load(std::memory_order_relaxed);
+  if (stats != nullptr) s.enqueued = std::chrono::steady_clock::now();
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (queue_.size() >= capacity_) {
+      if (policy_ == Backpressure::kBlock) {
+        space_cv_.wait(lock,
+                       [&] { return queue_.size() < capacity_ || stop_; });
+      } else {
+        queue_.pop_front();
+        ++dropped_;
+        ++settled_;
+        settled_cv_.notify_all();
+        if (stats != nullptr) stats->add("tsdb.store.dropped_samples");
+      }
+    }
+    if (stop_) return;  // shutting down: the sample is silently shed
+    queue_.push_back(std::move(s));
+    ++submitted_;
+    if (stats != nullptr) {
+      stats->set("tsdb.store.queue_depth",
+                 static_cast<double>(queue_.size()));
+    }
+  }
+  arrival_cv_.notify_one();
+}
+
+void IngestDispatcher::flush() {
+  if (on_dispatcher_thread()) return;
+  std::unique_lock<std::mutex> lock(mutex_);
+  const std::uint64_t target = submitted_;
+  settled_cv_.wait(lock, [&] { return settled_ >= target; });
+}
+
+void IngestDispatcher::await_inflight() {
+  if (on_dispatcher_thread()) return;
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (!in_sink_) return;
+  const std::uint64_t target = settled_ + 1;
+  settled_cv_.wait(lock, [&] { return settled_ >= target; });
+}
+
+std::uint64_t IngestDispatcher::dropped() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return dropped_;
+}
+
+std::size_t IngestDispatcher::depth() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return queue_.size();
+}
+
+void IngestDispatcher::run() {
+  for (;;) {
+    Sample s;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      arrival_cv_.wait(lock, [&] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop requested and fully drained
+      s = std::move(queue_.front());
+      queue_.pop_front();
+      in_sink_ = true;
+    }
+    space_cv_.notify_one();
+    const obs::Registry* stats = stats_.load(std::memory_order_relaxed);
+    if (stats != nullptr &&
+        s.enqueued != std::chrono::steady_clock::time_point{}) {
+      stats->observe(
+          "tsdb.store.dispatch_lag_us",
+          std::chrono::duration<double, std::micro>(
+              std::chrono::steady_clock::now() - s.enqueued)
+              .count());
+    }
+    try {
+      sink_(s);
+    } catch (...) {
+      if (stats != nullptr) stats->add("tsdb.store.callback_exceptions");
+    }
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      in_sink_ = false;
+      ++settled_;
+      if (stats != nullptr) {
+        stats->set("tsdb.store.queue_depth",
+                   static_cast<double>(queue_.size()));
+      }
+    }
+    settled_cv_.notify_all();
+  }
+}
+
+}  // namespace funnel::tsdb

@@ -1,0 +1,123 @@
+// Bounded MPSC ingest queue + dispatcher thread — the MetricStore's async
+// notification path (see docs/CONCURRENCY.md, "Ingest queue").
+//
+// In the paper's deployment the KPI database pushes samples to FUNNEL
+// "within one second" (§2.2) while thousands of agents keep writing; the
+// producing agents must never stall on a slow consumer. The store therefore
+// hands each appended sample to this dispatcher: producers enqueue under a
+// backpressure policy (block until space, or shed the oldest queued sample)
+// and a single dispatcher thread drains the queue in FIFO order and runs the
+// subscriber callbacks. One consumer thread means delivery order equals
+// enqueue order — per-metric in-order delivery falls out for any
+// single-writer-per-metric producer layout.
+//
+// Guarantees (regression-tested in tsdb_sharded_store_test):
+//   * flush() returns only after every sample submitted before the call has
+//     been delivered or dropped — the barrier batch tests use to make async
+//     runs byte-identical to synchronous ones.
+//   * await_inflight() returns only after the callback the dispatcher is
+//     currently running (if any) has completed — the teeth behind the
+//     store's "after unsubscribe() returns, the callback never runs again"
+//     contract.
+//   * The destructor drains the queue, then joins the thread.
+//   * A throwing callback never kills the dispatcher; the exception is
+//     swallowed (and counted as `tsdb.store.callback_exceptions` when a
+//     registry is attached). Async consumers have no frame to propagate to.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+
+#include "common/minute_time.h"
+#include "obs/registry.h"
+#include "tsdb/metric.h"
+
+namespace funnel::tsdb {
+
+/// What submit() does when the queue is full.
+enum class Backpressure {
+  kBlock,      ///< producer waits for space — lossless, applies backpressure
+  kDropOldest  ///< shed the oldest queued sample — lossy, producers never wait
+};
+
+/// One queued notification. `enqueued` is stamped only while a telemetry
+/// registry is attached (the uninstrumented path never reads the clock).
+struct Sample {
+  MetricId id;
+  MinuteTime t = 0;
+  double value = 0.0;
+  std::chrono::steady_clock::time_point enqueued{};
+};
+
+class IngestDispatcher {
+ public:
+  using Sink = std::function<void(const Sample&)>;
+
+  /// Starts the dispatcher thread. `capacity` >= 1; `sink` is invoked once
+  /// per delivered sample, on the dispatcher thread, with no locks held.
+  IngestDispatcher(std::size_t capacity, Backpressure policy, Sink sink);
+
+  /// Drains everything already queued, then joins the thread.
+  ~IngestDispatcher();
+
+  IngestDispatcher(const IngestDispatcher&) = delete;
+  IngestDispatcher& operator=(const IngestDispatcher&) = delete;
+
+  /// Enqueue one sample (any thread). Blocks or sheds per the policy.
+  void submit(Sample s);
+
+  /// Barrier: returns once every sample submitted before this call has been
+  /// delivered or dropped. Called from the sink itself it is a no-op (it
+  /// could never finish — the dispatcher is busy running the caller).
+  void flush();
+
+  /// Returns once the sink call in flight at entry (if any) has completed.
+  /// No-op on the dispatcher thread.
+  void await_inflight();
+
+  bool on_dispatcher_thread() const {
+    return std::this_thread::get_id() == thread_.get_id();
+  }
+
+  /// Samples shed by kDropOldest so far.
+  std::uint64_t dropped() const;
+
+  std::size_t depth() const;
+
+  /// Attach a telemetry registry (null detaches): queue-depth gauge
+  /// (`tsdb.store.queue_depth`), enqueue-to-dispatch lag histogram
+  /// (`tsdb.store.dispatch_lag_us`), shed-sample counter
+  /// (`tsdb.store.dropped_samples`). The registry must outlive this object.
+  void set_stats(const obs::Registry* stats) {
+    stats_.store(stats, std::memory_order_relaxed);
+  }
+
+ private:
+  void run();
+
+  const std::size_t capacity_;
+  const Backpressure policy_;
+  const Sink sink_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable space_cv_;    ///< producers waiting for room
+  std::condition_variable arrival_cv_;  ///< dispatcher waiting for work
+  std::condition_variable settled_cv_;  ///< flush/await waiters
+  std::deque<Sample> queue_;
+  std::uint64_t submitted_ = 0;  ///< accepted into the queue
+  std::uint64_t settled_ = 0;    ///< delivered + dropped
+  std::uint64_t dropped_ = 0;
+  bool in_sink_ = false;
+  bool stop_ = false;
+
+  std::atomic<const obs::Registry*> stats_{nullptr};
+  std::thread thread_;  ///< last member: started after everything above
+};
+
+}  // namespace funnel::tsdb

@@ -1,95 +1,156 @@
 #include "tsdb/store.h"
 
 #include <algorithm>
+#include <functional>
+#include <utility>
 
 #include "common/error.h"
 #include "obs/timer.h"
 
 namespace funnel::tsdb {
 
+MetricStore::MetricStore(const StoreOptions& options) {
+  FUNNEL_REQUIRE(options.num_shards >= 1, "store needs at least one shard");
+  shards_.reserve(options.num_shards);
+  for (std::size_t i = 0; i < options.num_shards; ++i) {
+    shards_.push_back(std::make_unique<StoreShard>());
+  }
+  if (options.ingest_queue_capacity > 0) {
+    dispatcher_ = std::make_unique<IngestDispatcher>(
+        options.ingest_queue_capacity, options.backpressure,
+        [this](const Sample& s) { deliver(s); });
+  }
+}
+
+MetricStore::~MetricStore() {
+  // Stop delivering before the shards (and their subscription lists) die.
+  dispatcher_.reset();
+}
+
+std::size_t MetricStore::shard_index(const MetricId& id) const {
+  if (shards_.size() == 1) return 0;
+  std::size_t h = std::hash<std::string>{}(id.entity);
+  h ^= std::hash<std::string>{}(id.kpi) + 0x9e3779b97f4a7c15ULL + (h << 6) +
+       (h >> 2);
+  h ^= static_cast<std::size_t>(id.kind) + 0x9e3779b97f4a7c15ULL + (h << 6) +
+       (h >> 2);
+  return h % shards_.size();
+}
+
 void MetricStore::create(const MetricId& id, MinuteTime start) {
-  const auto [it, inserted] = series_.emplace(id, TimeSeries(start));
+  StoreShard& sh = shard(id);
+  const std::unique_lock<std::shared_mutex> lock(sh.data_mutex);
+  const auto [it, inserted] = sh.series.emplace(id, TimeSeries(start));
   FUNNEL_REQUIRE(inserted, "metric already exists: " + id.to_string());
   (void)it;
 }
 
 bool MetricStore::has(const MetricId& id) const {
-  return series_.contains(id);
+  const StoreShard& sh = shard(id);
+  const std::shared_lock<std::shared_mutex> lock(sh.data_mutex);
+  return sh.series.contains(id);
 }
 
 void MetricStore::append(const MetricId& id, MinuteTime t, double value) {
-  auto it = series_.find(id);
-  if (it == series_.end()) {
-    it = series_.emplace(id, TimeSeries(t)).first;
-  }
-  it->second.append_at(t, value);
-  if (stats_ != nullptr) stats_->add("tsdb.store.appends");
-  if (subs_.empty()) return;
-  // Time the synchronous dispatch as one span per append: this is the
-  // latency a producing agent pays for slow consumers (the ROADMAP's async
-  // ingestion item needs exactly this series to justify itself).
-  const obs::ScopedTimer dispatch(stats_, "tsdb.store.dispatch_us");
-  std::uint64_t notified = 0;
-  for (const auto& [sid, sub] : subs_) {
-    (void)sid;
-    if (sub.filter.empty() ||
-        std::binary_search(sub.filter.begin(), sub.filter.end(), id)) {
-      sub.callback(id, t, value);
-      ++notified;
+  StoreShard& sh = shard(id);
+  {
+    const std::unique_lock<std::shared_mutex> lock(sh.data_mutex);
+    auto it = sh.series.find(id);
+    if (it == sh.series.end()) {
+      it = sh.series.emplace(id, TimeSeries(t)).first;
     }
+    it->second.append_at(t, value);
   }
-  if (stats_ != nullptr && notified > 0) {
-    stats_->add("tsdb.store.notifications", notified);
+  const obs::Registry* stats = stats_.load(std::memory_order_relaxed);
+  if (stats != nullptr) stats->add("tsdb.store.appends");
+  // The sample is visible in the shard before any notification is queued or
+  // delivered, so a callback reading the store always sees its sample.
+  if (sub_count_.load(std::memory_order_acquire) == 0) return;
+  if (dispatcher_ != nullptr) {
+    dispatcher_->submit(Sample{id, t, value, {}});
+  } else {
+    deliver(Sample{id, t, value, {}});
   }
 }
 
 void MetricStore::insert(const MetricId& id, TimeSeries series) {
-  const auto [it, inserted] = series_.emplace(id, std::move(series));
+  StoreShard& sh = shard(id);
+  const std::unique_lock<std::shared_mutex> lock(sh.data_mutex);
+  const auto [it, inserted] = sh.series.emplace(id, std::move(series));
   FUNNEL_REQUIRE(inserted, "metric already exists: " + id.to_string());
   (void)it;
 }
 
 const TimeSeries& MetricStore::series(const MetricId& id) const {
-  const auto it = series_.find(id);
-  if (it == series_.end()) {
+  const StoreShard& sh = shard(id);
+  const std::shared_lock<std::shared_mutex> lock(sh.data_mutex);
+  const auto it = sh.series.find(id);
+  if (it == sh.series.end()) {
     throw NotFound("no such metric: " + id.to_string());
   }
   return it->second;
 }
 
+std::size_t MetricStore::metric_count() const {
+  std::size_t n = 0;
+  for (const auto& sh : shards_) {
+    const std::shared_lock<std::shared_mutex> lock(sh->data_mutex);
+    n += sh->series.size();
+  }
+  return n;
+}
+
 std::vector<MetricId> MetricStore::metrics() const {
   std::vector<MetricId> out;
-  out.reserve(series_.size());
-  for (const auto& [id, s] : series_) {
-    (void)s;
-    out.push_back(id);
+  for (const auto& sh : shards_) {
+    const std::shared_lock<std::shared_mutex> lock(sh->data_mutex);
+    for (const auto& [id, s] : sh->series) {
+      (void)s;
+      out.push_back(id);
+    }
   }
+  // Each shard map is ordered; the concatenation is not. Global order keeps
+  // downstream iteration (impact_metrics, report items) shard-count
+  // independent.
+  if (shards_.size() > 1) std::sort(out.begin(), out.end());
   return out;
 }
 
 std::vector<MetricId> MetricStore::metrics_of(EntityKind kind,
                                               const std::string& entity) const {
   std::vector<MetricId> out;
-  for (const auto& [id, s] : series_) {
-    (void)s;
-    if (id.kind == kind && id.entity == entity) out.push_back(id);
+  for (const auto& sh : shards_) {
+    const std::shared_lock<std::shared_mutex> lock(sh->data_mutex);
+    for (const auto& [id, s] : sh->series) {
+      (void)s;
+      if (id.kind == kind && id.entity == entity) out.push_back(id);
+    }
   }
+  if (shards_.size() > 1) std::sort(out.begin(), out.end());
   return out;
 }
 
 std::vector<double> MetricStore::query(const MetricId& id, MinuteTime t0,
                                        MinuteTime t1) const {
-  return series(id).slice(t0, t1);
+  return read(id,
+              [&](const TimeSeries& s) { return s.slice(t0, t1); });
 }
 
 TimeSeries MetricStore::aggregate(std::span<const MetricId> ids, MinuteTime t0,
                                   MinuteTime t1) const {
-  std::vector<const TimeSeries*> ptrs;
-  ptrs.reserve(ids.size());
+  // Copy each covering window under its shard lock, then aggregate the
+  // local snapshots — aggregate_mean drops non-covering series anyway, so
+  // trimming to [t0, t1) here changes nothing in the result.
+  std::vector<TimeSeries> local;
+  local.reserve(ids.size());
   for (const MetricId& id : ids) {
-    const auto it = series_.find(id);
-    if (it != series_.end()) ptrs.push_back(&it->second);
+    read_if(id, [&](const TimeSeries& s) {
+      if (s.covers(t0, t1)) local.emplace_back(t0, s.slice(t0, t1));
+    });
   }
+  std::vector<const TimeSeries*> ptrs;
+  ptrs.reserve(local.size());
+  for (const TimeSeries& s : local) ptrs.push_back(&s);
   return aggregate_mean(ptrs, t0, t1);
 }
 
@@ -97,11 +158,97 @@ SubscriptionId MetricStore::subscribe(std::vector<MetricId> filter,
                                       Callback cb) {
   FUNNEL_REQUIRE(static_cast<bool>(cb), "subscription needs a callback");
   std::sort(filter.begin(), filter.end());
-  const SubscriptionId id = next_sub_++;
-  subs_.emplace(id, Subscription{std::move(filter), std::move(cb)});
+  filter.erase(std::unique(filter.begin(), filter.end()), filter.end());
+
+  auto sub = std::make_shared<Subscription>();
+  sub->filter = std::move(filter);
+  sub->callback = std::move(cb);
+
+  // Register on every shard that can own a matching metric, so dispatch
+  // scans only the owning shard's list.
+  std::vector<std::size_t> targets;
+  if (sub->filter.empty()) {
+    for (std::size_t i = 0; i < shards_.size(); ++i) targets.push_back(i);
+  } else {
+    for (const MetricId& id : sub->filter) {
+      targets.push_back(shard_index(id));
+    }
+    std::sort(targets.begin(), targets.end());
+    targets.erase(std::unique(targets.begin(), targets.end()), targets.end());
+  }
+  for (const std::size_t i : targets) {
+    const std::lock_guard<std::mutex> lock(shards_[i]->subs_mutex);
+    shards_[i]->subs.push_back(sub);
+  }
+
+  SubscriptionId id = 0;
+  {
+    const std::lock_guard<std::mutex> lock(sub_index_mutex_);
+    id = next_sub_++;
+    sub_index_.emplace(id, std::move(sub));
+  }
+  sub_count_.fetch_add(1, std::memory_order_release);
   return id;
 }
 
-void MetricStore::unsubscribe(SubscriptionId id) { subs_.erase(id); }
+void MetricStore::unsubscribe(SubscriptionId id) {
+  std::shared_ptr<Subscription> sub;
+  {
+    const std::lock_guard<std::mutex> lock(sub_index_mutex_);
+    const auto it = sub_index_.find(id);
+    if (it == sub_index_.end()) return;
+    sub = std::move(it->second);
+    sub_index_.erase(it);
+  }
+  sub->active.store(false, std::memory_order_release);
+  for (const auto& sh : shards_) {
+    const std::lock_guard<std::mutex> lock(sh->subs_mutex);
+    std::erase(sh->subs, sub);
+  }
+  sub_count_.fetch_sub(1, std::memory_order_release);
+  // A delivery snapshot taken before the removal may still hold this
+  // subscription; wait out the in-flight callback so that after return the
+  // callback is guaranteed dead (FunnelOnline's destructor relies on this).
+  if (dispatcher_ != nullptr) dispatcher_->await_inflight();
+}
+
+void MetricStore::flush() {
+  if (dispatcher_ != nullptr) dispatcher_->flush();
+}
+
+void MetricStore::set_stats(const obs::Registry* stats) {
+  stats_.store(stats, std::memory_order_relaxed);
+  if (dispatcher_ != nullptr) dispatcher_->set_stats(stats);
+}
+
+void MetricStore::deliver(const Sample& s) const {
+  const StoreShard& sh = shard(s.id);
+  std::vector<std::shared_ptr<Subscription>> hit;
+  {
+    const std::lock_guard<std::mutex> lock(sh.subs_mutex);
+    for (const auto& sub : sh.subs) {
+      if (!sub->active.load(std::memory_order_acquire)) continue;
+      if (sub->filter.empty() ||
+          std::binary_search(sub->filter.begin(), sub->filter.end(), s.id)) {
+        hit.push_back(sub);
+      }
+    }
+  }
+  if (hit.empty()) return;
+  const obs::Registry* stats = stats_.load(std::memory_order_relaxed);
+  // Time the dispatch as one span per sample: synchronously this is the
+  // latency a producing agent pays for slow consumers; on the dispatcher
+  // thread it is the per-sample consumer cost the queue absorbs.
+  const obs::ScopedTimer dispatch(stats, "tsdb.store.dispatch_us");
+  std::uint64_t notified = 0;
+  for (const auto& sub : hit) {
+    if (!sub->active.load(std::memory_order_acquire)) continue;
+    sub->callback(s.id, s.t, s.value);
+    ++notified;
+  }
+  if (stats != nullptr && notified > 0) {
+    stats->add("tsdb.store.notifications", notified);
+  }
+}
 
 }  // namespace funnel::tsdb

@@ -1,4 +1,4 @@
-// In-memory metric store with push subscriptions.
+// Sharded in-memory metric store with push subscriptions.
 //
 // Stand-in for the paper's centralized Hadoop-based KPI database (§2.2):
 // agents append 1-minute samples per MetricId; consumers either query ranges
@@ -6,91 +6,217 @@
 // (online FUNNEL). Service KPIs can be stored directly or derived by
 // aggregating instance KPIs.
 //
-// Thread-safety contract (audited for the parallel assessment engine): the
-// const methods perform pure lookups — no caches, no lazy indexes, no
-// mutable members — so any number of threads may read concurrently without
-// locks. Mutation (create/append/insert/subscribe/unsubscribe) is NOT
-// synchronized against readers; interleave writes and parallel assessment
-// only with external coordination.
+// Scaling model: the series are hash-partitioned over N shards
+// (StoreOptions::num_shards), each behind its own reader-writer lock, so
+// concurrent writers on different shards never contend and readers never
+// block each other. Subscriber notification can run synchronously inside
+// append() (the legacy single-threaded mode) or asynchronously on a bounded
+// MPSC queue drained by a dispatcher thread (StoreOptions::
+// ingest_queue_capacity > 0) so a slow consumer can never stall a producing
+// agent. Reports derived from this store are byte-identical for every shard
+// count and for sync vs async dispatch (with a flush() barrier) — verified
+// by tsdb_sharded_store_test.
+//
+// Thread-safety contract — the full repo-wide model lives in
+// docs/CONCURRENCY.md ("Metric store"); summary:
+//   * has/query/aggregate/metrics/metrics_of/metric_count/read/read_if are
+//     internally locked and safe against concurrent append/create/insert.
+//   * series() returns a reference whose *identity* is stable for the
+//     store's lifetime (nodes are never erased or moved) but whose samples
+//     are NOT safe to read while a writer appends to that same metric — use
+//     read()/read_if/query for concurrent access, or quiesce writers first.
+//   * append() auto-creates the series; create()/insert() throw on an
+//     existing metric. This asymmetry is deliberate: append is the agent
+//     hot path (millions of agents must not need a registration handshake),
+//     while create/insert serve builder and backfill code where writing
+//     over an existing series indicates a bug.
+//   * subscribe/unsubscribe/subscriber_count are safe from any thread; in
+//     async mode, once unsubscribe() returns the callback is guaranteed to
+//     not be running and to never run again.
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
 #include <span>
 #include <vector>
 
+#include "common/error.h"
 #include "obs/registry.h"
+#include "tsdb/dispatch.h"
 #include "tsdb/metric.h"
 #include "tsdb/series.h"
+#include "tsdb/shard.h"
 
 namespace funnel::tsdb {
 
 using SubscriptionId = std::uint64_t;
 
+/// Construction knobs. The defaults reproduce the legacy store exactly: one
+/// shard, synchronous subscriber dispatch on the producer thread.
+struct StoreOptions {
+  /// Hash-shard count (>= 1). More shards let concurrent writers and the
+  /// parallel assessment engine scale past one lock; reports are
+  /// byte-identical for every value.
+  std::size_t num_shards = 1;
+
+  /// 0 = synchronous dispatch (subscriber callbacks run inside append on
+  /// the producer thread). > 0 = async: samples are queued (this capacity)
+  /// and a dispatcher thread runs the callbacks; pair with flush() when a
+  /// batch consumer needs every notification delivered.
+  std::size_t ingest_queue_capacity = 0;
+
+  /// Full-queue policy in async mode (ignored when synchronous).
+  Backpressure backpressure = Backpressure::kBlock;
+};
+
 class MetricStore {
  public:
+  MetricStore() : MetricStore(StoreOptions{}) {}
+  explicit MetricStore(const StoreOptions& options);
+  ~MetricStore();
+
+  MetricStore(const MetricStore&) = delete;
+  MetricStore& operator=(const MetricStore&) = delete;
+
   /// Create an empty series starting at `start`. Creating an existing metric
-  /// throws.
+  /// throws (see the append/insert contract in the header comment).
   void create(const MetricId& id, MinuteTime start);
 
   bool has(const MetricId& id) const;
 
-  /// Append a sample; creates the series (starting at t) when absent.
-  /// Notifies matching subscribers synchronously — the paper's sub-second
-  /// push from database to FUNNEL.
+  /// Append a sample; creates the series (starting at t) when absent — the
+  /// agent hot path never needs a registration handshake. Matching
+  /// subscribers are notified synchronously (sync mode) or via the ingest
+  /// queue (async mode) — the paper's sub-second push from database to
+  /// FUNNEL.
   void append(const MetricId& id, MinuteTime t, double value);
 
   /// Bulk-insert a prebuilt series (no subscriber notification) — the bulk
   /// backfill path scenario builders use. Throws when the metric exists.
   void insert(const MetricId& id, TimeSeries series);
 
-  /// Series lookup; throws NotFound when absent.
+  /// Series lookup; throws NotFound when absent. The reference stays valid
+  /// for the store's lifetime, but reading it concurrently with appends to
+  /// the same metric is a data race — quiescent callers only (batch
+  /// pipelines after ingestion stops, or after flush() with no writers).
+  /// Concurrent readers should use read()/read_if/query instead.
   const TimeSeries& series(const MetricId& id) const;
 
-  std::size_t metric_count() const { return series_.size(); }
+  /// Run `fn(series)` under the owning shard's reader lock — the safe way
+  /// to take windowed views while producers keep appending. Returns fn's
+  /// result; throws NotFound when the metric is absent. `fn` must not call
+  /// back into this store (the shard lock is held; see docs/CONCURRENCY.md).
+  template <typename Fn>
+  auto read(const MetricId& id, Fn&& fn) const {
+    const StoreShard& sh = shard(id);
+    std::shared_lock<std::shared_mutex> lock(sh.data_mutex);
+    const auto it = sh.series.find(id);
+    if (it == sh.series.end()) {
+      throw NotFound("no such metric: " + id.to_string());
+    }
+    return std::forward<Fn>(fn)(it->second);
+  }
+
+  /// read() for optional metrics: returns false (without invoking `fn`)
+  /// when the metric is absent. Same reentrancy rule as read().
+  template <typename Fn>
+  bool read_if(const MetricId& id, Fn&& fn) const {
+    const StoreShard& sh = shard(id);
+    std::shared_lock<std::shared_mutex> lock(sh.data_mutex);
+    const auto it = sh.series.find(id);
+    if (it == sh.series.end()) return false;
+    std::forward<Fn>(fn)(it->second);
+    return true;
+  }
+
+  std::size_t metric_count() const;
 
   /// All metric ids, ordered.
   std::vector<MetricId> metrics() const;
 
-  /// Metric ids of one entity kind whose entity name matches exactly.
+  /// Metric ids of one entity kind whose entity name matches exactly,
+  /// ordered.
   std::vector<MetricId> metrics_of(EntityKind kind,
                                    const std::string& entity) const;
 
-  /// Copy of [t0, t1) for one metric (throws when not covered).
+  /// Copy of [t0, t1) for one metric (throws when not covered), taken under
+  /// the shard lock.
   std::vector<double> query(const MetricId& id, MinuteTime t0,
                             MinuteTime t1) const;
 
   /// Pointwise mean across the given metrics over [t0, t1) (skips metrics /
   /// minutes that are missing). This is how a service KPI is derived from
-  /// its instance KPIs and how DiD builds group averages.
+  /// its instance KPIs and how DiD builds group averages. Each input series
+  /// is copied under its shard lock (per-shard snapshot; the set is not a
+  /// single cross-shard atomic view — see docs/CONCURRENCY.md).
   TimeSeries aggregate(std::span<const MetricId> ids, MinuteTime t0,
                        MinuteTime t1) const;
 
-  /// Subscribe to samples of the given metrics. The callback runs inside
-  /// append(). An empty filter subscribes to everything.
+  /// Subscribe to samples of the given metrics. An empty filter subscribes
+  /// to everything. Sync mode runs the callback inside append(); async mode
+  /// runs it on the dispatcher thread, in per-metric enqueue order.
   using Callback =
       std::function<void(const MetricId&, MinuteTime, double)>;
   SubscriptionId subscribe(std::vector<MetricId> filter, Callback cb);
-  void unsubscribe(SubscriptionId id);
-  std::size_t subscriber_count() const { return subs_.size(); }
 
-  /// Attach a telemetry registry (null detaches): append() then counts
-  /// samples (`tsdb.store.appends`), subscriber callbacks
-  /// (`tsdb.store.notifications`) and times the synchronous dispatch loop
-  /// (`tsdb.store.dispatch_us`). The registry must outlive the store.
-  void set_stats(const obs::Registry* stats) { stats_ = stats; }
+  /// Remove a subscription (unknown ids are ignored). Async mode: blocks
+  /// until any in-flight delivery to this subscription has completed, so
+  /// after return the callback never runs again (calling unsubscribe from
+  /// inside the callback itself skips the wait and is allowed).
+  void unsubscribe(SubscriptionId id);
+
+  std::size_t subscriber_count() const {
+    return sub_count_.load(std::memory_order_acquire);
+  }
+
+  /// Async mode: barrier — returns once every sample appended before the
+  /// call has been delivered (or shed). Sync mode: no-op. Batch tests use
+  /// this to make async runs byte-identical to synchronous ones.
+  void flush();
+
+  /// True when notification runs on the dispatcher thread.
+  bool async() const { return dispatcher_ != nullptr; }
+
+  std::size_t num_shards() const { return shards_.size(); }
+
+  /// Samples shed by the kDropOldest policy so far (0 in sync/kBlock mode).
+  std::uint64_t dropped_samples() const {
+    return dispatcher_ ? dispatcher_->dropped() : 0;
+  }
+
+  /// Attach a telemetry registry (null detaches): append() counts samples
+  /// (`tsdb.store.appends`), delivery counts callbacks
+  /// (`tsdb.store.notifications`) and times the dispatch loop
+  /// (`tsdb.store.dispatch_us`); async mode adds the queue-depth gauge,
+  /// dispatch-lag histogram and dropped-samples counter (see dispatch.h).
+  /// The registry must outlive the store.
+  void set_stats(const obs::Registry* stats);
 
  private:
-  struct Subscription {
-    std::vector<MetricId> filter;  // sorted; empty = all
-    Callback callback;
-  };
+  std::size_t shard_index(const MetricId& id) const;
+  StoreShard& shard(const MetricId& id) { return *shards_[shard_index(id)]; }
+  const StoreShard& shard(const MetricId& id) const {
+    return *shards_[shard_index(id)];
+  }
 
-  std::map<MetricId, TimeSeries> series_;
-  std::map<SubscriptionId, Subscription> subs_;
+  /// Snapshot the matching subscriptions for one sample and run their
+  /// callbacks with no locks held. Runs on the producer thread (sync) or
+  /// the dispatcher thread (async).
+  void deliver(const Sample& s) const;
+
+  std::vector<std::unique_ptr<StoreShard>> shards_;
+
+  mutable std::mutex sub_index_mutex_;  ///< guards sub_index_ and next_sub_
+  std::map<SubscriptionId, std::shared_ptr<Subscription>> sub_index_;
   SubscriptionId next_sub_ = 1;
-  const obs::Registry* stats_ = nullptr;
+  std::atomic<std::size_t> sub_count_{0};
+
+  std::atomic<const obs::Registry*> stats_{nullptr};
+  std::unique_ptr<IngestDispatcher> dispatcher_;  ///< null in sync mode
 };
 
 }  // namespace funnel::tsdb

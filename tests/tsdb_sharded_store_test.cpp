@@ -1,0 +1,411 @@
+// Tests for the sharded metric store and its async ingest path: the
+// byte-equivalence claim (reports identical for every shard count and for
+// sync vs async dispatch), the flush() barrier, both backpressure policies,
+// per-metric delivery order, the unsubscribe guarantee, and the
+// append/insert contract. The stress tests here are the ones the
+// FUNNEL_SANITIZE=thread job (scripts/tsan_concurrency.sh) runs under
+// ThreadSanitizer; see docs/CONCURRENCY.md for the model they pin down.
+#include "tsdb/store.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <future>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "funnel/online.h"
+#include "funnel/report_json.h"
+#include "workload/generators.h"
+#include "workload/stream.h"
+
+namespace funnel::tsdb {
+namespace {
+
+constexpr MinuteTime kDay = kMinutesPerDay;
+
+MetricId test_metric(const std::string& server, const std::string& kpi) {
+  return server_metric(server, kpi);
+}
+
+// ---------------------------------------------------------------------------
+// Byte-equivalence: the tentpole invariant. One dark-launch scenario run
+// through the full online pipeline on stores configured with 1 shard
+// synchronous (the legacy reference), and 1/4/16 shards asynchronous; every
+// run must produce the exact same report JSON.
+
+struct ScenarioResult {
+  std::string online_json;
+  std::string batch_json;
+};
+
+ScenarioResult run_scenario(const StoreOptions& options) {
+  topology::ServiceTopology topo;
+  changes::ChangeLog log;
+  MetricStore store(options);
+  const MinuteTime tc = 4 * kDay + 300;
+
+  const std::vector<std::string> servers{"s1", "s2", "s3", "s4"};
+  for (const auto& s : servers) topo.add_server("svc", s);
+  changes::SoftwareChange ch;
+  ch.service = "svc";
+  ch.time = tc;
+  ch.mode = changes::LaunchMode::kDark;
+  ch.servers = {"s1", "s2"};
+  const changes::ChangeId cid = log.record(ch, topo);
+
+  Rng rng(7);
+  std::vector<std::pair<MetricId, std::unique_ptr<workload::KpiStream>>>
+      streams;
+  for (const auto& s : servers) {
+    workload::StationaryParams p;
+    p.level = 50.0;
+    auto stream = std::make_unique<workload::KpiStream>(
+        workload::make_stationary(p, rng.split()));
+    if (s == "s1" || s == "s2") {
+      stream->add_effect(workload::LevelShift{tc, 8.0});
+    }
+    const MetricId id = test_metric(s, "mem");
+    workload::materialize(*stream, store, id, 0, tc);
+    streams.emplace_back(id, std::move(stream));
+  }
+
+  core::FunnelConfig cfg;
+  cfg.baseline_days = 3;
+  ScenarioResult result;
+  {
+    core::FunnelOnline online(cfg, topo, log, store);
+    // The report callback runs on the dispatcher thread in async mode; the
+    // flush() below is the barrier that makes reading `report` safe (and
+    // guarantees the watch has finalized).
+    core::AssessmentReport report;
+    online.on_report([&](const core::AssessmentReport& r) { report = r; });
+    online.watch(cid);
+    for (MinuteTime t = tc; t < tc + 61; ++t) {
+      for (auto& [id, stream] : streams) {
+        store.append(id, t, stream->sample(t));
+      }
+    }
+    store.flush();
+    result.online_json = core::to_json(report);
+  }
+  const core::Funnel funnel(cfg, topo, log, store);
+  result.batch_json = core::to_json(funnel.assess(cid));
+  return result;
+}
+
+TEST(ShardedStore, ReportsByteIdenticalAcrossShardsAndDispatchModes) {
+  const ScenarioResult reference =
+      run_scenario({.num_shards = 1, .ingest_queue_capacity = 0});
+  ASSERT_FALSE(reference.online_json.empty());
+  EXPECT_NE(reference.online_json.find("\"items\""), std::string::npos);
+
+  for (const std::size_t shards : {std::size_t{1}, std::size_t{4},
+                                   std::size_t{16}}) {
+    const ScenarioResult async_run = run_scenario(
+        {.num_shards = shards, .ingest_queue_capacity = 64,
+         .backpressure = Backpressure::kBlock});
+    EXPECT_EQ(async_run.online_json, reference.online_json)
+        << "online report diverged at num_shards=" << shards;
+    EXPECT_EQ(async_run.batch_json, reference.batch_json)
+        << "batch report diverged at num_shards=" << shards;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Dispatcher semantics.
+
+TEST(ShardedStore, FlushDeliversEverySampleSubmittedBeforeIt) {
+  MetricStore store({.num_shards = 4, .ingest_queue_capacity = 8});
+  std::atomic<int> delivered{0};
+  store.subscribe({}, [&](const MetricId&, MinuteTime, double) {
+    delivered.fetch_add(1, std::memory_order_relaxed);
+  });
+  const MetricId id = test_metric("s1", "kpi");
+  for (MinuteTime t = 0; t < 200; ++t) store.append(id, t, 1.0);
+  store.flush();
+  EXPECT_EQ(delivered.load(), 200);
+  EXPECT_EQ(store.dropped_samples(), 0u);
+}
+
+TEST(ShardedStore, BlockPolicyIsLosslessUnderConcurrentProducers) {
+  // Tiny queue + several producers: every append must still be delivered.
+  MetricStore store({.num_shards = 4, .ingest_queue_capacity = 2,
+                     .backpressure = Backpressure::kBlock});
+  std::atomic<int> delivered{0};
+  store.subscribe({}, [&](const MetricId&, MinuteTime, double) {
+    delivered.fetch_add(1, std::memory_order_relaxed);
+  });
+  constexpr int kPerProducer = 250;
+  std::vector<std::thread> producers;
+  for (int p = 0; p < 4; ++p) {
+    producers.emplace_back([&, p] {
+      const MetricId id = test_metric("s" + std::to_string(p), "kpi");
+      for (MinuteTime t = 0; t < kPerProducer; ++t) store.append(id, t, 1.0);
+    });
+  }
+  for (auto& th : producers) th.join();
+  store.flush();
+  EXPECT_EQ(delivered.load(), 4 * kPerProducer);
+  EXPECT_EQ(store.dropped_samples(), 0u);
+}
+
+TEST(ShardedStore, DropOldestShedsExactlyTheOldestQueuedSamples) {
+  // Deterministic shed sequence: stall the dispatcher inside the first
+  // callback, fill the queue, then overflow it and check which minutes
+  // survived. Capacity 4, one in flight (minute 0), minutes 1..4 queued,
+  // minutes 5..7 each shed the oldest queued sample (1, 2, 3).
+  MetricStore store({.num_shards = 1, .ingest_queue_capacity = 4,
+                     .backpressure = Backpressure::kDropOldest});
+  std::promise<void> entered;
+  std::promise<void> release;
+  std::shared_future<void> release_f = release.get_future().share();
+  std::atomic<bool> first{true};
+  std::vector<MinuteTime> received;  // dispatcher thread only
+  store.subscribe({}, [&](const MetricId&, MinuteTime t, double) {
+    received.push_back(t);
+    if (first.exchange(false)) {
+      entered.set_value();
+      release_f.wait();
+    }
+  });
+  const MetricId id = test_metric("s1", "kpi");
+  store.append(id, 0, 1.0);
+  entered.get_future().wait();  // minute 0 is in the sink, queue is empty
+  for (MinuteTime t = 1; t <= 7; ++t) store.append(id, t, 1.0);
+  release.set_value();
+  store.flush();
+  EXPECT_EQ(store.dropped_samples(), 3u);
+  EXPECT_EQ(received, (std::vector<MinuteTime>{0, 4, 5, 6, 7}));
+  // The store itself is lossless either way — only notifications shed.
+  EXPECT_EQ(store.query(id, 0, 8).size(), 8u);
+}
+
+TEST(ShardedStore, DeliveryIsInOrderPerMetric) {
+  // Single dispatcher thread => FIFO delivery; with one writer per metric
+  // that means strictly increasing minutes per metric, regardless of how
+  // the producers interleave. Regression test for the ordering guarantee
+  // FunnelOnline's detectors depend on.
+  MetricStore store({.num_shards = 4, .ingest_queue_capacity = 64});
+  std::map<std::string, std::vector<MinuteTime>> seen;  // dispatcher only
+  store.subscribe({}, [&](const MetricId& id, MinuteTime t, double) {
+    seen[id.entity].push_back(t);
+  });
+  constexpr MinuteTime kMinutes = 400;
+  std::vector<std::thread> producers;
+  for (int p = 0; p < 3; ++p) {
+    producers.emplace_back([&, p] {
+      const MetricId id = test_metric("s" + std::to_string(p), "kpi");
+      for (MinuteTime t = 0; t < kMinutes; ++t) store.append(id, t, 1.0);
+    });
+  }
+  for (auto& th : producers) th.join();
+  store.flush();
+  ASSERT_EQ(seen.size(), 3u);
+  for (const auto& [entity, minutes] : seen) {
+    ASSERT_EQ(minutes.size(), static_cast<std::size_t>(kMinutes)) << entity;
+    for (std::size_t i = 0; i < minutes.size(); ++i) {
+      ASSERT_EQ(minutes[i], static_cast<MinuteTime>(i))
+          << entity << " out of order at " << i;
+    }
+  }
+}
+
+TEST(ShardedStore, FlushFromInsideCallbackDoesNotDeadlock) {
+  MetricStore store({.num_shards = 1, .ingest_queue_capacity = 4});
+  std::atomic<int> delivered{0};
+  store.subscribe({}, [&](const MetricId&, MinuteTime, double) {
+    store.flush();  // no-op on the dispatcher thread, must not self-wait
+    delivered.fetch_add(1, std::memory_order_relaxed);
+  });
+  const MetricId id = test_metric("s1", "kpi");
+  for (MinuteTime t = 0; t < 10; ++t) store.append(id, t, 1.0);
+  store.flush();
+  EXPECT_EQ(delivered.load(), 10);
+}
+
+TEST(ShardedStore, UnsubscribeWaitsForInFlightCallback) {
+  MetricStore store({.num_shards = 1, .ingest_queue_capacity = 4});
+  std::promise<void> entered;
+  std::promise<void> release;
+  std::shared_future<void> release_f = release.get_future().share();
+  std::atomic<bool> first{true};
+  std::atomic<int> delivered{0};
+  const SubscriptionId sub =
+      store.subscribe({}, [&](const MetricId&, MinuteTime, double) {
+        if (first.exchange(false)) {
+          entered.set_value();
+          release_f.wait();
+        }
+        delivered.fetch_add(1, std::memory_order_relaxed);
+      });
+  const MetricId id = test_metric("s1", "kpi");
+  store.append(id, 0, 1.0);
+  entered.get_future().wait();  // callback is now stalled in flight
+
+  std::atomic<bool> unsubscribed{false};
+  std::thread t([&] {
+    store.unsubscribe(sub);  // must block until the callback completes
+    unsubscribed.store(true, std::memory_order_release);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_FALSE(unsubscribed.load(std::memory_order_acquire));
+  release.set_value();
+  t.join();
+  EXPECT_TRUE(unsubscribed.load());
+  EXPECT_EQ(delivered.load(), 1);
+  EXPECT_EQ(store.subscriber_count(), 0u);
+
+  // After unsubscribe() returned the callback never runs again.
+  for (MinuteTime t2 = 1; t2 < 10; ++t2) store.append(id, t2, 1.0);
+  store.flush();
+  EXPECT_EQ(delivered.load(), 1);
+}
+
+// ---------------------------------------------------------------------------
+// Concurrent readers against concurrent writers — the TSan workhorse.
+
+TEST(ShardedStore, ConcurrentAppendAndQueryStress) {
+  MetricStore store({.num_shards = 16, .ingest_queue_capacity = 256});
+  std::atomic<int> delivered{0};
+  store.subscribe({}, [&](const MetricId&, MinuteTime, double) {
+    delivered.fetch_add(1, std::memory_order_relaxed);
+  });
+
+  constexpr int kWriters = 4;
+  constexpr MinuteTime kMinutes = 500;
+  std::atomic<bool> done{false};
+  std::vector<MetricId> ids;
+  for (int w = 0; w < kWriters; ++w) {
+    ids.push_back(test_metric("w" + std::to_string(w), "kpi"));
+  }
+
+  std::vector<std::thread> writers;
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&, w] {
+      for (MinuteTime t = 0; t < kMinutes; ++t) {
+        store.append(ids[w], t, static_cast<double>(t));
+      }
+    });
+  }
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 2; ++r) {
+    readers.emplace_back([&] {
+      while (!done.load(std::memory_order_acquire)) {
+        (void)store.metric_count();
+        (void)store.metrics();
+        (void)store.subscriber_count();
+        for (const auto& id : ids) {
+          if (!store.has(id)) continue;
+          store.read_if(id, [](const TimeSeries& s) {
+            // Taking a bounded snapshot under the shard lock is the
+            // supported concurrent-read idiom.
+            if (!s.empty()) (void)s.slice(s.start_time(), s.end_time());
+          });
+        }
+        (void)store.aggregate(ids, 0, kMinutes);
+      }
+    });
+  }
+  for (auto& th : writers) th.join();
+  done.store(true, std::memory_order_release);
+  for (auto& th : readers) th.join();
+  store.flush();
+
+  EXPECT_EQ(store.metric_count(), static_cast<std::size_t>(kWriters));
+  EXPECT_EQ(delivered.load(), kWriters * kMinutes);
+  for (const auto& id : ids) {
+    EXPECT_EQ(store.query(id, 0, kMinutes).size(),
+              static_cast<std::size_t>(kMinutes));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Store contract details that the sharding must preserve.
+
+TEST(ShardedStore, MetricsAreGloballySortedAcrossShards) {
+  MetricStore store({.num_shards = 16});
+  const std::vector<std::string> names{"zeta", "alpha", "mu", "beta", "nu",
+                                       "kappa", "omega", "eta"};
+  for (const auto& n : names) store.append(test_metric(n, "kpi"), 0, 1.0);
+  const std::vector<MetricId> got = store.metrics();
+  ASSERT_EQ(got.size(), names.size());
+  EXPECT_TRUE(std::is_sorted(got.begin(), got.end()));
+  EXPECT_EQ(store.metrics_of(EntityKind::kServer, "mu").size(), 1u);
+}
+
+TEST(ShardedStore, AppendAutoCreatesButCreateAndInsertThrowOnExisting) {
+  // The documented asymmetry (store.h header): append is the agent hot path
+  // and auto-creates; create/insert serve builder code and refuse to write
+  // over an existing series.
+  MetricStore store({.num_shards = 16});
+  const MetricId id = test_metric("srv", "kpi");
+  store.append(id, 100, 1.0);  // auto-created
+  EXPECT_TRUE(store.has(id));
+  EXPECT_THROW(store.create(id, 0), InvalidArgument);
+  EXPECT_THROW(store.insert(id, TimeSeries(0)), InvalidArgument);
+  store.append(id, 101, 2.0);  // appending to an existing series is fine
+  EXPECT_EQ(store.query(id, 100, 102).size(), 2u);
+}
+
+TEST(ShardedStore, SubscriberCountIsSafeFromAnyThread) {
+  MetricStore store({.num_shards = 4, .ingest_queue_capacity = 16});
+  std::vector<SubscriptionId> subs;
+  for (int i = 0; i < 8; ++i) {
+    subs.push_back(
+        store.subscribe({}, [](const MetricId&, MinuteTime, double) {}));
+  }
+  std::atomic<bool> done{false};
+  std::thread watcher([&] {
+    while (!done.load(std::memory_order_acquire)) {
+      const std::size_t n = store.subscriber_count();
+      ASSERT_LE(n, 8u);
+    }
+  });
+  for (const SubscriptionId s : subs) store.unsubscribe(s);
+  done.store(true, std::memory_order_release);
+  watcher.join();
+  EXPECT_EQ(store.subscriber_count(), 0u);
+}
+
+TEST(ShardedStore, FilteredSubscriptionOnlySeesItsMetrics) {
+  MetricStore store({.num_shards = 16, .ingest_queue_capacity = 16});
+  const MetricId wanted = test_metric("s1", "mem");
+  const MetricId other = test_metric("s2", "cpu");
+  std::vector<MinuteTime> seen;  // dispatcher thread only
+  store.subscribe({wanted},
+                  [&](const MetricId& id, MinuteTime t, double) {
+                    EXPECT_EQ(id, wanted);
+                    seen.push_back(t);
+                  });
+  for (MinuteTime t = 0; t < 5; ++t) {
+    store.append(wanted, t, 1.0);
+    store.append(other, t, 2.0);
+  }
+  store.flush();
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(ShardedStore, SyncModeKeepsLegacySemantics) {
+  // ingest_queue_capacity = 0: callbacks run inside append on the producer
+  // thread, flush() is a no-op, nothing is ever dropped.
+  MetricStore store({.num_shards = 4});
+  EXPECT_FALSE(store.async());
+  std::thread::id cb_thread;
+  int delivered = 0;
+  store.subscribe({}, [&](const MetricId&, MinuteTime, double) {
+    cb_thread = std::this_thread::get_id();
+    ++delivered;
+  });
+  store.append(test_metric("s1", "kpi"), 0, 1.0);
+  EXPECT_EQ(delivered, 1);
+  EXPECT_EQ(cb_thread, std::this_thread::get_id());
+  store.flush();  // no-op, must not hang
+  EXPECT_EQ(store.dropped_samples(), 0u);
+}
+
+}  // namespace
+}  // namespace funnel::tsdb

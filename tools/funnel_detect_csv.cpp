@@ -5,7 +5,7 @@
 //                     [--method ika|improved|classic|cusum|mrls]
 //                     [--threshold X] [--persistence N] [--patience N]
 //                     [--omega N] [--scores] [--threads N]
-//                     [--change-minute T]
+//                     [--change-minute T] [--shards N] [--ingest-queue N]
 //                     [--stats] [--stats-json FILE]
 //
 // Input: `minute,value` rows (one sample per minute; empty value = gap).
@@ -19,7 +19,11 @@
 // determination), and the verdict — including the confirming minute and
 // time-to-verdict — is printed. This exercises every pipeline stage, so the
 // telemetry dump below covers detection, DiD, the store and the online
-// assessor.
+// assessor. The store behind that pipeline is hash-sharded (--shards,
+// default 4) and pushes samples through the async ingest queue
+// (--ingest-queue capacity, default 1024; 0 = legacy synchronous dispatch);
+// output is byte-identical for every combination — the run ends with a
+// flush() barrier (see docs/CONCURRENCY.md).
 //
 // --stats prints the run's self-telemetry (Prometheus text) to stderr;
 // --stats-json FILE writes the JSON snapshot. Per-CSV wall clock always
@@ -71,7 +75,8 @@ void usage(const char* argv0) {
       "          [--method ika|improved|classic|cusum|mrls]\n"
       "          [--threshold X] [--persistence N] [--patience N]\n"
       "          [--omega N] [--scores] [--threads N]\n"
-      "          [--change-minute T] [--stats] [--stats-json FILE]\n",
+      "          [--change-minute T] [--shards N] [--ingest-queue N]\n"
+      "          [--stats] [--stats-json FILE]\n",
       argv0);
 }
 
@@ -86,6 +91,8 @@ struct Options {
   std::size_t threads = 0;  // 0 = hardware concurrency
   bool print_scores = false;
   MinuteTime change_minute = -1;  // >= 0 switches to the pipeline mode
+  std::size_t shards = 4;         // store hash-shard count (pipeline mode)
+  std::size_t ingest_queue = 1024;  // async ingest capacity; 0 = sync
   bool print_stats = false;
   std::string stats_json_path;
 };
@@ -117,6 +124,11 @@ bool parse(int argc, char** argv, Options& opt) {
       if (++i >= argc) return false;
       opt.change_minute = std::atoll(argv[i]);
       if (opt.change_minute < 0) return false;
+    } else if (a == "--shards") {
+      if (!next(nullptr, &opt.shards)) return false;
+      if (opt.shards == 0) return false;
+    } else if (a == "--ingest-queue") {
+      if (!next(nullptr, &opt.ingest_queue)) return false;
     } else if (a == "--stats") {
       opt.print_stats = true;
     } else if (a == "--stats-json") {
@@ -270,7 +282,14 @@ FileResult assess_file(const std::string& path, const Options& opt,
   ch.description = path;
   const changes::ChangeId cid = log.record(ch, topo);
 
-  tsdb::MetricStore store;
+  // Sharded store with (by default) async subscriber dispatch: appends below
+  // hand samples to the ingest queue, the dispatcher thread drives the
+  // online assessor, and flush() below is the barrier that makes the output
+  // byte-identical to the synchronous path.
+  tsdb::MetricStore store(tsdb::StoreOptions{
+      .num_shards = opt.shards,
+      .ingest_queue_capacity = opt.ingest_queue,
+      .backpressure = tsdb::Backpressure::kBlock});
   store.set_stats(stats);
   const tsdb::MetricId metric = tsdb::server_metric("host", "kpi");
   tsdb::TimeSeries history(series.start_time());
@@ -289,6 +308,8 @@ FileResult assess_file(const std::string& path, const Options& opt,
   // changes are still delivered, §2.2).
   cfg.baseline_days = 3;
   cfg.horizon = std::min<MinuteTime>(cfg.horizon, series.end_time() - tc - 1);
+  cfg.num_shards = opt.shards;
+  cfg.ingest_queue_capacity = opt.ingest_queue;
   cfg.num_threads = 1;
   cfg.stats = stats;
 
@@ -303,6 +324,9 @@ FileResult assess_file(const std::string& path, const Options& opt,
   for (MinuteTime t = tc; t < series.end_time(); ++t) {
     store.append(metric, t, series.at(t));
   }
+  // Barrier: wait until the dispatcher has delivered every queued sample
+  // (no-op for a synchronous store) before reading the report.
+  store.flush();
 
   char line[160];
   std::snprintf(line, sizeof(line),

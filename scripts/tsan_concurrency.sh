@@ -4,9 +4,10 @@
 # This is the FUNNEL_SANITIZE=thread ctest job: it configures a dedicated
 # build tree with -DFUNNEL_SANITIZE=thread and runs the tests that exercise
 # shared state across threads — the sharded store + ingest dispatcher, the
-# thread pool, the parallel assessment engine, the online assessor and the
-# telemetry registry. docs/CONCURRENCY.md describes the model these tests
-# pin down; a TSan report here means that model has been violated.
+# thread pool, the parallel assessment engine, the online assessor, the
+# telemetry registry, and the tracer's cross-thread span propagation.
+# docs/CONCURRENCY.md describes the model these tests pin down; a TSan
+# report here means that model has been violated.
 #
 # Usage: scripts/tsan_concurrency.sh [build-dir]   (default: build-tsan)
 set -euo pipefail
@@ -20,6 +21,8 @@ TARGETS=(
   funnel_parallel_test
   funnel_online_test
   obs_registry_test
+  obs_trace_test
+  funnel_trace_test
 )
 
 cmake -B "${BUILD_DIR}" -S . \

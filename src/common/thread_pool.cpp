@@ -4,6 +4,7 @@
 #include <atomic>
 
 #include "common/error.h"
+#include "obs/trace.h"
 
 namespace funnel {
 namespace {
@@ -24,6 +25,10 @@ struct ThreadPool::ForBatch {
   std::size_t end = 0;
   std::size_t total = 0;  ///< indices in the batch
   const ForBody* body = nullptr;
+  /// Initiator's ambient trace context, re-installed around every body so
+  /// spans opened inside a task attach under the caller's span even on a
+  /// worker thread (obs/trace.h). Empty when no span was open.
+  obs::SpanContext trace_ctx{};
 
   std::atomic<std::size_t> done{0};  ///< completed indices
   std::mutex mutex;                  ///< guards error + completion wait
@@ -126,6 +131,7 @@ void ThreadPool::worker_loop(std::size_t worker_index) {
 
 void ThreadPool::run_batch(const std::shared_ptr<ForBatch>& batch) const {
   const std::size_t slot = this_slot();
+  const obs::ScopedContext trace_ctx(batch->trace_ctx);
   for (;;) {
     const std::size_t i =
         batch->next.fetch_add(1, std::memory_order_relaxed);
@@ -156,6 +162,7 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
   batch->end = end;
   batch->total = total;
   batch->body = &body;
+  batch->trace_ctx = obs::current_context();
 
   // One runner per worker (capped at the batch size): each loops claiming
   // indices until the range is exhausted. The caller is runner number

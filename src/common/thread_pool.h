@@ -76,7 +76,10 @@ class ThreadPool {
   /// index has run; rethrows the first exception a body threw. `slot` is
   /// stable for the executing thread (see slots()) and distinct bodies
   /// running concurrently always observe distinct slots. An empty or
-  /// inverted range is a no-op.
+  /// inverted range is a no-op. The caller's ambient trace context
+  /// (obs/trace.h) is captured at the call and re-installed around every
+  /// body, so spans opened inside tasks attach under the caller's span
+  /// regardless of which thread runs them.
   using ForBody = std::function<void(std::size_t index, std::size_t slot)>;
   void parallel_for(std::size_t begin, std::size_t end, const ForBody& body);
 

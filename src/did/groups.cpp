@@ -4,6 +4,7 @@
 
 #include "common/error.h"
 #include "common/stats.h"
+#include "obs/trace.h"
 
 namespace funnel::did {
 
@@ -89,16 +90,29 @@ DiDResult did_dark_launch(const tsdb::MetricStore& store,
                           std::span<const tsdb::MetricId> treated,
                           std::span<const tsdb::MetricId> control,
                           MinuteTime change_time, std::size_t omega) {
+  // Ambient-context span: no tracer is plumbed this deep — when the
+  // assessor's determination span is open on this thread the group sizes
+  // and noise scale land under it, otherwise this is a no-op.
+  obs::Span trace_span("did.dark_launch");
   const GroupMeans t = collect_group(store, treated, change_time, omega);
   const GroupMeans c = collect_group(store, control, change_time, omega);
   FUNNEL_REQUIRE(!t.pre.empty(), "dark-launch DiD: empty treated group");
   FUNNEL_REQUIRE(!c.pre.empty(), "dark-launch DiD: empty control group");
+  if (trace_span.active()) {
+    trace_span.attr("did.treated_kpis", t.pre.size());
+    trace_span.attr("did.control_kpis", c.pre.size());
+    trace_span.attr("did.pooled_scale", c.pooled_scale);
+  }
   return did_from_groups(t.pre, t.post, c.pre, c.post, c.pooled_scale);
 }
 
 DiDResult did_historical(const tsdb::TimeSeries& series,
                          MinuteTime change_time, std::size_t omega,
                          int baseline_days) {
+  obs::Span trace_span("did.historical");
+  if (trace_span.active()) {
+    trace_span.attr("did.baseline_days", baseline_days);
+  }
   const auto w = static_cast<MinuteTime>(omega);
   const auto pre = window_mean(series, change_time - w, change_time);
   const auto post = window_mean(series, change_time, change_time + w);
@@ -108,6 +122,10 @@ DiDResult did_historical(const tsdb::TimeSeries& series,
       collect_historical_control(series, change_time, omega, baseline_days);
   FUNNEL_REQUIRE(!c.pre.empty(),
                  "historical DiD: no clean baseline day in history");
+  if (trace_span.active()) {
+    trace_span.attr("did.clean_baseline_days", c.pre.size());
+    trace_span.attr("did.pooled_scale", c.pooled_scale);
+  }
   const std::vector<double> tp{*pre};
   const std::vector<double> to{*post};
   return did_from_groups(tp, to, c.pre, c.post, c.pooled_scale);

@@ -5,9 +5,11 @@
 
 #include "common/error.h"
 #include "detect/ika_sst.h"
+#include "detect/sst_common.h"
 #include "did/groups.h"
 #include "obs/registry.h"
 #include "obs/timer.h"
+#include "obs/trace.h"
 
 namespace funnel::core {
 
@@ -25,16 +27,36 @@ Funnel::~Funnel() = default;
 AssessmentReport Funnel::assess(changes::ChangeId id) const {
   const obs::ScopedTimer total(config_.stats, "funnel.assess.total_us");
   const changes::SoftwareChange& change = log_.get(id);
+  // Root of the assessment's span tree (child of the ambient span when
+  // assess_window distributes changes over the pool). Every per-KPI span —
+  // wherever its task runs — attaches under it via the ambient context.
+  obs::Span trace_span(config_.tracer, "funnel.assess");
+  if (trace_span.active()) {
+    trace_span.attr("change.id", id);
+    trace_span.attr("change.minute", change.time);
+    trace_span.attr("change.service", std::string_view(change.service));
+    trace_span.attr("change.mode", changes::to_string(change.mode));
+  }
   AssessmentReport report;
   report.change_id = id;
   report.change_time = change.time;
   {
     const obs::ScopedTimer span(config_.stats,
                                 "funnel.assess.impact_set_us");
+    obs::Span trace("funnel.assess.impact_set");
     report.impact_set = identify_impact_set(change, topo_);
+    if (trace.active()) {
+      trace.attr("impact.tservers", report.impact_set.tservers.size());
+      trace.attr("impact.cservers", report.impact_set.cservers.size());
+      trace.attr("impact.affected_services",
+                 report.impact_set.affected_services.size());
+      trace.attr("impact.dark_launched",
+                 static_cast<int>(report.impact_set.dark_launched));
+    }
   }
   const std::vector<tsdb::MetricId> metrics =
       impact_metrics(report.impact_set, store_);
+  if (trace_span.active()) trace_span.attr("impact.kpis", metrics.size());
   report.items.resize(metrics.size());
   if (pool_ == nullptr || metrics.size() < 2) {
     detect::IkaSst scorer(config_.geometry);
@@ -75,7 +97,16 @@ std::vector<AssessmentReport> Funnel::assess_window(MinuteTime t0,
                                                     MinuteTime t1) const {
   const obs::ScopedTimer total(config_.stats,
                                "funnel.assess_window.total_us");
+  // One span tree per batch: each assess() root becomes a child of this
+  // span (directly serial, via the captured ambient context when the pool
+  // distributes changes).
+  obs::Span trace_span(config_.tracer, "funnel.assess_window");
   const std::vector<changes::ChangeId> ids = log_.in_window(t0, t1);
+  if (trace_span.active()) {
+    trace_span.attr("window.t0", t0);
+    trace_span.attr("window.t1", t1);
+    trace_span.attr("window.changes", ids.size());
+  }
   std::vector<AssessmentReport> out(ids.size());
   if (pool_ == nullptr || ids.size() < 2) {
     for (std::size_t i = 0; i < ids.size(); ++i) out[i] = assess(ids[i]);
@@ -108,6 +139,14 @@ ItemVerdict Funnel::assess_metric_with(detect::IkaSst& scorer,
   ItemVerdict verdict;
   verdict.metric = metric;
 
+  // Per-KPI provenance span. Runs on a pool worker in the parallel path;
+  // the ambient context installed by parallel_for parents it under the
+  // assess() root regardless of which thread executes the task.
+  obs::Span trace_span(config_.tracer, "funnel.assess.kpi");
+  if (trace_span.active()) {
+    trace_span.attr("kpi.metric", metric.to_string());
+  }
+
   const MinuteTime tc = change.time;
   const auto w = static_cast<MinuteTime>(scorer.window_size());
 
@@ -120,15 +159,21 @@ ItemVerdict Funnel::assess_metric_with(detect::IkaSst& scorer,
     const MinuteTime t1 = std::min(series.end_time(), tc + config_.horizon);
     if (t1 - t0 >= w) slice = series.slice(t0, t1);
   });
-  if (slice.empty()) return verdict;  // not enough data to score even once
+  if (slice.empty()) {  // not enough data to score even once
+    if (trace_span.active()) {
+      trace_span.attr("kpi.cause", to_string(verdict.cause));
+    }
+    return verdict;
+  }
 
   // Per-KPI detection stage (runs on a pool worker in the parallel path —
   // the shard-per-thread registry absorbs the concurrent recording). The
   // span covers scoring + alarm scan only; determination has its own span.
+  std::vector<double> scores;
   std::vector<detect::Alarm> alarms;
   {
     const obs::ScopedTimer span(config_.stats, "funnel.assess.sst_us");
-    const std::vector<double> scores = detect::score_series(scorer, slice);
+    scores = detect::score_series(scorer, slice);
     alarms = detect::all_alarms(scores, scorer.window_size(), t0,
                                 config_.alarm);
   }
@@ -137,12 +182,66 @@ ItemVerdict Funnel::assess_metric_with(detect::IkaSst& scorer,
   const auto it = std::find_if(
       alarms.begin(), alarms.end(),
       [tc](const detect::Alarm& a) { return a.minute >= tc; });
-  if (it == alarms.end()) return verdict;
+  if (it == alarms.end()) {
+    if (trace_span.active()) {
+      trace_span.attr("kpi.cause", to_string(verdict.cause));
+    }
+    return verdict;
+  }
 
   verdict.kpi_change_detected = true;
   verdict.alarm = *it;
+  if (trace_span.active()) {
+    trace_sst_provenance(trace_span, *it, slice, scores, t0);
+  }
   determine_cause(change, set, metric, config_.did_window, verdict);
+  if (trace_span.active()) {
+    trace_span.attr("kpi.cause", to_string(verdict.cause));
+  }
   return verdict;
+}
+
+void Funnel::trace_sst_provenance(obs::Span& span, const detect::Alarm& alarm,
+                                  const std::vector<double>& slice,
+                                  const std::vector<double>& scores,
+                                  MinuteTime t0) const {
+  span.attr("sst.peak_score", alarm.peak_score);
+  span.attr("sst.alarm_minute", alarm.minute);
+  span.attr("sst.first_window_minute",
+            t0 + static_cast<MinuteTime>(alarm.first_window));
+  span.attr("sst.threshold", config_.alarm.threshold);
+  span.attr("sst.persistence", config_.alarm.persistence);
+  span.attr("sst.omega", config_.geometry.omega);
+  span.attr("sst.eta", config_.geometry.eta);
+  span.attr("sst.krylov_k", config_.geometry.krylov_k());
+
+  // The stored peak is the *damped* IKA-SST score: raw subspace discordance
+  // times the Eq. 11 |Δmedian|·√|ΔMAD| factor. Recompute the factor on the
+  // peak window (same standardization and slack the scorer used) to expose
+  // both numbers — "how novel was the trajectory" vs "how hard was it
+  // damped" is exactly what an operator asks when challenging a verdict.
+  const std::size_t half = config_.geometry.half();
+  const std::size_t window = config_.geometry.window();
+  std::size_t peak = alarm.first_window;
+  for (std::size_t i = alarm.first_window; i < scores.size(); ++i) {
+    if (scores[i] == alarm.peak_score) {
+      peak = i;
+      break;
+    }
+  }
+  double factor = 0.0;
+  if (peak + window <= slice.size()) {
+    const std::vector<double> z = detect::standardize_window(
+        std::span<const double>(slice.data() + peak, window), half);
+    if (z.size() == window) {
+      factor = detect::robust_score_factor(
+          std::span<const double>(z.data(), half),
+          std::span<const double>(z.data() + half, half));
+    }
+  }
+  span.attr("sst.damp_factor", factor);
+  span.attr("sst.raw_score",
+            factor > 0.0 ? alarm.peak_score / factor : 0.0);
 }
 
 void Funnel::determine_cause(const changes::SoftwareChange& change,
@@ -163,6 +262,20 @@ void Funnel::determine_cause(const changes::SoftwareChange& change,
                           !set.dark_launched;
   verdict.used_historical_control = historical;
 
+  // Causality provenance: which control group the verdict rests on, and the
+  // fitted DiD numbers against their thresholds. Child of the per-KPI span
+  // in batch, of the watch's determination span online.
+  obs::Span trace_span(config_.tracer, "funnel.assess.determine");
+  if (trace_span.active()) {
+    trace_span.attr("did.control_kind",
+                    historical ? "seasonal-window" : "dark-launch-siblings");
+    trace_span.attr("did.window_min", omega);
+    trace_span.attr("did.alpha_threshold", config_.did.alpha_threshold);
+    trace_span.attr("did.t_threshold", config_.did.t_threshold);
+    trace_span.attr("did.require_significance",
+                    static_cast<int>(config_.did.require_significance));
+  }
+
   try {
     did::DiDResult fit;
     if (historical) {
@@ -177,18 +290,31 @@ void Funnel::determine_cause(const changes::SoftwareChange& change,
       fit = did::did_dark_launch(store_, treated, control, tc, omega);
     }
     verdict.did_fit = fit;
+    if (trace_span.active()) {
+      trace_span.attr("did.alpha", fit.alpha);
+      trace_span.attr("did.alpha_scaled", fit.alpha_scaled);
+      trace_span.attr("did.t_stat", fit.t_stat);
+      trace_span.attr("did.n_treated", fit.n_treated);
+      trace_span.attr("did.n_control", fit.n_control);
+    }
     if (did::caused_by_change(fit, config_.did)) {
       verdict.cause = Cause::kSoftwareChange;
     } else {
       verdict.cause =
           historical ? Cause::kSeasonality : Cause::kOtherFactors;
     }
-  } catch (const Error&) {
+  } catch (const Error& e) {
     // DiD could not run (no clean history / empty control group): the KPI
     // change cannot be ruled out, so it is delivered to the operations team
     // as change-induced (conservative; the paper always delivers dubious
     // cases, §2.2).
+    if (trace_span.active()) {
+      trace_span.attr("did.error", std::string_view(e.what()));
+    }
     verdict.cause = Cause::kSoftwareChange;
+  }
+  if (trace_span.active()) {
+    trace_span.attr("did.cause", to_string(verdict.cause));
   }
 }
 

@@ -25,6 +25,10 @@ namespace funnel::detect {
 class IkaSst;
 }  // namespace funnel::detect
 
+namespace funnel::obs {
+class Span;
+}  // namespace funnel::obs
+
 namespace funnel::core {
 
 /// Batch assessment engine. With config.num_threads != 1 the two hot
@@ -77,6 +81,14 @@ class Funnel {
                                  const changes::SoftwareChange& change,
                                  const ImpactSet& set,
                                  const tsdb::MetricId& metric) const;
+
+  /// Attach SST decision provenance (peak/raw/damped scores, geometry,
+  /// thresholds) to an active per-KPI span. Traced path only — never runs
+  /// with a null tracer, so the recompute cannot perturb reports.
+  void trace_sst_provenance(obs::Span& span, const detect::Alarm& alarm,
+                            const std::vector<double>& slice,
+                            const std::vector<double>& scores,
+                            MinuteTime t0) const;
 
   FunnelConfig config_;
   const topology::ServiceTopology& topo_;

@@ -13,6 +13,7 @@
 
 namespace funnel::obs {
 class Registry;
+class Tracer;
 }  // namespace funnel::obs
 
 namespace funnel::core {
@@ -61,6 +62,15 @@ struct FunnelConfig {
   /// side channel only: assessment reports are byte-identical with it on or
   /// off. The registry must outlive every Funnel/FunnelOnline using it.
   const obs::Registry* stats = nullptr;
+
+  /// Decision-provenance tracer (see obs/trace.h): every assessment emits a
+  /// causally-linked span tree — per-KPI SST scores (raw and damped), DiD
+  /// alpha/t-stat, thresholds, control-group kind — exportable as Chrome
+  /// trace-event JSON or an "explain" report section. Null (the default)
+  /// disables tracing at zero cost; like `stats`, it is a side channel only
+  /// and reports stay byte-identical either way. The tracer must outlive
+  /// every Funnel/FunnelOnline using it.
+  const obs::Tracer* tracer = nullptr;
 
   /// Metric-store construction knobs, consumed by the entry points that own
   /// their store (funnel_detect_csv, scenario builders): hash-shard count

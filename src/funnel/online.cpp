@@ -40,7 +40,17 @@ void FunnelOnline::watch(changes::ChangeId id) {
   watch.change_id = id;
   watch.set = identify_impact_set(change, topo_);
   watch.deadline = change.time + config_.horizon;
+  watch.trace = obs::DetachedSpan(config_.tracer, "funnel.watch");
+  if (watch.trace.active()) {
+    watch.trace.attr("change.id", id);
+    watch.trace.attr("change.minute", change.time);
+    watch.trace.attr("change.service", std::string_view(change.service));
+    watch.trace.attr("watch.deadline", watch.deadline);
+  }
 
+  // Priming runs on the control thread; its span parents under the watch
+  // root explicitly (the root never installs itself as ambient context).
+  obs::Span prime_span(watch.trace.context(), "funnel.online.prime");
   for (const tsdb::MetricId& metric : impact_metrics(watch.set, store_)) {
     MetricWatch mw;
     mw.metric = metric;
@@ -74,6 +84,9 @@ void FunnelOnline::watch(changes::ChangeId id) {
       }
     }
     watch.metrics.emplace(metric, std::move(mw));
+  }
+  if (prime_span.active()) {
+    prime_span.attr("watch.kpis", watch.metrics.size());
   }
   watches_.emplace(id, std::move(watch));
   if (config_.stats != nullptr) {
@@ -129,6 +142,15 @@ void FunnelOnline::try_determination(ChangeWatch& watch, MetricWatch& mw,
   // dropped from the DiD groups.
   const MinuteTime post = now - change.time;
   if (post < config_.min_did_window) return;  // wait for more post data
+  // Runs on the dispatcher thread for an async store. Parenting under the
+  // watch root (not the ambient context) keeps one tree per watch; the span
+  // installs itself as ambient, so determine_cause's own spans nest inside.
+  obs::Span trace_span(watch.trace.context(), "funnel.online.determine");
+  if (trace_span.active()) {
+    trace_span.attr("kpi.metric", mw.metric.to_string());
+    trace_span.attr("kpi.minute", now);
+    trace_span.attr("kpi.post_window", post);
+  }
   batch_.determine_cause(change, watch.set, mw.metric, post, mw.verdict);
   mw.pending_determination = false;
   note_determined(change, mw, now);
@@ -162,20 +184,29 @@ void FunnelOnline::finalize(changes::ChangeId id) {
   report.change_id = id;
   report.change_time = change.time;
   report.impact_set = watch.set;
-  for (auto& [metric, mw] : watch.metrics) {
-    (void)metric;
-    if (mw.pending_determination) {
-      // Horizon reached with a still-undetermined alarm: run with the full
-      // observed window.
-      batch_.determine_cause(change, watch.set, mw.metric,
-                             watch.deadline - change.time, mw.verdict);
-      mw.pending_determination = false;
-      note_determined(change, mw, watch.deadline);
-      if (mw.verdict.caused_by_software_change() && verdict_cb_) {
-        verdict_cb_(id, mw.verdict);
+  {
+    obs::Span trace_span(watch.trace.context(), "funnel.online.finalize");
+    for (auto& [metric, mw] : watch.metrics) {
+      (void)metric;
+      if (mw.pending_determination) {
+        // Horizon reached with a still-undetermined alarm: run with the
+        // full observed window.
+        batch_.determine_cause(change, watch.set, mw.metric,
+                               watch.deadline - change.time, mw.verdict);
+        mw.pending_determination = false;
+        note_determined(change, mw, watch.deadline);
+        if (mw.verdict.caused_by_software_change() && verdict_cb_) {
+          verdict_cb_(id, mw.verdict);
+        }
       }
+      report.items.push_back(mw.verdict);
     }
-    report.items.push_back(mw.verdict);
+  }
+  if (watch.trace.active()) {
+    watch.trace.attr("watch.kpis", report.items.size());
+    watch.trace.attr("watch.detected", report.kpi_changes_detected());
+    watch.trace.attr("watch.caused", report.kpi_changes_caused());
+    watch.trace.end();  // lands in this (possibly dispatcher) thread's ring
   }
   watches_.erase(wit);
   if (config_.stats != nullptr) {

@@ -27,6 +27,7 @@
 
 #include "detect/ika_sst.h"
 #include "funnel/assessor.h"
+#include "obs/trace.h"
 
 namespace funnel::core {
 
@@ -71,6 +72,11 @@ class FunnelOnline {
     ImpactSet set;
     std::map<tsdb::MetricId, MetricWatch> metrics;
     MinuteTime deadline = 0;  ///< change time + horizon
+    /// Root span of the watch's trace: opened at watch() on the control
+    /// thread, finished at finalize() — on the store's dispatcher thread
+    /// when the store is async, which is exactly what DetachedSpan permits.
+    /// Priming and every determination span parent under its context.
+    obs::DetachedSpan trace;
   };
 
   void handle_sample(const tsdb::MetricId& id, MinuteTime t, double value);

@@ -4,7 +4,9 @@
 
 #include <string>
 
+#include "funnel/config.h"
 #include "funnel/report.h"
+#include "obs/trace.h"
 
 namespace funnel::core {
 
@@ -14,5 +16,19 @@ std::string to_json(const ItemVerdict& verdict);
 /// Render the full report as a JSON object (stable key order, no external
 /// dependency).
 std::string to_json(const AssessmentReport& report);
+
+/// to_json(report) plus a trailing "explain" array: one entry per alarmed
+/// KPI spelling out the decision provenance — the SST evidence (peak score
+/// against the configured threshold/persistence and the ω/η/k geometry that
+/// produced it), the DiD evidence (α, scaled α, t-stat and group sizes
+/// against their thresholds), which control group the verdict rests on
+/// ("dark-launch-siblings" vs "seasonal-window"), and a one-line decision
+/// rationale. When `trace` is a dump collected from the assessment's
+/// tracer, the per-KPI spans contribute the raw (pre-damping) SST score and
+/// the Eq. 11 damping factor, which the report alone cannot reconstruct.
+/// The base-report prefix is byte-identical to to_json(report).
+std::string to_json_explained(const AssessmentReport& report,
+                              const FunnelConfig& config,
+                              const obs::TraceDump* trace = nullptr);
 
 }  // namespace funnel::core

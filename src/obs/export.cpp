@@ -24,10 +24,22 @@ void number_to(std::ostringstream& os, double v) {
   os << buf;
 }
 
+// Prometheus metric names must match [a-zA-Z_:][a-zA-Z0-9_:]*. Stat keys
+// follow the dotted house convention, so dots (and dashes) are expected;
+// anything else that slips in — unicode bytes, spaces, quotes — would
+// corrupt the exposition format line, so every non-conforming byte is
+// mapped to '_' and a leading digit gets a '_' prefix. Validation by
+// construction: the output always parses, whatever the input.
 std::string prom_name(const std::string& name) {
-  std::string out = name;
-  for (char& c : out) {
-    if (c == '.' || c == '-') c = '_';
+  std::string out;
+  out.reserve(name.size() + 1);
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out.push_back(ok ? c : '_');
+  }
+  if (out.empty() || (out[0] >= '0' && out[0] <= '9')) {
+    out.insert(out.begin(), '_');
   }
   return out;
 }

@@ -20,7 +20,10 @@ std::string snapshot_json(const Snapshot& snap);
 
 /// Prometheus-style text exposition: counters and gauges as single series,
 /// histograms as cumulative `_bucket{le="..."}` series plus `_sum` and
-/// `_count`. Dots and dashes in stat names become underscores.
+/// `_count`. Stat names are sanitized to the Prometheus grammar
+/// [a-zA-Z_:][a-zA-Z0-9_:]*: dots, dashes and any other non-conforming
+/// byte (unicode included) become underscores, and a leading digit gains a
+/// '_' prefix — the exposition always parses, whatever the stat was named.
 std::string prometheus_text(const Snapshot& snap);
 
 }  // namespace funnel::obs

@@ -27,6 +27,7 @@ IngestDispatcher::~IngestDispatcher() {
 void IngestDispatcher::submit(Sample s) {
   const obs::Registry* stats = stats_.load(std::memory_order_relaxed);
   if (stats != nullptr) s.enqueued = std::chrono::steady_clock::now();
+  s.trace_ctx = obs::current_context();
   {
     std::unique_lock<std::mutex> lock(mutex_);
     if (queue_.size() >= capacity_) {
@@ -99,6 +100,9 @@ void IngestDispatcher::run() {
               .count());
     }
     try {
+      // Sink runs under the producer's trace context: callback spans link
+      // into the submitting append's tree across the thread hop.
+      const obs::ScopedContext trace_ctx(s.trace_ctx);
       sink_(s);
     } catch (...) {
       if (stats != nullptr) stats->add("tsdb.store.callback_exceptions");

@@ -36,6 +36,7 @@
 
 #include "common/minute_time.h"
 #include "obs/registry.h"
+#include "obs/trace.h"
 #include "tsdb/metric.h"
 
 namespace funnel::tsdb {
@@ -48,11 +49,16 @@ enum class Backpressure {
 
 /// One queued notification. `enqueued` is stamped only while a telemetry
 /// registry is attached (the uninstrumented path never reads the clock).
+/// `trace_ctx` is the producer's ambient trace context at submit() time
+/// (obs/trace.h) — the dispatcher re-installs it around the sink call, so
+/// spans opened inside subscriber callbacks attach under the producing
+/// append's span. Empty (and costless) when no span was open.
 struct Sample {
   MetricId id;
   MinuteTime t = 0;
   double value = 0.0;
   std::chrono::steady_clock::time_point enqueued{};
+  obs::SpanContext trace_ctx{};
 };
 
 class IngestDispatcher {

@@ -167,6 +167,46 @@ TEST(ObsRegistry, PrometheusExportIsCumulative) {
   EXPECT_NE(text.find("h_us_count 2"), std::string::npos);
 }
 
+TEST(ObsRegistry, PrometheusNamesAreSanitized) {
+  SKIP_IF_OBS_OFF();
+  Registry reg;
+  reg.add("funnel.assess.total", 3);   // dots: the registry's own convention
+  reg.add("my-metric", 1);             // dash
+  reg.set("metriqu\xc3\xa9", 2.0);     // UTF-8 'é': two non-ASCII bytes
+  reg.observe("9lives.us", 7.0);       // leading digit
+  const std::string text = prometheus_text(reg.snapshot());
+
+  // Each byte outside [a-zA-Z0-9_:] becomes '_'; a leading digit gets a '_'
+  // prefix so the series name matches [a-zA-Z_:][a-zA-Z0-9_:]*.
+  EXPECT_NE(text.find("funnel_assess_total 3"), std::string::npos);
+  EXPECT_NE(text.find("my_metric 1"), std::string::npos);
+  EXPECT_NE(text.find("metriqu__ 2"), std::string::npos);
+  EXPECT_NE(text.find("_9lives_us_count 1"), std::string::npos);
+  EXPECT_NE(text.find("_9lives_us_bucket{le=\"+Inf\"} 1"), std::string::npos);
+
+  // No raw illegal bytes survive anywhere in the exposition: every line
+  // must start with '#' or a legal series-name first character, and names
+  // run clean up to the first space or '{'.
+  std::size_t start = 0;
+  while (start < text.size()) {
+    std::size_t end = text.find('\n', start);
+    if (end == std::string::npos) end = text.size();
+    const std::string line = text.substr(start, end - start);
+    start = end + 1;
+    if (line.empty() || line[0] == '#') continue;
+    const std::size_t name_end = line.find_first_of(" {");
+    ASSERT_NE(name_end, std::string::npos) << line;
+    for (std::size_t i = 0; i < name_end; ++i) {
+      const char c = line[i];
+      const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                      (c >= '0' && c <= '9') || c == '_' || c == ':';
+      EXPECT_TRUE(ok) << "illegal byte in series name: " << line;
+    }
+    EXPECT_FALSE(line[0] >= '0' && line[0] <= '9')
+        << "series name starts with a digit: " << line;
+  }
+}
+
 TEST(ObsRegistry, RegistriesAreIndependent) {
   SKIP_IF_OBS_OFF();
   Registry a;

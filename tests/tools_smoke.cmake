@@ -1,9 +1,10 @@
 # End-to-end smoke check for the tools + telemetry path:
-#   funnel_generate -> funnel_detect_csv --change-minute --stats-json
+#   funnel_generate -> funnel_detect_csv --change-minute --stats-json --trace
 # The generated KPI carries a level shift at the change minute, so the
-# online pipeline must attribute it and the stats snapshot must parse as
-# JSON with the core telemetry keys. Also asserts a malformed CSV makes
-# the tool exit non-zero (no silent skips).
+# online pipeline must attribute it, the stats snapshot must parse as
+# JSON with the core telemetry keys, and the Chrome trace must parse with
+# a traceEvents array. Also asserts a malformed CSV makes the tool exit
+# non-zero (no silent skips) and an unwritable --trace path exits 3.
 #
 # Invoked by ctest as:
 #   cmake -DGEN=<funnel_generate> -DDET=<funnel_detect_csv>
@@ -18,6 +19,7 @@ endforeach()
 file(MAKE_DIRECTORY "${WORK_DIR}")
 set(csv "${WORK_DIR}/smoke_series.csv")
 set(stats "${WORK_DIR}/smoke_stats.json")
+set(trace "${WORK_DIR}/smoke_trace.json")
 
 execute_process(
   COMMAND "${GEN}" --class stationary --minutes 600 --seed 7
@@ -29,6 +31,7 @@ endif()
 
 execute_process(
   COMMAND "${DET}" "${csv}" --change-minute 300 --stats-json "${stats}"
+          --trace "${trace}"
   OUTPUT_VARIABLE out RESULT_VARIABLE rc ERROR_VARIABLE err)
 if(NOT rc EQUAL 0)
   message(FATAL_ERROR "funnel_detect_csv failed (${rc}): ${err}")
@@ -65,6 +68,46 @@ if(enabled)
   if(jerr OR ttv LESS 1)
     message(FATAL_ERROR "time_to_verdict histogram empty or missing (${jerr})")
   endif()
+endif()
+
+# The tool must announce where it wrote the side-channel outputs.
+if(NOT err MATCHES "# wrote stats:" OR NOT err MATCHES "# wrote trace:")
+  message(FATAL_ERROR "expected output-path notes on stderr, got: ${err}")
+endif()
+
+# The Chrome trace must be valid JSON with a traceEvents array; with the
+# tracer compiled in (enabled mirrors FUNNEL_OBS) the assessment must have
+# recorded spans, and every event needs the fields the trace viewer keys on.
+file(READ "${trace}" tjson)
+string(JSON nevents ERROR_VARIABLE jerr LENGTH "${tjson}" traceEvents)
+if(jerr)
+  message(FATAL_ERROR "trace JSON did not parse: ${jerr}")
+endif()
+if(enabled)
+  if(nevents LESS 2)
+    message(FATAL_ERROR "trace has ${nevents} events; expected spans")
+  endif()
+  math(EXPR last "${nevents} - 1")
+  string(JSON ph GET "${tjson}" traceEvents ${last} ph)
+  string(JSON name GET "${tjson}" traceEvents ${last} name)
+  string(JSON dur ERROR_VARIABLE jerr GET "${tjson}" traceEvents ${last} dur)
+  if(NOT ph STREQUAL "X" OR name STREQUAL "" OR jerr)
+    message(FATAL_ERROR "trace event malformed: ph=${ph} name=${name} ${jerr}")
+  endif()
+  string(JSON recorded GET "${tjson}" otherData recorded)
+  if(recorded LESS 1)
+    message(FATAL_ERROR "trace otherData.recorded=${recorded}")
+  endif()
+endif()
+
+# An unwritable --trace destination is a distinct failure (exit 3), after
+# the assessment itself already ran.
+execute_process(
+  COMMAND "${DET}" "${csv}" --change-minute 300
+          --trace "${WORK_DIR}/no_such_dir/t.json"
+  RESULT_VARIABLE rc OUTPUT_QUIET ERROR_QUIET)
+if(NOT rc EQUAL 3)
+  message(FATAL_ERROR "unwritable --trace path must exit 3, got ${rc}")
 endif()
 
 # A CSV that does not parse must fail the run, not be skipped silently.

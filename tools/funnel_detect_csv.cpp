@@ -6,7 +6,7 @@
 //                     [--threshold X] [--persistence N] [--patience N]
 //                     [--omega N] [--scores] [--threads N]
 //                     [--change-minute T] [--shards N] [--ingest-queue N]
-//                     [--stats] [--stats-json FILE]
+//                     [--stats] [--stats-json FILE] [--trace FILE]
 //
 // Input: `minute,value` rows (one sample per minute; empty value = gap).
 // Output: alarm episodes (minute, peak score) on stdout; with --scores the
@@ -26,9 +26,16 @@
 // flush() barrier (see docs/CONCURRENCY.md).
 //
 // --stats prints the run's self-telemetry (Prometheus text) to stderr;
-// --stats-json FILE writes the JSON snapshot. Per-CSV wall clock always
-// goes to stderr. Stats are a side channel: stdout is byte-identical with
-// telemetry on or off, and for every --threads value.
+// --stats-json FILE writes the JSON snapshot. --trace FILE enables decision
+// tracing (obs/trace.h) and writes the run's span tree as Chrome
+// trace-event JSON — load it in chrome://tracing or ui.perfetto.dev to see
+// each assessment's SST/DiD provenance laid out across threads. Per-CSV
+// wall clock always goes to stderr, as do "# wrote ..." notices naming the
+// emitted files. Stats and traces are side channels: stdout is
+// byte-identical with them on or off, and for every --threads value.
+//
+// Exit codes: 0 success; 1 a file failed to load/parse/assess; 2 bad
+// usage; 3 an output file (--stats-json/--trace) could not be opened.
 //
 // Several CSV files are scored concurrently on a thread pool (--threads 0 =
 // one per hardware thread, 1 = serial); output is buffered per file and
@@ -61,6 +68,7 @@
 #include "funnel/report.h"
 #include "obs/export.h"
 #include "obs/registry.h"
+#include "obs/trace.h"
 #include "topology/topology.h"
 #include "tsdb/io.h"
 
@@ -76,7 +84,7 @@ void usage(const char* argv0) {
       "          [--threshold X] [--persistence N] [--patience N]\n"
       "          [--omega N] [--scores] [--threads N]\n"
       "          [--change-minute T] [--shards N] [--ingest-queue N]\n"
-      "          [--stats] [--stats-json FILE]\n",
+      "          [--stats] [--stats-json FILE] [--trace FILE]\n",
       argv0);
 }
 
@@ -95,6 +103,7 @@ struct Options {
   std::size_t ingest_queue = 1024;  // async ingest capacity; 0 = sync
   bool print_stats = false;
   std::string stats_json_path;
+  std::string trace_path;  // non-empty enables tracing
 };
 
 bool parse(int argc, char** argv, Options& opt) {
@@ -134,6 +143,9 @@ bool parse(int argc, char** argv, Options& opt) {
     } else if (a == "--stats-json") {
       if (++i >= argc) return false;
       opt.stats_json_path = argv[i];
+    } else if (a == "--trace") {
+      if (++i >= argc) return false;
+      opt.trace_path = argv[i];
     } else if (a == "--scores") {
       opt.print_scores = true;
     } else if (!a.empty() && a[0] == '-') {
@@ -252,7 +264,8 @@ FileResult score_file(const std::string& path, const Options& opt) {
 // assessor. History before T primes the detector; the remainder arrives
 // sample-by-sample exactly like the production push feed.
 FileResult assess_file(const std::string& path, const Options& opt,
-                       const obs::Registry* stats) {
+                       const obs::Registry* stats,
+                       const obs::Tracer* tracer) {
   FileResult res;
   std::ostringstream out;
   const tsdb::TimeSeries series = tsdb::load_series_csv(path);
@@ -312,6 +325,7 @@ FileResult assess_file(const std::string& path, const Options& opt,
   cfg.ingest_queue_capacity = opt.ingest_queue;
   cfg.num_threads = 1;
   cfg.stats = stats;
+  cfg.tracer = tracer;
 
   core::FunnelOnline online(cfg, topo, log, store);
   core::AssessmentReport report;
@@ -348,9 +362,10 @@ FileResult assess_file(const std::string& path, const Options& opt,
 }
 
 FileResult process_file(const std::string& path, const Options& opt,
-                        const obs::Registry* stats) {
+                        const obs::Registry* stats,
+                        const obs::Tracer* tracer) {
   try {
-    return opt.change_minute >= 0 ? assess_file(path, opt, stats)
+    return opt.change_minute >= 0 ? assess_file(path, opt, stats, tracer)
                                   : score_file(path, opt);
   } catch (const std::exception& e) {
     // Parse/load failures are per-file: report, keep going, exit non-zero.
@@ -398,11 +413,20 @@ int main(int argc, char** argv) {
 
   obs::Registry reg;
   declare_core_keys(reg);
+  obs::Tracer tracer;
+  const obs::Tracer* tracer_ptr =
+      opt.trace_path.empty() ? nullptr : &tracer;
 
   std::vector<FileResult> results(opt.paths.size());
   const auto run_one = [&](std::size_t i) {
     const auto start = std::chrono::steady_clock::now();
-    results[i] = process_file(opt.paths[i], opt, &reg);
+    // Per-file root span: the assessment's whole tree (watch, per-KPI
+    // scoring, DiD) hangs under it, one track per participating thread.
+    obs::Span file_span(tracer_ptr, "csv.file");
+    if (file_span.active()) {
+      file_span.attr("csv.path", std::string_view(opt.paths[i]));
+    }
+    results[i] = process_file(opt.paths[i], opt, &reg, tracer_ptr);
     const double ms = std::chrono::duration<double, std::milli>(
                           std::chrono::steady_clock::now() - start)
                           .count();
@@ -444,10 +468,24 @@ int main(int argc, char** argv) {
       if (!out) {
         std::fprintf(stderr, "error: cannot write %s\n",
                      opt.stats_json_path.c_str());
-        return 1;
+        return 3;
       }
       out << obs::snapshot_json(snap) << '\n';
+      std::fprintf(stderr, "# wrote stats: %s\n",
+                   opt.stats_json_path.c_str());
     }
+  }
+  if (!opt.trace_path.empty()) {
+    // Quiesced: the pool (if any) was joined and every store flushed, so
+    // collect() sees every recorded span.
+    std::ofstream out(opt.trace_path);
+    if (!out) {
+      std::fprintf(stderr, "error: cannot write %s\n",
+                   opt.trace_path.c_str());
+      return 3;
+    }
+    out << obs::chrome_trace_json(tracer.collect()) << '\n';
+    std::fprintf(stderr, "# wrote trace: %s\n", opt.trace_path.c_str());
   }
   return code;
 }

@@ -5,7 +5,8 @@
 # build tree with -DFUNNEL_SANITIZE=thread and runs the tests that exercise
 # shared state across threads — the sharded store + ingest dispatcher, the
 # thread pool, the parallel assessment engine, the online assessor, the
-# telemetry registry, and the tracer's cross-thread span propagation.
+# telemetry registry, the tracer's cross-thread span propagation, and the
+# chaos fault grid (dirty feeds through both pipelines, docs/ROBUSTNESS.md).
 # docs/CONCURRENCY.md describes the model these tests pin down; a TSan
 # report here means that model has been violated.
 #
@@ -23,6 +24,7 @@ TARGETS=(
   obs_registry_test
   obs_trace_test
   funnel_trace_test
+  funnel_chaos_test
 )
 
 cmake -B "${BUILD_DIR}" -S . \

@@ -6,6 +6,23 @@
 // positions — FUNNEL's 7-minute rule that separates level shifts and ramps
 // from one-off events (CUSUM and MRLS in the paper run with persistence 1,
 // trading false positives for occasional faster hits).
+//
+// NaN semantics (the dirty-telemetry contract, see docs/ROBUSTNESS.md):
+// a gap minute is stored as NaN, every window containing a NaN scores NaN,
+// and a NaN score is never an exceedance — `isfinite(score) &&
+// score > threshold` is the only hit test. Consequences, asserted by
+// detect_sliding_test:
+//   * A NaN score inside a would-be persistence run consumes patience
+//     slack exactly like a sub-threshold score: with persistence P and
+//     patience Q, a run survives at most Q - P interruptions, NaN or not.
+//   * A gap longer than the patience surplus kills the run; the alarm (if
+//     the shift is still there) re-establishes only after the window
+//     clears the gap — W - 1 + P clean minutes later. It is delayed, never
+//     resurrected mid-gap.
+//   * A gap straddling the would-be alarm minute therefore suppresses the
+//     alarm entirely until the feed resumes; the assessment layer turns
+//     that silence into Cause::kInconclusive via the window QualityReport
+//     instead of reading it as a clean bill of health.
 #pragma once
 
 #include <optional>

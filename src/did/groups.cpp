@@ -86,49 +86,90 @@ GroupMeans collect_historical_control(const tsdb::TimeSeries& series,
   return out;
 }
 
-DiDResult did_dark_launch(const tsdb::MetricStore& store,
-                          std::span<const tsdb::MetricId> treated,
-                          std::span<const tsdb::MetricId> control,
-                          MinuteTime change_time, std::size_t omega) {
+const char* to_string(DiDStatus s) {
+  switch (s) {
+    case DiDStatus::kOk:
+      return "ok";
+    case DiDStatus::kEmptyTreatedGroup:
+      return "empty-treated-group";
+    case DiDStatus::kEmptyControlGroup:
+      return "empty-control-group";
+    case DiDStatus::kNoPreWindow:
+      return "no-pre-window";
+    case DiDStatus::kNoPostWindow:
+      return "no-post-window";
+    case DiDStatus::kQuorumUnmet:
+      return "quorum-unmet";
+  }
+  return "?";
+}
+
+DiDOutcome did_dark_launch(const tsdb::MetricStore& store,
+                           std::span<const tsdb::MetricId> treated,
+                           std::span<const tsdb::MetricId> control,
+                           MinuteTime change_time, std::size_t omega) {
   // Ambient-context span: no tracer is plumbed this deep — when the
   // assessor's determination span is open on this thread the group sizes
   // and noise scale land under it, otherwise this is a no-op.
   obs::Span trace_span("did.dark_launch");
+  DiDOutcome out;
   const GroupMeans t = collect_group(store, treated, change_time, omega);
   const GroupMeans c = collect_group(store, control, change_time, omega);
-  FUNNEL_REQUIRE(!t.pre.empty(), "dark-launch DiD: empty treated group");
-  FUNNEL_REQUIRE(!c.pre.empty(), "dark-launch DiD: empty control group");
   if (trace_span.active()) {
     trace_span.attr("did.treated_kpis", t.pre.size());
     trace_span.attr("did.control_kpis", c.pre.size());
     trace_span.attr("did.pooled_scale", c.pooled_scale);
   }
-  return did_from_groups(t.pre, t.post, c.pre, c.post, c.pooled_scale);
+  if (t.pre.empty()) {
+    out.status = DiDStatus::kEmptyTreatedGroup;
+  } else if (c.pre.empty()) {
+    out.status = DiDStatus::kEmptyControlGroup;
+  } else {
+    out.fit = did_from_groups(t.pre, t.post, c.pre, c.post, c.pooled_scale);
+  }
+  if (trace_span.active() && !out.ok()) {
+    trace_span.attr("did.status", to_string(out.status));
+  }
+  return out;
 }
 
-DiDResult did_historical(const tsdb::TimeSeries& series,
-                         MinuteTime change_time, std::size_t omega,
-                         int baseline_days) {
+DiDOutcome did_historical(const tsdb::TimeSeries& series,
+                          MinuteTime change_time, std::size_t omega,
+                          int baseline_days, int quorum) {
+  FUNNEL_REQUIRE(quorum >= 1, "historical DiD quorum must be >= 1");
   obs::Span trace_span("did.historical");
   if (trace_span.active()) {
     trace_span.attr("did.baseline_days", baseline_days);
+    trace_span.attr("did.quorum", quorum);
   }
+  DiDOutcome out;
   const auto w = static_cast<MinuteTime>(omega);
   const auto pre = window_mean(series, change_time - w, change_time);
   const auto post = window_mean(series, change_time, change_time + w);
-  FUNNEL_REQUIRE(pre && post,
-                 "historical DiD: treated KPI lacks clean pre/post windows");
-  const GroupMeans c =
-      collect_historical_control(series, change_time, omega, baseline_days);
-  FUNNEL_REQUIRE(!c.pre.empty(),
-                 "historical DiD: no clean baseline day in history");
-  if (trace_span.active()) {
-    trace_span.attr("did.clean_baseline_days", c.pre.size());
-    trace_span.attr("did.pooled_scale", c.pooled_scale);
+  if (!pre) {
+    out.status = DiDStatus::kNoPreWindow;
+  } else if (!post) {
+    out.status = DiDStatus::kNoPostWindow;
+  } else {
+    const GroupMeans c =
+        collect_historical_control(series, change_time, omega, baseline_days);
+    out.clean_days = c.pre.size();
+    if (trace_span.active()) {
+      trace_span.attr("did.clean_baseline_days", c.pre.size());
+      trace_span.attr("did.pooled_scale", c.pooled_scale);
+    }
+    if (out.clean_days < static_cast<std::size_t>(quorum)) {
+      out.status = DiDStatus::kQuorumUnmet;
+    } else {
+      const std::vector<double> tp{*pre};
+      const std::vector<double> to{*post};
+      out.fit = did_from_groups(tp, to, c.pre, c.post, c.pooled_scale);
+    }
   }
-  const std::vector<double> tp{*pre};
-  const std::vector<double> to{*post};
-  return did_from_groups(tp, to, c.pre, c.post, c.pooled_scale);
+  if (trace_span.active() && !out.ok()) {
+    trace_span.attr("did.status", to_string(out.status));
+  }
+  return out;
 }
 
 }  // namespace funnel::did

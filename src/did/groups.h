@@ -47,17 +47,43 @@ GroupMeans collect_historical_control(const tsdb::TimeSeries& series,
                                       MinuteTime change_time,
                                       std::size_t omega, int baseline_days);
 
-/// DiD fit for the Dark-Launching path. Throws InvalidArgument when either
-/// group ends up empty (e.g. no clean control KPI).
-DiDResult did_dark_launch(const tsdb::MetricStore& store,
-                          std::span<const tsdb::MetricId> treated,
-                          std::span<const tsdb::MetricId> control,
-                          MinuteTime change_time, std::size_t omega);
+/// Why a DiD fit could not be produced. Dirty telemetry makes every one of
+/// these reachable in production (agent restarts, late deploys of new
+/// KPIs), so they are statuses the assessor maps to Cause::kInconclusive —
+/// not exceptions (see docs/ROBUSTNESS.md).
+enum class DiDStatus {
+  kOk,
+  kEmptyTreatedGroup,  ///< no treated KPI had clean pre+post windows
+  kEmptyControlGroup,  ///< no control KPI had clean pre+post windows
+  kNoPreWindow,        ///< treated KPI lacks a usable pre-change window
+  kNoPostWindow,       ///< treated KPI lacks a usable post-change window
+  kQuorumUnmet,        ///< fewer clean baseline days than the quorum
+};
+
+const char* to_string(DiDStatus s);
+
+/// A DiD attempt: the fit when status == kOk, otherwise why there is none.
+struct DiDOutcome {
+  DiDStatus status = DiDStatus::kOk;
+  DiDResult fit{};              ///< meaningful only when ok()
+  std::size_t clean_days = 0;   ///< historical path: clean baseline days
+  bool ok() const { return status == DiDStatus::kOk; }
+};
+
+/// DiD fit for the Dark-Launching path. An empty treated or control group
+/// (e.g. every sibling gapped over the comparison windows) is reported via
+/// the status, never thrown.
+DiDOutcome did_dark_launch(const tsdb::MetricStore& store,
+                           std::span<const tsdb::MetricId> treated,
+                           std::span<const tsdb::MetricId> control,
+                           MinuteTime change_time, std::size_t omega);
 
 /// DiD fit for the seasonality-exclusion path: one KPI against its own
-/// 30-day history.
-DiDResult did_historical(const tsdb::TimeSeries& series,
-                         MinuteTime change_time, std::size_t omega,
-                         int baseline_days);
+/// 30-day history. At least `quorum` (>= 1) clean baseline days must
+/// contribute, otherwise the fit would rest on a sample too small to mean
+/// anything and kQuorumUnmet is returned instead.
+DiDOutcome did_historical(const tsdb::TimeSeries& series,
+                          MinuteTime change_time, std::size_t omega,
+                          int baseline_days, int quorum = 1);
 
 }  // namespace funnel::did

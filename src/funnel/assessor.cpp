@@ -12,6 +12,14 @@
 #include "obs/trace.h"
 
 namespace funnel::core {
+namespace {
+
+void mark_inconclusive(ItemVerdict& verdict, InconclusiveReason reason) {
+  verdict.cause = Cause::kInconclusive;
+  verdict.inconclusive_reason = reason;
+}
+
+}  // namespace
 
 Funnel::Funnel(FunnelConfig config, const topology::ServiceTopology& topo,
                const changes::ChangeLog& log, const tsdb::MetricStore& store)
@@ -151,17 +159,31 @@ ItemVerdict Funnel::assess_metric_with(detect::IkaSst& scorer,
   const auto w = static_cast<MinuteTime>(scorer.window_size());
 
   // Copy the assessment window under the shard's reader lock; scoring then
-  // runs lock-free, and concurrent ingestion cannot tear the read.
+  // runs lock-free, and concurrent ingestion cannot tear the read. The
+  // quality report is computed once here, under the same lock, and rides
+  // on the verdict from then on.
   MinuteTime t0 = 0;
   std::vector<double> slice;
   store_.read(metric, [&](const tsdb::TimeSeries& series) {
     t0 = std::max(series.start_time(), tc - config_.lookback);
     const MinuteTime t1 = std::min(series.end_time(), tc + config_.horizon);
+    verdict.quality =
+        tsdb::window_quality(series, t0, std::max(t0, t1));
     if (t1 - t0 >= w) slice = series.slice(t0, t1);
   });
-  if (slice.empty()) {  // not enough data to score even once
+  if (trace_span.active() && verdict.quality) {
+    trace_span.attr("kpi.coverage", verdict.quality->coverage);
+    trace_span.attr("kpi.gap_run", verdict.quality->longest_gap_run);
+    trace_span.attr("kpi.flat_run", verdict.quality->longest_flat_run);
+  }
+  if (slice.empty()) {
+    // Not enough data to score even one window: the KPI cannot be cleared,
+    // so say so instead of delivering a silent "no change".
+    mark_inconclusive(verdict, InconclusiveReason::kInsufficientPreWindow);
     if (trace_span.active()) {
       trace_span.attr("kpi.cause", to_string(verdict.cause));
+      trace_span.attr("kpi.inconclusive_reason",
+                      to_string(verdict.inconclusive_reason));
     }
     return verdict;
   }
@@ -183,8 +205,21 @@ ItemVerdict Funnel::assess_metric_with(detect::IkaSst& scorer,
       alarms.begin(), alarms.end(),
       [tc](const detect::Alarm& a) { return a.minute >= tc; });
   if (it == alarms.end()) {
+    // "No alarm" is only a clean bill of health when the window was clean
+    // enough to have caught one: NaN-containing windows score NaN, so a
+    // gap can swallow exactly the shift we're looking for.
+    if (verdict.quality != std::nullopt &&
+        !verdict.quality->acceptable(config_.quality.min_coverage,
+                                     config_.quality.max_gap_run,
+                                     config_.quality.max_flat_run)) {
+      mark_inconclusive(verdict, InconclusiveReason::kGapInDetectionWindow);
+    }
     if (trace_span.active()) {
       trace_span.attr("kpi.cause", to_string(verdict.cause));
+      if (verdict.cause == Cause::kInconclusive) {
+        trace_span.attr("kpi.inconclusive_reason",
+                        to_string(verdict.inconclusive_reason));
+      }
     }
     return verdict;
   }
@@ -197,6 +232,10 @@ ItemVerdict Funnel::assess_metric_with(detect::IkaSst& scorer,
   determine_cause(change, set, metric, config_.did_window, verdict);
   if (trace_span.active()) {
     trace_span.attr("kpi.cause", to_string(verdict.cause));
+    if (verdict.cause == Cause::kInconclusive) {
+      trace_span.attr("kpi.inconclusive_reason",
+                      to_string(verdict.inconclusive_reason));
+    }
   }
   return verdict;
 }
@@ -258,8 +297,8 @@ void Funnel::determine_cause(const changes::SoftwareChange& change,
   // Full Launching leaves none either -> compare against the KPI's own
   // history (§3.2.5). Otherwise compare treated vs control entities
   // (§3.2.4).
-  const bool historical = is_affected_service_metric(set, metric) ||
-                          !set.dark_launched;
+  bool historical = is_affected_service_metric(set, metric) ||
+                    !set.dark_launched;
   verdict.used_historical_control = historical;
 
   // Causality provenance: which control group the verdict rests on, and the
@@ -277,34 +316,81 @@ void Funnel::determine_cause(const changes::SoftwareChange& change,
   }
 
   try {
-    did::DiDResult fit;
-    if (historical) {
-      // Reader-locked: the online assessor runs this on the dispatcher
-      // thread while producers append (docs/CONCURRENCY.md).
-      fit = store_.read(metric, [&](const tsdb::TimeSeries& s) {
-        return did::did_historical(s, tc, omega, config_.baseline_days);
-      });
-    } else {
+    // Graceful-degradation chain (docs/ROBUSTNESS.md): dark-launch DiD →
+    // (control empty) historical fallback → (quorum/coverage failure)
+    // kInconclusive with the machine-readable reason. Never a throw, never
+    // a silent skip.
+    did::DiDOutcome outcome;
+    if (!historical) {
       const auto treated = treated_group_for(set, metric);
       const auto control = control_group_for(set, metric);
-      fit = did::did_dark_launch(store_, treated, control, tc, omega);
+      outcome = did::did_dark_launch(store_, treated, control, tc, omega);
+      if (outcome.status == did::DiDStatus::kEmptyTreatedGroup) {
+        // The watched KPI itself has no clean windows around the change —
+        // no control group can fix that.
+        mark_inconclusive(verdict,
+                          InconclusiveReason::kGapInDetectionWindow);
+      } else if (outcome.status == did::DiDStatus::kEmptyControlGroup) {
+        // §3.2.5 fallback: no usable sibling survived the telemetry, so
+        // compare the KPI against its own seasonal history instead.
+        historical = true;
+        verdict.used_historical_control = true;
+        verdict.used_fallback_control = true;
+        if (trace_span.active()) {
+          trace_span.attr("did.fallback_control", 1);
+        }
+      }
     }
-    verdict.did_fit = fit;
-    if (trace_span.active()) {
-      trace_span.attr("did.alpha", fit.alpha);
-      trace_span.attr("did.alpha_scaled", fit.alpha_scaled);
-      trace_span.attr("did.t_stat", fit.t_stat);
-      trace_span.attr("did.n_treated", fit.n_treated);
-      trace_span.attr("did.n_control", fit.n_control);
+    if (historical && verdict.cause != Cause::kInconclusive) {
+      // Reader-locked: the online assessor runs this on the dispatcher
+      // thread while producers append (docs/CONCURRENCY.md).
+      outcome = store_.read(metric, [&](const tsdb::TimeSeries& s) {
+        return did::did_historical(s, tc, omega, config_.baseline_days,
+                                   config_.quality.historical_quorum);
+      });
+      switch (outcome.status) {
+        case did::DiDStatus::kOk:
+          break;
+        case did::DiDStatus::kNoPreWindow:
+          mark_inconclusive(verdict,
+                            InconclusiveReason::kInsufficientPreWindow);
+          break;
+        case did::DiDStatus::kNoPostWindow:
+          mark_inconclusive(verdict,
+                            InconclusiveReason::kGapInDetectionWindow);
+          break;
+        default:
+          mark_inconclusive(verdict,
+                            InconclusiveReason::kHistoricalQuorumUnmet);
+          break;
+      }
+      if (verdict.used_fallback_control &&
+          verdict.cause == Cause::kInconclusive) {
+        // Both ends of the chain failed: report the primary defect (the
+        // §3.2.4 control group was empty); the historical sub-status is on
+        // the did.historical trace span.
+        verdict.inconclusive_reason = InconclusiveReason::kControlGroupEmpty;
+      }
     }
-    if (did::caused_by_change(fit, config_.did)) {
-      verdict.cause = Cause::kSoftwareChange;
-    } else {
-      verdict.cause =
-          historical ? Cause::kSeasonality : Cause::kOtherFactors;
+    if (verdict.cause != Cause::kInconclusive) {
+      const did::DiDResult& fit = outcome.fit;
+      verdict.did_fit = fit;
+      if (trace_span.active()) {
+        trace_span.attr("did.alpha", fit.alpha);
+        trace_span.attr("did.alpha_scaled", fit.alpha_scaled);
+        trace_span.attr("did.t_stat", fit.t_stat);
+        trace_span.attr("did.n_treated", fit.n_treated);
+        trace_span.attr("did.n_control", fit.n_control);
+      }
+      if (did::caused_by_change(fit, config_.did)) {
+        verdict.cause = Cause::kSoftwareChange;
+      } else {
+        verdict.cause =
+            historical ? Cause::kSeasonality : Cause::kOtherFactors;
+      }
     }
   } catch (const Error& e) {
-    // DiD could not run (no clean history / empty control group): the KPI
+    // Unexpected DiD failure (numerical, not a telemetry status): the KPI
     // change cannot be ruled out, so it is delivered to the operations team
     // as change-induced (conservative; the paper always delivers dubious
     // cases, §2.2).
@@ -312,9 +398,14 @@ void Funnel::determine_cause(const changes::SoftwareChange& change,
       trace_span.attr("did.error", std::string_view(e.what()));
     }
     verdict.cause = Cause::kSoftwareChange;
+    verdict.inconclusive_reason = InconclusiveReason::kNone;
   }
   if (trace_span.active()) {
     trace_span.attr("did.cause", to_string(verdict.cause));
+    if (verdict.cause == Cause::kInconclusive) {
+      trace_span.attr("did.inconclusive_reason",
+                      to_string(verdict.inconclusive_reason));
+    }
   }
 }
 

@@ -41,6 +41,34 @@ struct FunnelConfig {
   /// Days of history building the seasonality-exclusion control group.
   int baseline_days = 30;
 
+  /// Telemetry-quality thresholds gating the graceful-degradation chain
+  /// (docs/ROBUSTNESS.md). When a KPI's assessed window violates them and
+  /// no alarm fired, the verdict degrades to Cause::kInconclusive instead
+  /// of a silent "no change" — a gap can hide exactly the shift FUNNEL is
+  /// looking for. A fired alarm always proceeds to DiD: real evidence of a
+  /// change outranks missing evidence of quiet.
+  struct QualityThresholds {
+    /// Minimum finite-sample fraction of the assessed window.
+    double min_coverage = 0.5;
+    /// Longest tolerated run of consecutive missing minutes.
+    std::size_t max_gap_run = 15;
+    /// Longest tolerated run of *identical* finite values (stuck-at
+    /// collector signature). 0 (the default) disables the flatline gate —
+    /// a genuinely constant KPI is legal.
+    std::size_t max_flat_run = 0;
+    /// Clean baseline days the §3.2.5 historical DiD must find. 1 keeps
+    /// the paper's behavior (any clean day suffices); production deploys
+    /// should raise it so a verdict never rests on a single day's mood.
+    int historical_quorum = 1;
+  };
+  QualityThresholds quality{};
+
+  /// Online mode: extra minutes past a watch's deadline before expire()
+  /// force-finalizes it. A gap-starved watch (feed died, so no sample ever
+  /// crosses the deadline) would otherwise hang forever; its undetermined
+  /// alarms finalize as kInconclusive / kWatchTimedOut.
+  MinuteTime watch_timeout = 0;
+
   /// Length of the DiD pre/post comparison periods in minutes. The paper's
   /// evaluation builds the groups from 1 h before/after the change (§4.1).
   MinuteTime did_window = 60;

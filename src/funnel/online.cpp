@@ -1,6 +1,8 @@
 #include "funnel/online.h"
 
 #include <algorithm>
+#include <cmath>
+#include <limits>
 #include <string>
 
 #include "common/error.h"
@@ -68,21 +70,11 @@ void FunnelOnline::watch(changes::ChangeId id) {
     });
     mw.detector = std::make_unique<detect::OnlineDetector>(
         *mw.scorer, config_.alarm, prime_start);
+    mw.quality.start = prime_start;
     // Prime with whatever history is already in the store; pre-change
     // alarms are discarded (rearmed) — only post-deployment behavior
     // changes are attributable.
-    for (MinuteTime t = prime_start;
-         t < prime_start + static_cast<MinuteTime>(prime.size()); ++t) {
-      const auto alarm = mw.detector->push(
-          prime[static_cast<std::size_t>(t - prime_start)]);
-      if (alarm && alarm->minute < change.time) mw.detector->rearm();
-      if (alarm && alarm->minute >= change.time &&
-          !mw.verdict.kpi_change_detected) {
-        mw.verdict.kpi_change_detected = true;
-        mw.verdict.alarm = *alarm;
-        mw.pending_determination = true;
-      }
-    }
+    for (double v : prime) feed_detector(change, mw, v);
     watch.metrics.emplace(metric, std::move(mw));
   }
   if (prime_span.active()) {
@@ -104,6 +96,20 @@ void FunnelOnline::watch(changes::ChangeId id) {
   }
 }
 
+void FunnelOnline::feed_detector(const changes::SoftwareChange& change,
+                                 MetricWatch& mw, double value) {
+  mw.quality.on_sample(value);
+  const auto alarm = mw.detector->push(value);
+  if (!alarm) return;
+  if (alarm->minute < change.time) {
+    mw.detector->rearm();
+  } else if (!mw.verdict.kpi_change_detected) {
+    mw.verdict.kpi_change_detected = true;
+    mw.verdict.alarm = *alarm;
+    mw.pending_determination = true;
+  }
+}
+
 void FunnelOnline::handle_sample(const tsdb::MetricId& id, MinuteTime t,
                                  double value) {
   const obs::ScopedTimer span(config_.stats, "funnel.online.sample_us");
@@ -116,21 +122,42 @@ void FunnelOnline::handle_sample(const tsdb::MetricId& id, MinuteTime t,
     const auto it = watch.metrics.find(id);
     if (it != watch.metrics.end()) {
       MetricWatch& mw = it->second;
-      const auto alarm = mw.detector->push(value);
-      if (alarm) {
-        if (alarm->minute < change.time) {
-          mw.detector->rearm();
-        } else if (!mw.verdict.kpi_change_detected) {
-          mw.verdict.kpi_change_detected = true;
-          mw.verdict.alarm = *alarm;
-          mw.pending_determination = true;
+      // The detector consumes exactly one sample per minute. A dirty feed
+      // delivers duplicates, reordered and late samples: align by the
+      // detector's clock — skipped minutes are scored as the NaN gaps they
+      // were at delivery time, and anything at/before an already-scored
+      // minute is dropped here (the store has reconciled it via upsert,
+      // but detection cannot rewind).
+      const MinuteTime expected = mw.detector->next_minute();
+      if (t >= expected) {
+        for (MinuteTime m = expected; m < t; ++m) {
+          feed_detector(change, mw,
+                        std::numeric_limits<double>::quiet_NaN());
+          if (config_.stats != nullptr) {
+            config_.stats->add("funnel.online.gap_minutes_scored");
+          }
         }
+        feed_detector(change, mw, value);
+        if (mw.pending_determination) try_determination(watch, mw, t);
+      } else if (config_.stats != nullptr) {
+        config_.stats->add("funnel.online.stale_samples_skipped");
       }
-      if (mw.pending_determination) try_determination(watch, mw, t);
     }
     if (t >= watch.deadline) finished.push_back(cid);
   }
   for (changes::ChangeId cid : finished) finalize(cid);
+}
+
+std::size_t FunnelOnline::expire(MinuteTime now) {
+  std::vector<changes::ChangeId> expired;
+  for (const auto& [cid, watch] : watches_) {
+    if (now >= watch.deadline + config_.watch_timeout) expired.push_back(cid);
+  }
+  for (changes::ChangeId cid : expired) finalize(cid, /*timed_out=*/true);
+  if (config_.stats != nullptr && !expired.empty()) {
+    config_.stats->add("funnel.online.watches_expired", expired.size());
+  }
+  return expired.size();
 }
 
 void FunnelOnline::try_determination(ChangeWatch& watch, MetricWatch& mw,
@@ -174,7 +201,43 @@ void FunnelOnline::note_determined(const changes::SoftwareChange& change,
   }
 }
 
-void FunnelOnline::finalize(changes::ChangeId id) {
+void FunnelOnline::FeedQuality::on_sample(double v) {
+  if (std::isfinite(v)) {
+    ++clean;
+    gap_run = 0;
+    flat_run = (have_prev && v == prev) ? flat_run + 1 : 1;
+    if (flat_run > longest_flat) longest_flat = flat_run;
+    prev = v;
+    have_prev = true;
+  } else {
+    ++gap_run;
+    flat_run = 0;
+    have_prev = false;
+    if (gap_run > longest_gap) longest_gap = gap_run;
+  }
+}
+
+tsdb::QualityReport FunnelOnline::FeedQuality::report(MinuteTime frontier,
+                                                      MinuteTime end) const {
+  tsdb::QualityReport q;
+  q.window_minutes =
+      end > start ? static_cast<std::size_t>(end - start) : clean;
+  q.clean_samples = clean;
+  // Minutes the feed never reached before the window closed are one
+  // trailing gap, merged with any open gap run at the frontier.
+  std::size_t tail = gap_run;
+  if (end > frontier) tail += static_cast<std::size_t>(end - frontier);
+  q.longest_gap_run = std::max(longest_gap, tail);
+  q.longest_flat_run = longest_flat;
+  q.coverage =
+      q.window_minutes == 0
+          ? 0.0
+          : std::min(1.0, static_cast<double>(q.clean_samples) /
+                              static_cast<double>(q.window_minutes));
+  return q;
+}
+
+void FunnelOnline::finalize(changes::ChangeId id, bool timed_out) {
   const auto wit = watches_.find(id);
   if (wit == watches_.end()) return;
   ChangeWatch& watch = wit->second;
@@ -186,18 +249,43 @@ void FunnelOnline::finalize(changes::ChangeId id) {
   report.impact_set = watch.set;
   {
     obs::Span trace_span(watch.trace.context(), "funnel.online.finalize");
+    if (trace_span.active() && timed_out) {
+      trace_span.attr("watch.timed_out", 1);
+    }
     for (auto& [metric, mw] : watch.metrics) {
       (void)metric;
+      mw.verdict.quality =
+          mw.quality.report(mw.detector->next_minute(), watch.deadline);
       if (mw.pending_determination) {
-        // Horizon reached with a still-undetermined alarm: run with the
-        // full observed window.
-        batch_.determine_cause(change, watch.set, mw.metric,
-                               watch.deadline - change.time, mw.verdict);
-        mw.pending_determination = false;
-        note_determined(change, mw, watch.deadline);
-        if (mw.verdict.caused_by_software_change() && verdict_cb_) {
-          verdict_cb_(id, mw.verdict);
+        if (timed_out) {
+          // The feed starved before DiD ever became possible; a verdict
+          // now would rest on data we know never arrived.
+          mw.verdict.cause = Cause::kInconclusive;
+          mw.verdict.inconclusive_reason =
+              InconclusiveReason::kWatchTimedOut;
+          mw.pending_determination = false;
+          note_determined(change, mw, watch.deadline);
+        } else {
+          // Horizon reached with a still-undetermined alarm: run with the
+          // full observed window.
+          batch_.determine_cause(change, watch.set, mw.metric,
+                                 watch.deadline - change.time, mw.verdict);
+          mw.pending_determination = false;
+          note_determined(change, mw, watch.deadline);
+          if (mw.verdict.caused_by_software_change() && verdict_cb_) {
+            verdict_cb_(id, mw.verdict);
+          }
         }
+      } else if (!mw.verdict.kpi_change_detected &&
+                 mw.verdict.cause == Cause::kNoKpiChange &&
+                 !mw.verdict.quality->acceptable(
+                     config_.quality.min_coverage, config_.quality.max_gap_run,
+                     config_.quality.max_flat_run)) {
+        // No alarm, but the feed was too holey to have caught one: degrade
+        // instead of delivering a silent "no change".
+        mw.verdict.cause = Cause::kInconclusive;
+        mw.verdict.inconclusive_reason =
+            InconclusiveReason::kGapInDetectionWindow;
       }
       report.items.push_back(mw.verdict);
     }

@@ -53,17 +53,50 @@ class FunnelOnline {
   /// [change - lookback, now) primes the detectors.
   void watch(changes::ChangeId id);
 
+  /// Force-finalize every watch whose deadline + config.watch_timeout has
+  /// passed by wall-clock minute `now`. Watches normally finalize when a
+  /// sample at/after their deadline arrives; a gap-starved feed never
+  /// delivers one, so a control loop calls this periodically to stop such
+  /// watches hanging forever. Still-undetermined alarms finalize as
+  /// kInconclusive / kWatchTimedOut; unalarmed KPIs go through the normal
+  /// quality gate (their starved feed shows up as missing coverage).
+  /// Returns the number of watches finalized. Call from the streaming
+  /// thread (or quiesce with store.flush() first) — same threading rule as
+  /// watch().
+  std::size_t expire(MinuteTime now);
+
   void on_verdict(VerdictCallback cb) { verdict_cb_ = std::move(cb); }
   void on_report(ReportCallback cb) { report_cb_ = std::move(cb); }
 
   std::size_t active_watches() const { return watches_.size(); }
 
  private:
+  /// Quality of the sample stream as the detector saw it — which is what
+  /// gates the verdict online. The store may hold a cleaner series (late
+  /// samples are reconciled by upsert), but a minute that was missing at
+  /// scoring time could still have hidden an alarm.
+  struct FeedQuality {
+    MinuteTime start = 0;  ///< first primed/fed minute
+    std::size_t clean = 0;
+    std::size_t gap_run = 0;
+    std::size_t longest_gap = 0;
+    std::size_t flat_run = 0;
+    std::size_t longest_flat = 0;
+    double prev = 0.0;
+    bool have_prev = false;
+
+    void on_sample(double v);
+    /// Report over [start, end); minutes in [frontier, end) were never fed
+    /// and count as one trailing gap.
+    tsdb::QualityReport report(MinuteTime frontier, MinuteTime end) const;
+  };
+
   struct MetricWatch {
     tsdb::MetricId metric;
     std::unique_ptr<detect::IkaSst> scorer;
     std::unique_ptr<detect::OnlineDetector> detector;
     ItemVerdict verdict;
+    FeedQuality quality;
     bool pending_determination = false;  ///< alarm raised, DiD deferred
   };
 
@@ -80,8 +113,12 @@ class FunnelOnline {
   };
 
   void handle_sample(const tsdb::MetricId& id, MinuteTime t, double value);
+  /// Feed one aligned sample (value, or NaN for a skipped minute) into the
+  /// watch's detector, handling alarm rearm/latch bookkeeping.
+  void feed_detector(const changes::SoftwareChange& change, MetricWatch& mw,
+                     double value);
   void try_determination(ChangeWatch& watch, MetricWatch& mw, MinuteTime now);
-  void finalize(changes::ChangeId id);
+  void finalize(changes::ChangeId id, bool timed_out = false);
 
   /// Stamp the confirming minute on the verdict and record the online
   /// verdict counters + time-to-verdict (the paper's rapidity metric).

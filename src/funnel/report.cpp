@@ -14,6 +14,26 @@ const char* to_string(Cause c) {
       return "other-factors";
     case Cause::kSeasonality:
       return "seasonality";
+    case Cause::kInconclusive:
+      return "inconclusive";
+  }
+  return "?";
+}
+
+const char* to_string(InconclusiveReason r) {
+  switch (r) {
+    case InconclusiveReason::kNone:
+      return "none";
+    case InconclusiveReason::kInsufficientPreWindow:
+      return "insufficient-pre-window";
+    case InconclusiveReason::kGapInDetectionWindow:
+      return "gap-in-detection-window";
+    case InconclusiveReason::kControlGroupEmpty:
+      return "control-group-empty";
+    case InconclusiveReason::kHistoricalQuorumUnmet:
+      return "historical-quorum-unmet";
+    case InconclusiveReason::kWatchTimedOut:
+      return "watch-timed-out";
   }
   return "?";
 }
@@ -34,6 +54,14 @@ std::size_t AssessmentReport::kpi_changes_caused() const {
   return n;
 }
 
+std::size_t AssessmentReport::kpis_inconclusive() const {
+  std::size_t n = 0;
+  for (const auto& v : items) {
+    if (v.cause == Cause::kInconclusive) ++n;
+  }
+  return n;
+}
+
 std::string AssessmentReport::summary() const {
   std::ostringstream os;
   os << "change #" << change_id << " on " << impact_set.changed_service
@@ -45,10 +73,17 @@ std::string AssessmentReport::summary() const {
      << impact_set.cservers.size() << " cservers\n";
   os << "  KPIs examined: " << kpis_examined()
      << ", behavior changes: " << kpi_changes_detected()
-     << ", caused by this change: " << kpi_changes_caused() << "\n";
+     << ", caused by this change: " << kpi_changes_caused();
+  if (kpis_inconclusive() > 0) {
+    os << ", inconclusive: " << kpis_inconclusive();
+  }
+  os << "\n";
   for (const auto& v : items) {
-    if (!v.kpi_change_detected) continue;
+    if (!v.kpi_change_detected && v.cause != Cause::kInconclusive) continue;
     os << "    " << v.metric.to_string() << " -> " << to_string(v.cause);
+    if (v.cause == Cause::kInconclusive) {
+      os << " [" << to_string(v.inconclusive_reason) << "]";
+    }
     if (v.alarm) os << " (alarm at minute " << v.alarm->minute << ")";
     if (const auto ttv = v.time_to_verdict(change_time)) {
       os << " (verdict at minute " << *v.determined_at << ", " << *ttv

@@ -11,6 +11,7 @@
 #include "did/did.h"
 #include "funnel/impact_set.h"
 #include "tsdb/metric.h"
+#include "tsdb/quality.h"
 
 namespace funnel::core {
 
@@ -20,9 +21,25 @@ enum class Cause {
   kSoftwareChange,   ///< change detected and attributed to the software change
   kOtherFactors,     ///< change detected, DiD against control group rejected it
   kSeasonality,      ///< change detected, historical DiD rejected it
+  kInconclusive,     ///< telemetry too dirty to decide (see InconclusiveReason)
 };
 
 const char* to_string(Cause c);
+
+/// Machine-readable reason a verdict degraded to Cause::kInconclusive —
+/// the end of the graceful-degradation chain (docs/ROBUSTNESS.md). Every
+/// reason names the telemetry defect an operator must fix to get a real
+/// verdict, and round-trips through report_json and the trace spans.
+enum class InconclusiveReason {
+  kNone,                  ///< verdict is not inconclusive
+  kInsufficientPreWindow, ///< too little data before the change to score/fit
+  kGapInDetectionWindow,  ///< coverage/gap thresholds violated around the change
+  kControlGroupEmpty,     ///< no control siblings and the fallback failed too
+  kHistoricalQuorumUnmet, ///< fewer clean baseline days than the quorum
+  kWatchTimedOut,         ///< online watch expired before DiD became possible
+};
+
+const char* to_string(InconclusiveReason r);
 
 /// Verdict for one item (S_i, c_i, k_i).
 struct ItemVerdict {
@@ -30,8 +47,16 @@ struct ItemVerdict {
   bool kpi_change_detected = false;
   std::optional<detect::Alarm> alarm;  ///< set when detected
   Cause cause = Cause::kNoKpiChange;
+  /// Set iff cause == kInconclusive.
+  InconclusiveReason inconclusive_reason = InconclusiveReason::kNone;
   std::optional<did::DiDResult> did_fit;  ///< set when DiD ran
   bool used_historical_control = false;   ///< §3.2.5 path vs §3.2.4 path
+  /// The §3.2.4 control group was empty and the verdict fell back to the
+  /// §3.2.5 historical control (implies used_historical_control).
+  bool used_fallback_control = false;
+  /// Telemetry quality of the assessed window, when the assessor measured
+  /// it (batch and finalized online verdicts).
+  std::optional<tsdb::QualityReport> quality;
 
   /// Online path only: the minute causality determination ran — the
   /// paper's rapidity metric is `determined_at - change time` (the §5.2
@@ -60,6 +85,10 @@ struct AssessmentReport {
   std::size_t kpis_examined() const { return items.size(); }
   std::size_t kpi_changes_detected() const;
   std::size_t kpi_changes_caused() const;
+
+  /// KPIs whose verdict degraded to kInconclusive — telemetry the
+  /// operations team must repair before the change can be fully assessed.
+  std::size_t kpis_inconclusive() const;
 
   /// True when at least one KPI change is attributed to the change — the
   /// signal that should page the operations team for a possible roll-back.

@@ -91,10 +91,23 @@ std::string decision_line(const ItemVerdict& v) {
     case Cause::kOtherFactors:
       return "control-group DiD saw the untouched siblings move alike: "
              "not the change";
+    case Cause::kInconclusive:
+      return std::string("telemetry too dirty to decide (") +
+             to_string(v.inconclusive_reason) +
+             "); repair the feed and re-assess";
     case Cause::kNoKpiChange:
       break;
   }
   return "no KPI change detected";
+}
+
+void quality_to(std::ostringstream& os, const tsdb::QualityReport& q) {
+  os << "{\"coverage\":";
+  number_to(os, q.coverage);
+  os << ",\"clean_samples\":" << q.clean_samples
+     << ",\"window_minutes\":" << q.window_minutes
+     << ",\"longest_gap_run\":" << q.longest_gap_run
+     << ",\"longest_flat_run\":" << q.longest_flat_run << "}";
 }
 
 void explain_item_to(std::ostringstream& os, const ItemVerdict& v,
@@ -104,9 +117,18 @@ void explain_item_to(std::ostringstream& os, const ItemVerdict& v,
   escape_to(os, v.metric.to_string());
   os << ",\"cause\":";
   escape_to(os, to_string(v.cause));
+  if (v.cause == Cause::kInconclusive) {
+    os << ",\"inconclusive_reason\":";
+    escape_to(os, to_string(v.inconclusive_reason));
+  }
   os << ",\"control_kind\":";
   escape_to(os, v.used_historical_control ? "seasonal-window"
                                           : "dark-launch-siblings");
+  if (v.used_fallback_control) os << ",\"fallback_control\":true";
+  if (v.quality) {
+    os << ",\"quality\":";
+    quality_to(os, *v.quality);
+  }
   if (v.alarm) os << ",\"alarm_minute\":" << v.alarm->minute;
 
   os << ",\"sst\":{\"peak_score\":";
@@ -162,6 +184,13 @@ std::string to_json(const ItemVerdict& verdict) {
      << (verdict.kpi_change_detected ? "true" : "false");
   os << ",\"cause\":";
   escape_to(os, to_string(verdict.cause));
+  if (verdict.cause == Cause::kInconclusive) {
+    os << ",\"inconclusive_reason\":";
+    escape_to(os, to_string(verdict.inconclusive_reason));
+  }
+  if (verdict.used_fallback_control) {
+    os << ",\"fallback_control\":true";
+  }
   if (verdict.determined_at) {
     os << ",\"determined_at\":" << *verdict.determined_at;
   }
@@ -183,6 +212,10 @@ std::string to_json(const ItemVerdict& verdict) {
        << ",\"historical_control\":"
        << (verdict.used_historical_control ? "true" : "false") << "}";
   }
+  if (verdict.quality) {
+    os << ",\"quality\":";
+    quality_to(os, *verdict.quality);
+  }
   os << "}";
   return os.str();
 }
@@ -196,8 +229,11 @@ std::string to_json(const AssessmentReport& report) {
      << (report.impact_set.dark_launched ? "true" : "false")
      << ",\"kpis_examined\":" << report.kpis_examined()
      << ",\"kpi_changes_detected\":" << report.kpi_changes_detected()
-     << ",\"kpi_changes_caused\":" << report.kpi_changes_caused()
-     << ",\"change_has_impact\":"
+     << ",\"kpi_changes_caused\":" << report.kpi_changes_caused();
+  if (report.kpis_inconclusive() > 0) {
+    os << ",\"kpis_inconclusive\":" << report.kpis_inconclusive();
+  }
+  os << ",\"change_has_impact\":"
      << (report.change_has_impact() ? "true" : "false") << ",\"items\":[";
   bool first = true;
   for (const ItemVerdict& v : report.items) {
@@ -221,7 +257,9 @@ std::string to_json_explained(const AssessmentReport& report,
   os << ",\"explain\":[";
   bool first = true;
   for (const ItemVerdict& v : report.items) {
-    if (!v.kpi_change_detected) continue;
+    // Explain every verdict an operator must act on: detected changes, and
+    // degraded (inconclusive) telemetry that blocked a verdict.
+    if (!v.kpi_change_detected && v.cause != Cause::kInconclusive) continue;
     if (!first) os << ',';
     first = false;
     explain_item_to(os, v, report.change_id, config, trace);

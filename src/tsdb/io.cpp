@@ -76,10 +76,17 @@ TimeSeries read_series_csv(std::istream& in) {
       series = TimeSeries(minute);
       series.append(value);
       first_sample = false;
+    } else if (minute < series.end_time()) {
+      // A CSV is a serialized series, not a live feed: re-visited minutes
+      // mean the file itself is corrupt, so reject with the exact line and
+      // failure mode instead of silently misaligning everything after it.
+      const char* what = minute == series.end_time() - 1
+                             ? ": duplicate minute "
+                             : ": minute went backwards to ";
+      throw InvalidArgument("CSV line " + std::to_string(lineno) + what +
+                            std::to_string(minute) + " (last was " +
+                            std::to_string(series.end_time() - 1) + ")");
     } else {
-      FUNNEL_REQUIRE(minute >= series.end_time(),
-                     "CSV line " + std::to_string(lineno) +
-                         ": minutes must be non-decreasing");
       series.append_at(minute, value);
     }
   }

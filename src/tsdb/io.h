@@ -22,9 +22,10 @@ namespace funnel::tsdb {
 void write_series_csv(std::ostream& out, const TimeSeries& series);
 
 /// Parse a CSV series. Accepts an optional header row, blank lines and
-/// `#` comments; minutes must be non-decreasing (gaps become NaN). Empty
-/// value fields and the literals nan/NaN parse as gaps. Throws
-/// InvalidArgument on malformed rows.
+/// `#` comments; minutes must be strictly increasing (skipped minutes
+/// become NaN gaps; duplicate or backwards timestamps are rejected with a
+/// line-numbered diagnostic). Empty value fields and the literals nan/NaN
+/// parse as gaps. Throws InvalidArgument on malformed rows.
 TimeSeries read_series_csv(std::istream& in);
 
 /// Convenience file wrappers (throw NotFound when the file cannot be

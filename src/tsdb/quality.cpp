@@ -1,0 +1,48 @@
+#include "tsdb/quality.h"
+
+#include <cmath>
+#include <limits>
+
+#include "common/error.h"
+
+namespace funnel::tsdb {
+
+QualityReport window_quality(const TimeSeries& series, MinuteTime t0,
+                             MinuteTime t1) {
+  FUNNEL_REQUIRE(t1 >= t0, "window_quality over negative range");
+  QualityReport q;
+  q.window_minutes = static_cast<std::size_t>(t1 - t0);
+  if (q.window_minutes == 0) return q;
+
+  std::size_t gap_run = 0;
+  std::size_t flat_run = 0;
+  double prev = 0.0;
+  bool have_prev = false;
+  for (MinuteTime t = t0; t < t1; ++t) {
+    const double v = series.contains(t)
+                         ? series.at(t)
+                         : std::numeric_limits<double>::quiet_NaN();
+    if (std::isfinite(v)) {
+      ++q.clean_samples;
+      gap_run = 0;
+      if (have_prev && v == prev) {
+        ++flat_run;
+      } else {
+        flat_run = 1;
+      }
+      if (flat_run > q.longest_flat_run) q.longest_flat_run = flat_run;
+      prev = v;
+      have_prev = true;
+    } else {
+      ++gap_run;
+      flat_run = 0;
+      have_prev = false;
+      if (gap_run > q.longest_gap_run) q.longest_gap_run = gap_run;
+    }
+  }
+  q.coverage = static_cast<double>(q.clean_samples) /
+               static_cast<double>(q.window_minutes);
+  return q;
+}
+
+}  // namespace funnel::tsdb

@@ -1,0 +1,51 @@
+// Per-window telemetry quality assessment.
+//
+// Production KPI feeds are dirty: agents restart (gaps), clocks skew
+// (duplicates, out-of-order delivery) and collectors wedge (stuck-at
+// values). A QualityReport summarizes how trustworthy one [t0, t1) window
+// of a series is, so the assessment pipeline can degrade explicitly
+// (Cause::kInconclusive) instead of silently suppressing alarms or throwing
+// mid-flight. Computed once per assessed window and threaded through the
+// verdict, the report JSON and the trace spans — see docs/ROBUSTNESS.md.
+#pragma once
+
+#include <cstddef>
+
+#include "common/minute_time.h"
+#include "tsdb/series.h"
+
+namespace funnel::tsdb {
+
+/// Telemetry quality of one series over one minute window.
+struct QualityReport {
+  /// Length of the assessed window in minutes (t1 - t0).
+  std::size_t window_minutes = 0;
+  /// Finite samples inside the window (minutes outside the series' covered
+  /// range count as missing, exactly like stored NaN gaps).
+  std::size_t clean_samples = 0;
+  /// clean_samples / window_minutes; 0 for an empty window.
+  double coverage = 0.0;
+  /// Longest run of consecutive missing minutes (NaN or uncovered).
+  std::size_t longest_gap_run = 0;
+  /// Longest run of consecutive *identical* finite values — the stuck-at /
+  /// flatline signature. Real KPIs carry noise; a long exact-repeat run
+  /// means the collector is replaying one sample. Diagnostic only: it is
+  /// surfaced, not verdict-gating (a genuinely constant KPI is legal).
+  std::size_t longest_flat_run = 0;
+
+  /// True when the window meets the given coverage/gap thresholds.
+  /// `max_flat_run` = 0 disables the flatline gate (constant KPIs are
+  /// legal; gate only where stuck-at collectors are the bigger risk).
+  bool acceptable(double min_coverage, std::size_t max_gap_run,
+                  std::size_t max_flat_run = 0) const {
+    return coverage >= min_coverage && longest_gap_run <= max_gap_run &&
+           (max_flat_run == 0 || longest_flat_run <= max_flat_run);
+  }
+};
+
+/// Quality of `series` over [t0, t1). Minutes outside the series' covered
+/// range are missing. t1 < t0 throws InvalidArgument.
+QualityReport window_quality(const TimeSeries& series, MinuteTime t0,
+                             MinuteTime t1);
+
+}  // namespace funnel::tsdb

@@ -21,6 +21,26 @@ void TimeSeries::append_at(MinuteTime t, double value) {
   values_.push_back(value);
 }
 
+TimeSeries::Upsert TimeSeries::upsert_at(MinuteTime t, double value) {
+  if (values_.empty()) {
+    start_ = t;
+    values_.push_back(value);
+    return Upsert::kAppended;
+  }
+  if (t >= end_time()) {
+    while (end_time() < t) {
+      values_.push_back(std::numeric_limits<double>::quiet_NaN());
+    }
+    values_.push_back(value);
+    return Upsert::kAppended;
+  }
+  if (t < start_) return Upsert::kTooOld;
+  double& slot = values_[static_cast<std::size_t>(t - start_)];
+  if (std::isfinite(slot)) return Upsert::kDuplicate;
+  slot = value;
+  return Upsert::kFilled;
+}
+
 double TimeSeries::at(MinuteTime t) const {
   FUNNEL_REQUIRE(contains(t), "TimeSeries::at out of range");
   return values_[static_cast<std::size_t>(t - start_)];

@@ -39,6 +39,22 @@ class TimeSeries {
   /// before start or into the past throws.
   void append_at(MinuteTime t, double value);
 
+  /// What upsert_at did with a sample.
+  enum class Upsert {
+    kAppended,   ///< extended the series (possibly NaN-filling a gap first)
+    kFilled,     ///< landed in a past NaN hole (late delivery)
+    kDuplicate,  ///< past minute already held a finite sample; kept the old
+    kTooOld,     ///< before start_time(); dropped
+  };
+
+  /// Order-tolerant append for dirty ingest feeds: at/after end_time() this
+  /// is append_at; inside the covered range it fills NaN holes first-write-
+  /// wins (a duplicate or conflicting re-delivery never overwrites data, so
+  /// any delivery order converges to the same series); before start_time()
+  /// the sample is dropped. Never throws. NaN deliveries for an unseen
+  /// minute are stored as the gap they are.
+  Upsert upsert_at(MinuteTime t, double value);
+
   /// Sample at minute t. Throws InvalidArgument when t is out of range.
   double at(MinuteTime t) const;
 

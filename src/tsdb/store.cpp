@@ -53,16 +53,35 @@ bool MetricStore::has(const MetricId& id) const {
 
 void MetricStore::append(const MetricId& id, MinuteTime t, double value) {
   StoreShard& sh = shard(id);
+  TimeSeries::Upsert outcome;
   {
     const std::unique_lock<std::shared_mutex> lock(sh.data_mutex);
     auto it = sh.series.find(id);
     if (it == sh.series.end()) {
       it = sh.series.emplace(id, TimeSeries(t)).first;
     }
-    it->second.append_at(t, value);
+    outcome = it->second.upsert_at(t, value);
   }
   const obs::Registry* stats = stats_.load(std::memory_order_relaxed);
-  if (stats != nullptr) stats->add("tsdb.store.appends");
+  if (stats != nullptr) {
+    stats->add("tsdb.store.appends");
+    switch (outcome) {
+      case TimeSeries::Upsert::kAppended:
+        break;
+      case TimeSeries::Upsert::kFilled:
+        stats->add("tsdb.store.late_fills");
+        break;
+      case TimeSeries::Upsert::kDuplicate:
+        stats->add("tsdb.store.duplicates_ignored");
+        break;
+      case TimeSeries::Upsert::kTooOld:
+        stats->add("tsdb.store.too_old_dropped");
+        break;
+    }
+  }
+  // A too-old sample never landed in the store; notifying subscribers about
+  // data they can't read back would break the visibility guarantee below.
+  if (outcome == TimeSeries::Upsert::kTooOld) return;
   // The sample is visible in the shard before any notification is queued or
   // delivered, so a callback reading the store always sees its sample.
   if (sub_count_.load(std::memory_order_acquire) == 0) return;

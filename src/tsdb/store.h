@@ -93,6 +93,13 @@ class MetricStore {
   /// subscribers are notified synchronously (sync mode) or via the ingest
   /// queue (async mode) — the paper's sub-second push from database to
   /// FUNNEL.
+  ///
+  /// Dirty feeds are tolerated deterministically (TimeSeries::upsert_at):
+  /// late samples fill their NaN hole, duplicates are ignored first-write-
+  /// wins, samples before the series start are dropped — so any delivery
+  /// order converges to the same series. Dropped samples are not notified;
+  /// the rest are (telemetry: tsdb.store.late_fills / duplicates_ignored /
+  /// too_old_dropped).
   void append(const MetricId& id, MinuteTime t, double value);
 
   /// Bulk-insert a prebuilt series (no subscriber notification) — the bulk

@@ -1,0 +1,188 @@
+#include "workload/faults.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "common/error.h"
+#include "common/strings.h"
+
+namespace funnel::workload {
+namespace {
+
+// One "kind=rate" or "kind=ratexN" clause.
+void apply_clause(FaultSpec& spec, const std::string& clause) {
+  const auto eq = clause.find('=');
+  FUNNEL_REQUIRE(eq != std::string::npos && eq > 0,
+                 "fault spec clause needs kind=rate: '" + clause + "'");
+  const std::string kind = clause.substr(0, eq);
+  std::string rate_str = clause.substr(eq + 1);
+  std::size_t len = 0;
+  const auto x = rate_str.find('x');
+  if (x != std::string::npos) {
+    try {
+      len = static_cast<std::size_t>(std::stoul(rate_str.substr(x + 1)));
+    } catch (const std::exception&) {
+      throw InvalidArgument("fault spec: bad length in '" + clause + "'");
+    }
+    FUNNEL_REQUIRE(len >= 1, "fault spec: length must be >= 1 in '" +
+                                 clause + "'");
+    rate_str = rate_str.substr(0, x);
+  }
+  double rate = 0.0;
+  try {
+    std::size_t pos = 0;
+    rate = std::stod(rate_str, &pos);
+    FUNNEL_REQUIRE(pos == rate_str.size(), "trailing junk");
+  } catch (const std::exception&) {
+    throw InvalidArgument("fault spec: bad rate in '" + clause + "'");
+  }
+  FUNNEL_REQUIRE(rate >= 0.0 && rate <= 1.0,
+                 "fault spec: rate must be in [0, 1] in '" + clause + "'");
+
+  if (kind == "drop") {
+    spec.drop_rate = rate;
+  } else if (kind == "nan") {
+    spec.nan_rate = rate;
+    if (len > 0) spec.nan_burst = len;
+  } else if (kind == "stuck") {
+    spec.stuck_rate = rate;
+    if (len > 0) spec.stuck_run = len;
+  } else if (kind == "dup") {
+    spec.duplicate_rate = rate;
+  } else if (kind == "reorder") {
+    spec.reorder_rate = rate;
+  } else if (kind == "late") {
+    spec.late_rate = rate;
+    if (len > 0) spec.late_by = len;
+  } else {
+    throw InvalidArgument("fault spec: unknown kind '" + kind +
+                          "' (want drop|nan|stuck|dup|reorder|late)");
+  }
+}
+
+}  // namespace
+
+FaultSpec parse_fault_spec(const std::string& spec) {
+  FaultSpec out;
+  if (spec.empty() || spec == "none") return out;
+  for (const std::string& clause : split(spec, ',')) {
+    apply_clause(out, clause);
+  }
+  return out;
+}
+
+std::string to_string(const FaultSpec& spec) {
+  std::ostringstream os;
+  bool first = true;
+  const auto clause = [&](const char* kind, double rate) -> std::ostream& {
+    if (!first) os << ',';
+    first = false;
+    os << kind << '=' << rate;
+    return os;
+  };
+  if (spec.drop_rate > 0.0) clause("drop", spec.drop_rate);
+  if (spec.nan_rate > 0.0) clause("nan", spec.nan_rate) << 'x'
+                                                        << spec.nan_burst;
+  if (spec.stuck_rate > 0.0) clause("stuck", spec.stuck_rate)
+      << 'x' << spec.stuck_run;
+  if (spec.duplicate_rate > 0.0) clause("dup", spec.duplicate_rate);
+  if (spec.reorder_rate > 0.0) clause("reorder", spec.reorder_rate);
+  if (spec.late_rate > 0.0) clause("late", spec.late_rate) << 'x'
+                                                           << spec.late_by;
+  return first ? "none" : os.str();
+}
+
+std::vector<FaultDelivery> FaultInjector::push(MinuteTime t, double value) {
+  // Fixed draw order per sample keeps the plan for a seed stable no matter
+  // which outcomes fire.
+  const bool hit_stuck = rng_.bernoulli(spec_.stuck_rate);
+  const bool hit_nan = rng_.bernoulli(spec_.nan_rate);
+  const bool hit_drop = rng_.bernoulli(spec_.drop_rate);
+  const bool hit_dup = rng_.bernoulli(spec_.duplicate_rate);
+  const bool hit_late = rng_.bernoulli(spec_.late_rate);
+  const bool hit_reorder = rng_.bernoulli(spec_.reorder_rate);
+
+  // Value faults: a wedged collector replays its latched reading; an agent
+  // restart emits a burst of NaN.
+  if (stuck_left_ > 0) {
+    value = stuck_value_;
+    --stuck_left_;
+    ++stats_.stuck;
+  } else if (hit_stuck && std::isfinite(value) && spec_.stuck_run > 1) {
+    stuck_value_ = value;
+    stuck_left_ = spec_.stuck_run - 1;  // this sample is the latched one
+  }
+  if (nan_left_ > 0) {
+    value = std::numeric_limits<double>::quiet_NaN();
+    --nan_left_;
+    ++stats_.nans;
+  } else if (hit_nan && spec_.nan_burst > 0) {
+    value = std::numeric_limits<double>::quiet_NaN();
+    nan_left_ = spec_.nan_burst - 1;
+    ++stats_.nans;
+  }
+
+  std::vector<FaultDelivery> out;
+  // Late samples whose delay has elapsed arrive ahead of this minute's.
+  for (auto it = late_queue_.begin(); it != late_queue_.end();) {
+    if (it->due <= pushes_) {
+      out.push_back(it->d);
+      it = late_queue_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+
+  const FaultDelivery d{t, value};
+  bool delivered_now = false;
+  if (hit_drop) {
+    ++stats_.dropped;
+  } else if (hit_late) {
+    late_queue_.push_back({pushes_ + spec_.late_by, d});
+    ++stats_.delayed;
+  } else if (hit_reorder && !reorder_hold_) {
+    reorder_hold_ = d;  // swaps with the next delivered sample
+    ++stats_.reordered;
+  } else {
+    out.push_back(d);
+    delivered_now = true;
+  }
+  if (delivered_now && hit_dup) {
+    out.push_back(d);
+    ++stats_.duplicated;
+  }
+  if (delivered_now && reorder_hold_ && reorder_hold_->minute != t) {
+    out.push_back(*reorder_hold_);
+    reorder_hold_.reset();
+  }
+  ++pushes_;
+  return out;
+}
+
+std::vector<FaultDelivery> FaultInjector::drain() {
+  std::vector<FaultDelivery> out;
+  if (reorder_hold_) {
+    out.push_back(*reorder_hold_);
+    reorder_hold_.reset();
+  }
+  for (const Late& l : late_queue_) out.push_back(l.d);
+  late_queue_.clear();
+  return out;
+}
+
+tsdb::TimeSeries apply_faults(const tsdb::TimeSeries& clean,
+                              FaultInjector& injector) {
+  tsdb::TimeSeries out;
+  const auto upsert_all = [&](const std::vector<FaultDelivery>& ds) {
+    for (const FaultDelivery& d : ds) (void)out.upsert_at(d.minute, d.value);
+  };
+  MinuteTime t = clean.start_time();
+  for (double v : clean.values()) {
+    upsert_all(injector.push(t, v));
+    ++t;
+  }
+  upsert_all(injector.drain());
+  return out;
+}
+
+}  // namespace funnel::workload

@@ -1,0 +1,123 @@
+// Deterministic telemetry fault injection — the chaos layer.
+//
+// A FaultInjector wraps a KPI sample stream and reproduces the defects
+// production collection pipelines actually exhibit: dropped samples, NaN
+// bursts (agent restarts), stuck-at values (wedged collectors replaying
+// their last reading), duplicated delivery, adjacent reordering and late
+// arrival. Every decision is drawn from a seeded Rng in a fixed per-sample
+// order, so a (spec, seed) pair defines one exact fault plan: the chaos
+// harness replays it bit-identically, and an empty spec is a perfect
+// pass-through (byte-identical downstream reports — the control cell of
+// every chaos grid). See docs/ROBUSTNESS.md.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/minute_time.h"
+#include "common/rng.h"
+#include "tsdb/series.h"
+
+namespace funnel::workload {
+
+/// What to inject, parsed from a spec string like
+///   "drop=0.05,nan=0.02x4,stuck=0.01x8,dup=0.05,reorder=0.05,late=0.02x5"
+/// (kind=rate, with xN giving the burst/run/delay length where one
+/// applies). All rates default to 0 — an empty spec injects nothing.
+struct FaultSpec {
+  double drop_rate = 0.0;       ///< P(sample never delivered)
+  double nan_rate = 0.0;        ///< P(a NaN burst starts here)
+  std::size_t nan_burst = 4;    ///< samples per NaN burst
+  double stuck_rate = 0.0;      ///< P(collector latches this value)
+  std::size_t stuck_run = 8;    ///< samples repeating the latched value
+  double duplicate_rate = 0.0;  ///< P(sample delivered twice)
+  double reorder_rate = 0.0;    ///< P(sample swaps with its successor)
+  double late_rate = 0.0;       ///< P(sample held back late_by samples)
+  std::size_t late_by = 5;      ///< delivery delay in samples
+
+  bool empty() const {
+    return drop_rate == 0.0 && nan_rate == 0.0 && stuck_rate == 0.0 &&
+           duplicate_rate == 0.0 && reorder_rate == 0.0 && late_rate == 0.0;
+  }
+};
+
+/// Parse the spec-string format above. Unknown kinds, rates outside [0, 1]
+/// and zero lengths throw InvalidArgument.
+FaultSpec parse_fault_spec(const std::string& spec);
+
+/// Canonical spec string (only non-zero kinds).
+std::string to_string(const FaultSpec& spec);
+
+/// One sample as (possibly) delivered to the ingest path.
+struct FaultDelivery {
+  MinuteTime minute = 0;
+  double value = 0.0;
+};
+
+/// What the injector did so far — lets tests and tools report the realized
+/// plan alongside the seed.
+struct FaultStats {
+  std::uint64_t dropped = 0;
+  std::uint64_t nans = 0;
+  std::uint64_t stuck = 0;
+  std::uint64_t duplicated = 0;
+  std::uint64_t reordered = 0;
+  std::uint64_t delayed = 0;
+
+  std::uint64_t total() const {
+    return dropped + nans + stuck + duplicated + reordered + delayed;
+  }
+};
+
+/// Stream wrapper turning clean (minute, value) samples into the dirty
+/// delivery sequence defined by (spec, seed). Per sample, value faults
+/// apply first (stuck-at, then NaN burst), then exactly one delivery fault
+/// (precedence drop > late > reorder; duplication applies to whatever is
+/// delivered immediately). The Rng draws the same decisions for every
+/// sample regardless of outcome, so plans for the same seed stay aligned
+/// even across spec edits that only change rates to zero.
+class FaultInjector {
+ public:
+  FaultInjector() : FaultInjector(FaultSpec{}, 0) {}
+  FaultInjector(FaultSpec spec, std::uint64_t seed)
+      : spec_(spec), rng_(seed) {}
+
+  /// Deliveries triggered by the clean sample (t, value): zero or more, in
+  /// delivery order (due late samples first, then this sample and its
+  /// duplicate, then a released reorder partner).
+  std::vector<FaultDelivery> push(MinuteTime t, double value);
+
+  /// End of stream: everything still held back (late queue, reorder hold),
+  /// in delivery order.
+  std::vector<FaultDelivery> drain();
+
+  const FaultSpec& spec() const { return spec_; }
+  const FaultStats& stats() const { return stats_; }
+
+ private:
+  FaultSpec spec_;
+  Rng rng_;
+  FaultStats stats_;
+
+  std::size_t pushes_ = 0;
+  std::size_t nan_left_ = 0;
+  std::size_t stuck_left_ = 0;
+  double stuck_value_ = 0.0;
+  std::optional<FaultDelivery> reorder_hold_;
+  struct Late {
+    std::size_t due;  ///< push index at which this becomes deliverable
+    FaultDelivery d;
+  };
+  std::vector<Late> late_queue_;
+};
+
+/// Sample `minute -> value(minute)` over [t0, t1) through the injector and
+/// upsert every delivery into `out` (the tolerant ingest path, so the
+/// result is a well-formed monotonic series with NaN gaps where samples
+/// were dropped). Used by funnel_generate --faults.
+tsdb::TimeSeries apply_faults(const tsdb::TimeSeries& clean,
+                              FaultInjector& injector);
+
+}  // namespace funnel::workload

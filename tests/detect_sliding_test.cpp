@@ -60,6 +60,36 @@ TEST(FirstAlarm, NanBreaksRun) {
   EXPECT_EQ(a->first_window, 2u);
 }
 
+TEST(FirstAlarm, NanConsumesPatienceSlackLikeADent) {
+  // Persistence-in-patience semantics with gaps (sliding.h): persistence 3
+  // within patience 4 tolerates exactly one interruption — and a NaN score
+  // is an interruption, indistinguishable from a sub-threshold dip.
+  const AlarmPolicy p{.threshold = 1.0, .persistence = 3, .patience = 4};
+  const std::vector<double> one_nan{9.0, 9.0, std::nan(""), 9.0};
+  const auto a = first_alarm(one_nan, 3, 0, p);
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(a->first_window, 0u);
+  EXPECT_EQ(a->minute, 0 + 3 + 3 - 1);  // fires on the window at index 3
+
+  // Two consecutive NaNs exceed the patience surplus: the run dies.
+  const std::vector<double> two_nans{9.0, 9.0, std::nan(""), std::nan(""),
+                                     9.0, 9.0};
+  EXPECT_FALSE(first_alarm(two_nans, 3, 0, p).has_value());
+}
+
+TEST(FirstAlarm, AlarmReestablishesOnlyAfterGapClears) {
+  // A gap longer than the patience surplus kills the run; the sustained
+  // exceedance after it must rebuild the full persistence count from
+  // scratch — the alarm is delayed, never resurrected mid-gap.
+  const AlarmPolicy p{.threshold = 1.0, .persistence = 3, .patience = 4};
+  const std::vector<double> scores{9.0, 9.0, std::nan(""), std::nan(""),
+                                   9.0, 9.0, 9.0};
+  const auto a = first_alarm(scores, 3, 0, p);
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(a->first_window, 4u);  // the pre-gap hits contribute nothing
+  EXPECT_EQ(a->minute, 0 + 6 + 3 - 1);
+}
+
 TEST(FirstAlarm, NoExceedanceNoAlarm) {
   const std::vector<double> scores{0.1, 0.2, 0.3};
   EXPECT_FALSE(
@@ -113,6 +143,48 @@ TEST(DetectFirst, EndToEndOnSyntheticShift) {
   ASSERT_TRUE(alarm.has_value());
   EXPECT_GE(alarm->minute, 120);
   EXPECT_LE(alarm->minute, 160);
+}
+
+TEST(DetectFirst, GapStraddlingAlarmWindowSuppressesAlarm) {
+  // The dirty-feed hazard documented in sliding.h: a feed outage that
+  // swallows the change transition suppresses the alarm outright — every
+  // window overlapping the gap scores NaN, and post-gap windows see only
+  // the (stationary) new level. The silence is NOT a clean bill of health;
+  // the assessment layer reports it as inconclusive via the window
+  // QualityReport (funnel_assessor_test covers that half).
+  workload::StationaryParams params;
+  workload::KpiStream s(workload::make_stationary(params, Rng(5)));
+  s.add_effect(workload::LevelShift{120, 8.0});
+  auto series = workload::render(s, 0, 240);
+  const AlarmPolicy policy{.threshold = 0.4, .persistence = 7,
+                           .patience = 10};
+
+  ImprovedSst clean_scorer(SstGeometry{.omega = 9, .eta = 3});
+  ASSERT_TRUE(detect_first(clean_scorer, series, 0, policy).has_value());
+
+  // Gap from just before the shift until well past the would-be alarm
+  // minute: the whole transition is invisible.
+  for (std::size_t i = 115; i < 175; ++i) series[i] = std::nan("");
+  ImprovedSst gapped_scorer(SstGeometry{.omega = 9, .eta = 3});
+  EXPECT_FALSE(detect_first(gapped_scorer, series, 0, policy).has_value());
+}
+
+TEST(DetectFirst, GapBeforeChangeDoesNotSuppressLaterAlarm) {
+  // A gap that heals before the change leaves the alarm intact (merely
+  // consuming score positions): detection quality is about the window
+  // around the change, not the whole history.
+  workload::StationaryParams params;
+  workload::KpiStream s(workload::make_stationary(params, Rng(5)));
+  s.add_effect(workload::LevelShift{150, 8.0});
+  auto series = workload::render(s, 0, 280);
+  for (std::size_t i = 60; i < 80; ++i) series[i] = std::nan("");
+  ImprovedSst scorer(SstGeometry{.omega = 9, .eta = 3});
+  const auto alarm = detect_first(
+      scorer, series, 0,
+      AlarmPolicy{.threshold = 0.4, .persistence = 7, .patience = 10});
+  ASSERT_TRUE(alarm.has_value());
+  EXPECT_GE(alarm->minute, 150);
+  EXPECT_LE(alarm->minute, 190);
 }
 
 TEST(OnlineDetector, MatchesBatchAlarm) {

@@ -180,16 +180,35 @@ TEST(DidDarkLaunch, EndToEndAttribution) {
                                             tsdb::server_metric("t2", "mem")};
   const std::vector<tsdb::MetricId> control{tsdb::server_metric("c1", "mem"),
                                             tsdb::server_metric("c2", "mem")};
-  const DiDResult r = did_dark_launch(store, treated, control, tc, 60);
-  EXPECT_NEAR(r.alpha, 8.0, 1.0);
-  EXPECT_TRUE(caused_by_change(r, DiDConfig{}));
+  const DiDOutcome r = did_dark_launch(store, treated, control, tc, 60);
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(r.fit.alpha, 8.0, 1.0);
+  EXPECT_TRUE(caused_by_change(r.fit, DiDConfig{}));
+}
 
-  // Empty groups throw.
+TEST(DidDarkLaunch, EmptyGroupsReportStatusNotThrow) {
+  // Regression: empty treated/control groups used to throw; dirty telemetry
+  // makes them routine, so they surface as statuses the assessor can map to
+  // an inconclusive verdict.
+  tsdb::MetricStore store;
+  store.insert(tsdb::server_metric("t1", "mem"),
+               tsdb::TimeSeries(0, std::vector<double>(400, 5.0)));
+  const std::vector<tsdb::MetricId> treated{
+      tsdb::server_metric("t1", "mem")};
   const std::vector<tsdb::MetricId> none;
-  EXPECT_THROW((void)did_dark_launch(store, none, control, tc, 60),
-               InvalidArgument);
-  EXPECT_THROW((void)did_dark_launch(store, treated, none, tc, 60),
-               InvalidArgument);
+  const DiDOutcome no_treated = did_dark_launch(store, none, treated, 200, 60);
+  EXPECT_EQ(no_treated.status, DiDStatus::kEmptyTreatedGroup);
+  EXPECT_FALSE(no_treated.ok());
+  const DiDOutcome no_control = did_dark_launch(store, treated, none, 200, 60);
+  EXPECT_EQ(no_control.status, DiDStatus::kEmptyControlGroup);
+  // A control group whose every member is gapped over the windows is just as
+  // empty as a missing one.
+  const std::vector<tsdb::MetricId> ghost{
+      tsdb::server_metric("ghost", "mem")};
+  EXPECT_EQ(did_dark_launch(store, treated, ghost, 200, 60).status,
+            DiDStatus::kEmptyControlGroup);
+  EXPECT_STREQ(to_string(DiDStatus::kEmptyControlGroup),
+               "empty-control-group");
 }
 
 // Property sweep for the historical path: a true effect of size `delta`
@@ -209,30 +228,50 @@ TEST_P(HistoricalDid, AttributesTrueEffectsOnly) {
   workload::KpiStream quiet(workload::make_seasonal(sp, Rng(11)));
   const tsdb::TimeSeries quiet_series(
       0, workload::render(quiet, 0, tc + 120));
-  const DiDResult rq = did_historical(quiet_series, tc, 60, days - 1);
-  EXPECT_FALSE(caused_by_change(rq, DiDConfig{}))
+  const DiDOutcome rq = did_historical(quiet_series, tc, 60, days - 1);
+  ASSERT_TRUE(rq.ok());
+  EXPECT_GE(rq.clean_days, static_cast<std::size_t>(days - 1));
+  EXPECT_FALSE(caused_by_change(rq.fit, DiDConfig{}))
       << "seasonal pattern misattributed (alpha_scaled="
-      << rq.alpha_scaled << ")";
+      << rq.fit.alpha_scaled << ")";
 
   // Same KPI with an injected shift at tc: attributed.
   workload::KpiStream shifted(workload::make_seasonal(sp, Rng(12)));
   shifted.add_effect(workload::LevelShift{tc, delta});
   const tsdb::TimeSeries shifted_series(
       0, workload::render(shifted, 0, tc + 120));
-  const DiDResult rs = did_historical(shifted_series, tc, 60, days - 1);
-  EXPECT_TRUE(caused_by_change(rs, DiDConfig{}))
+  const DiDOutcome rs = did_historical(shifted_series, tc, 60, days - 1);
+  ASSERT_TRUE(rs.ok());
+  EXPECT_TRUE(caused_by_change(rs.fit, DiDConfig{}))
       << "missed a delta=" << delta
-      << " effect (alpha_scaled=" << rs.alpha_scaled << ")";
-  EXPECT_NEAR(rs.alpha, delta, 0.5 * delta);
+      << " effect (alpha_scaled=" << rs.fit.alpha_scaled << ")";
+  EXPECT_NEAR(rs.fit.alpha, delta, 0.5 * delta);
 }
 
 INSTANTIATE_TEST_SUITE_P(Effects, HistoricalDid,
                          ::testing::Values(6.0, 10.0, 20.0));
 
-TEST(DidHistorical, ThrowsWithoutHistory) {
+TEST(DidHistorical, ReportsStatusWithoutHistory) {
+  // Regression: a series too short for any baseline day used to throw; now
+  // it reports kNoPreWindow / kQuorumUnmet so the caller can degrade.
   const tsdb::TimeSeries short_series(0, std::vector<double>(300, 1.0));
-  EXPECT_THROW((void)did_historical(short_series, 150, 60, 30),
-               InvalidArgument);
+  const DiDOutcome r = did_historical(short_series, 150, 60, 30);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.clean_days, 0u);
+}
+
+TEST(DidHistorical, QuorumGatesTheFit) {
+  // 3 clean history days: quorum 3 passes, quorum 4 reports kQuorumUnmet.
+  const MinuteTime tc = 3 * kMinutesPerDay + 600;
+  const tsdb::TimeSeries s(
+      0, std::vector<double>(static_cast<std::size_t>(tc + 120), 10.0));
+  const DiDOutcome ok = did_historical(s, tc, 60, 3, 3);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok.clean_days, 3u);
+  const DiDOutcome unmet = did_historical(s, tc, 60, 3, 4);
+  EXPECT_EQ(unmet.status, DiDStatus::kQuorumUnmet);
+  EXPECT_EQ(unmet.clean_days, 3u);
+  EXPECT_STREQ(to_string(DiDStatus::kQuorumUnmet), "quorum-unmet");
 }
 
 }  // namespace

@@ -2,6 +2,9 @@
 // historical DiD, and the verdict taxonomy.
 #include "funnel/assessor.h"
 
+#include <cmath>
+#include <limits>
+
 #include <gtest/gtest.h>
 
 #include "common/rng.h"
@@ -29,8 +32,11 @@ struct Scenario {
   MinuteTime tc = 4 * kDay + 300;
   changes::ChangeId change_id = 0;
 
+  /// dead_controls: control servers ship all-NaN telemetry (dead agents).
+  /// short_treated: treated KPIs only exist from tc-120 on (fresh metrics).
   Scenario(bool dark, double effect, double confounder,
-           bool seasonal = false, bool transient_only = false) {
+           bool seasonal = false, bool transient_only = false,
+           bool dead_controls = false, bool short_treated = false) {
     const std::vector<std::string> servers{"s1", "s2", "s3", "s4", "s5"};
     for (const auto& s : servers) topo.add_server("svc", s);
 
@@ -74,7 +80,16 @@ struct Scenario {
         }
       }
       if (shock) stream.add_shock(shock);
-      workload::materialize(stream, store, tsdb::server_metric(s, "mem"), 0,
+      if (dead_controls && !treated) {
+        store.insert(tsdb::server_metric(s, "mem"),
+                     tsdb::TimeSeries(
+                         0, std::vector<double>(
+                                static_cast<std::size_t>(tc + 120),
+                                std::numeric_limits<double>::quiet_NaN())));
+        continue;
+      }
+      const MinuteTime lo = short_treated && treated ? tc - 120 : 0;
+      workload::materialize(stream, store, tsdb::server_metric(s, "mem"), lo,
                             tc + 120);
     }
   }
@@ -184,14 +199,88 @@ TEST(Assessor, ReportSummaryMentionsKeyFacts) {
 }
 
 TEST(Assessor, ShortSeriesYieldsNoChange) {
-  // A KPI created just before the change cannot fill one SST window: the
-  // item is reported as no-KPI-change rather than crashing.
+  // A KPI created just before the change cannot fill one SST window: it
+  // cannot be cleared either, so the item degrades to an inconclusive
+  // verdict (insufficient pre-window) rather than crashing or delivering a
+  // silent "no change".
   Scenario sc(/*dark=*/true, /*effect=*/8.0, /*confounder=*/0.0);
   sc.store.insert(tsdb::server_metric("s1", "fresh_kpi"),
                   tsdb::TimeSeries(sc.tc - 5, std::vector<double>(10, 1.0)));
   const AssessmentReport r = sc.assess();
   const auto& v = verdict_for(r, tsdb::server_metric("s1", "fresh_kpi"));
   EXPECT_FALSE(v.kpi_change_detected);
+  EXPECT_EQ(v.cause, Cause::kInconclusive);
+  EXPECT_EQ(v.inconclusive_reason, InconclusiveReason::kInsufficientPreWindow);
+  EXPECT_GE(r.kpis_inconclusive(), 1u);
+}
+
+TEST(Assessor, GapInQuietWindowIsInconclusiveNotClean) {
+  // Quality gate: a quiet verdict on a window that is mostly missing is no
+  // verdict at all — a gap can hide exactly the shift FUNNEL looks for.
+  Scenario sc(/*dark=*/true, /*effect=*/0.0, /*confounder=*/0.0);
+  const tsdb::MetricId id = tsdb::server_metric("s1", "gappy");
+  Rng noise(99);
+  std::vector<double> data(static_cast<std::size_t>(sc.tc + 120));
+  for (double& v : data) v = noise.gaussian(5.0, 1.0);
+  // Blow a 40-minute hole right after the change (max_gap_run default 15).
+  for (std::size_t i = 0; i < 40; ++i) {
+    data[static_cast<std::size_t>(sc.tc) + 5 + i] = std::nan("");
+  }
+  sc.store.insert(id, tsdb::TimeSeries(0, std::move(data)));
+  const AssessmentReport r = sc.assess();
+  const auto& v = verdict_for(r, id);
+  EXPECT_FALSE(v.kpi_change_detected);
+  EXPECT_EQ(v.cause, Cause::kInconclusive);
+  EXPECT_EQ(v.inconclusive_reason, InconclusiveReason::kGapInDetectionWindow);
+  ASSERT_TRUE(v.quality.has_value());
+  EXPECT_GE(v.quality->longest_gap_run, 40u);
+  EXPECT_LT(v.quality->coverage, 1.0);
+}
+
+TEST(Assessor, EmptyControlGroupFallsBackToHistory) {
+  // Dark launch whose every control sibling is telemetry-dead: the §3.2.4
+  // DiD cannot run, so the chain falls back to the §3.2.5 historical
+  // control and still attributes the (strong) effect.
+  const Scenario sc(/*dark=*/true, /*effect=*/8.0, /*confounder=*/0.0,
+                    /*seasonal=*/false, /*transient_only=*/false,
+                    /*dead_controls=*/true);
+  const AssessmentReport r = sc.assess();
+  const auto& v = verdict_for(r, tsdb::server_metric("s1", "mem"));
+  EXPECT_TRUE(v.kpi_change_detected);
+  EXPECT_TRUE(v.used_fallback_control);
+  EXPECT_TRUE(v.used_historical_control);
+  EXPECT_EQ(v.cause, Cause::kSoftwareChange);
+}
+
+TEST(Assessor, FallbackWithoutHistoryIsControlGroupEmpty) {
+  // Both ends of the degradation chain fail: the control group is empty AND
+  // the treated KPI has no usable history — the reason names the primary
+  // defect (the empty §3.2.4 control group).
+  const Scenario sc(/*dark=*/true, /*effect=*/8.0, /*confounder=*/0.0,
+                    /*seasonal=*/false, /*transient_only=*/false,
+                    /*dead_controls=*/true, /*short_treated=*/true);
+  const AssessmentReport r = sc.assess();
+  const auto& v = verdict_for(r, tsdb::server_metric("s1", "mem"));
+  EXPECT_TRUE(v.kpi_change_detected);
+  EXPECT_TRUE(v.used_fallback_control);
+  EXPECT_EQ(v.cause, Cause::kInconclusive);
+  EXPECT_EQ(v.inconclusive_reason, InconclusiveReason::kControlGroupEmpty);
+}
+
+TEST(Assessor, HistoricalQuorumGatesFullLaunchVerdict) {
+  // With a quorum above the available baseline days, the full-launch path
+  // reports quorum-unmet instead of trusting a thin history.
+  Scenario sc(/*dark=*/false, /*effect=*/8.0, /*confounder=*/0.0);
+  FunnelConfig cfg = test_config();
+  cfg.quality.historical_quorum = 10;  // only 3-4 days of history exist
+  const Funnel funnel(cfg, sc.topo, sc.log, sc.store);
+  const AssessmentReport r = funnel.assess(sc.change_id);
+  const auto& v = verdict_for(r, tsdb::server_metric("s3", "mem"));
+  EXPECT_TRUE(v.kpi_change_detected);
+  EXPECT_EQ(v.cause, Cause::kInconclusive);
+  EXPECT_EQ(v.inconclusive_reason,
+            InconclusiveReason::kHistoricalQuorumUnmet);
+  EXPECT_FALSE(r.change_has_impact());
 }
 
 TEST(Assessor, CauseNames) {
@@ -199,6 +288,21 @@ TEST(Assessor, CauseNames) {
   EXPECT_STREQ(to_string(Cause::kSoftwareChange), "software-change");
   EXPECT_STREQ(to_string(Cause::kOtherFactors), "other-factors");
   EXPECT_STREQ(to_string(Cause::kSeasonality), "seasonality");
+  EXPECT_STREQ(to_string(Cause::kInconclusive), "inconclusive");
+}
+
+TEST(Assessor, InconclusiveReasonNames) {
+  EXPECT_STREQ(to_string(InconclusiveReason::kNone), "none");
+  EXPECT_STREQ(to_string(InconclusiveReason::kInsufficientPreWindow),
+               "insufficient-pre-window");
+  EXPECT_STREQ(to_string(InconclusiveReason::kGapInDetectionWindow),
+               "gap-in-detection-window");
+  EXPECT_STREQ(to_string(InconclusiveReason::kControlGroupEmpty),
+               "control-group-empty");
+  EXPECT_STREQ(to_string(InconclusiveReason::kHistoricalQuorumUnmet),
+               "historical-quorum-unmet");
+  EXPECT_STREQ(to_string(InconclusiveReason::kWatchTimedOut),
+               "watch-timed-out");
 }
 
 }  // namespace

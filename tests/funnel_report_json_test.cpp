@@ -69,6 +69,21 @@ AssessmentReport golden_report() {
     v.used_historical_control = true;
     report.items.push_back(v);
   }
+  {  // Degraded telemetry: inconclusive verdict after the fallback chain
+     // (reason + fallback flag + quality block are all conditional keys).
+    ItemVerdict v;
+    v.metric = tsdb::server_metric("s3", "mem");
+    v.cause = Cause::kInconclusive;
+    v.inconclusive_reason = InconclusiveReason::kControlGroupEmpty;
+    v.used_historical_control = true;
+    v.used_fallback_control = true;
+    v.quality = tsdb::QualityReport{.window_minutes = 120,
+                                    .clean_samples = 45,
+                                    .coverage = 0.375,
+                                    .longest_gap_run = 33,
+                                    .longest_flat_run = 8};
+    report.items.push_back(v);
+  }
   return report;
 }
 

@@ -1,10 +1,13 @@
 # End-to-end smoke check for the tools + telemetry path:
 #   funnel_generate -> funnel_detect_csv --change-minute --stats-json --trace
-# The generated KPI carries a level shift at the change minute, so the
-# online pipeline must attribute it, the stats snapshot must parse as
-# JSON with the core telemetry keys, and the Chrome trace must parse with
-# a traceEvents array. Also asserts a malformed CSV makes the tool exit
-# non-zero (no silent skips) and an unwritable --trace path exits 3.
+# The generated KPI carries 3 days of history and a level shift at the
+# change minute, so the online pipeline must attribute it via the
+# historical DiD (quorum 2), the stats snapshot must parse as JSON with
+# the core telemetry keys, and the Chrome trace must parse with a
+# traceEvents array. Also asserts: a dirty CSV (funnel_generate --faults)
+# still assesses without crashing; a malformed or duplicate-timestamp CSV
+# makes the tool exit non-zero (no silent skips); an unwritable --trace
+# path exits 3.
 #
 # Invoked by ctest as:
 #   cmake -DGEN=<funnel_generate> -DDET=<funnel_detect_csv>
@@ -21,17 +24,21 @@ set(csv "${WORK_DIR}/smoke_series.csv")
 set(stats "${WORK_DIR}/smoke_stats.json")
 set(trace "${WORK_DIR}/smoke_trace.json")
 
+# 3 days of history before the change minute: the full-launch path runs
+# the seasonality-exclusion DiD against real baseline days (quorum 2)
+# instead of degrading to an inconclusive verdict.
+set(change_minute 4380)
 execute_process(
-  COMMAND "${GEN}" --class stationary --minutes 600 --seed 7
-          --shift 300,8 --out "${csv}"
+  COMMAND "${GEN}" --class stationary --minutes 4500 --seed 7
+          --shift ${change_minute},8 --out "${csv}"
   RESULT_VARIABLE rc ERROR_VARIABLE err)
 if(NOT rc EQUAL 0)
   message(FATAL_ERROR "funnel_generate failed (${rc}): ${err}")
 endif()
 
 execute_process(
-  COMMAND "${DET}" "${csv}" --change-minute 300 --stats-json "${stats}"
-          --trace "${trace}"
+  COMMAND "${DET}" "${csv}" --change-minute ${change_minute}
+          --stats-json "${stats}" --trace "${trace}"
   OUTPUT_VARIABLE out RESULT_VARIABLE rc ERROR_VARIABLE err)
 if(NOT rc EQUAL 0)
   message(FATAL_ERROR "funnel_detect_csv failed (${rc}): ${err}")
@@ -103,11 +110,51 @@ endif()
 # An unwritable --trace destination is a distinct failure (exit 3), after
 # the assessment itself already ran.
 execute_process(
-  COMMAND "${DET}" "${csv}" --change-minute 300
+  COMMAND "${DET}" "${csv}" --change-minute ${change_minute}
           --trace "${WORK_DIR}/no_such_dir/t.json"
   RESULT_VARIABLE rc OUTPUT_QUIET ERROR_QUIET)
 if(NOT rc EQUAL 3)
   message(FATAL_ERROR "unwritable --trace path must exit 3, got ${rc}")
+endif()
+
+# Dirty telemetry must not crash the pipeline: the same KPI through the
+# deterministic fault injector (drops, NaN bursts, duplicate + late
+# delivery) still assesses end to end and prints a verdict line — either
+# the clean attribution or an explicit inconclusive degradation.
+set(dirty "${WORK_DIR}/smoke_dirty.csv")
+execute_process(
+  COMMAND "${GEN}" --class stationary --minutes 4500 --seed 7
+          --shift ${change_minute},8
+          --faults "drop=0.02,nan=0.01x4,dup=0.03,late=0.02x5"
+          --fault-seed 11 --out "${dirty}"
+  RESULT_VARIABLE rc ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "funnel_generate --faults failed (${rc}): ${err}")
+endif()
+if(NOT err MATCHES "injected faults")
+  message(FATAL_ERROR "expected an injected-faults note on stderr: ${err}")
+endif()
+execute_process(
+  COMMAND "${DET}" "${dirty}" --change-minute ${change_minute}
+  OUTPUT_VARIABLE out RESULT_VARIABLE rc ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "dirty CSV must still assess, got (${rc}): ${err}")
+endif()
+if(NOT out MATCHES "verdict: ")
+  message(FATAL_ERROR "dirty run printed no verdict, stdout was: ${out}")
+endif()
+
+# Non-monotonic timestamps are a corrupt export, not a gap: the reader
+# rejects them with a line-numbered diagnostic and the tool exits non-zero.
+set(dup "${WORK_DIR}/smoke_dup.csv")
+file(WRITE "${dup}" "0,1.0\n1,1.5\n1,2.0\n2,2.5\n")
+execute_process(COMMAND "${DET}" "${dup}"
+                RESULT_VARIABLE rc OUTPUT_QUIET ERROR_VARIABLE err)
+if(rc EQUAL 0)
+  message(FATAL_ERROR "duplicate-timestamp CSV must exit non-zero")
+endif()
+if(NOT err MATCHES "line 3")
+  message(FATAL_ERROR "expected a line-numbered diagnostic, got: ${err}")
 endif()
 
 # A CSV that does not parse must fail the run, not be skipped silently.

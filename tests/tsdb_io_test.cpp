@@ -67,6 +67,34 @@ TEST(SeriesCsv, RejectsMalformedRows) {
   }
 }
 
+TEST(SeriesCsv, RejectsDuplicateMinuteWithLineDiagnostic) {
+  // A serialized series re-visiting a minute is a corrupt export, and the
+  // diagnostic must name the exact line and failure mode — "fix row 3"
+  // beats "something is wrong somewhere in 40k rows".
+  std::istringstream in("minute,value\n0,1.0\n1,2.0\n1,2.5\n");
+  try {
+    (void)read_series_csv(in);
+    FAIL() << "duplicate minute must throw";
+  } catch (const InvalidArgument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("line 4"), std::string::npos) << what;
+    EXPECT_NE(what.find("duplicate minute 1"), std::string::npos) << what;
+  }
+}
+
+TEST(SeriesCsv, RejectsBackwardsMinuteWithLineDiagnostic) {
+  std::istringstream in("10,1.0\n11,2.0\n7,3.0\n");
+  try {
+    (void)read_series_csv(in);
+    FAIL() << "backwards minute must throw";
+  } catch (const InvalidArgument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("line 3"), std::string::npos) << what;
+    EXPECT_NE(what.find("backwards to 7"), std::string::npos) << what;
+    EXPECT_NE(what.find("last was 11"), std::string::npos) << what;
+  }
+}
+
 TEST(SeriesCsv, EmptyInputGivesEmptySeries) {
   std::istringstream in("minute,value\n");
   EXPECT_TRUE(read_series_csv(in).empty());

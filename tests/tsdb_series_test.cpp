@@ -55,6 +55,56 @@ TEST(TimeSeries, FirstExplicitAppendDefinesStart) {
   EXPECT_DOUBLE_EQ(s.at(500), 9.0);
 }
 
+TEST(TimeSeries, UpsertToleratesDuplicatesAndLateArrivals) {
+  // The dirty-feed ingest contract: appends past the frontier behave like
+  // append_at; a late sample fills the NaN slot its gap left behind; a
+  // duplicate of a stored value is ignored (first write wins); anything
+  // before start_time is too old to place.
+  TimeSeries s(0);
+  EXPECT_EQ(s.upsert_at(0, 1.0), TimeSeries::Upsert::kAppended);
+  EXPECT_EQ(s.upsert_at(3, 4.0), TimeSeries::Upsert::kAppended);
+  EXPECT_TRUE(std::isnan(s.at(1)));
+  EXPECT_EQ(s.upsert_at(1, 2.0), TimeSeries::Upsert::kFilled);  // late
+  EXPECT_DOUBLE_EQ(s.at(1), 2.0);
+  EXPECT_EQ(s.upsert_at(1, 7.0), TimeSeries::Upsert::kDuplicate);
+  EXPECT_DOUBLE_EQ(s.at(1), 2.0);  // first write wins
+  EXPECT_EQ(s.upsert_at(3, 9.0), TimeSeries::Upsert::kDuplicate);
+  EXPECT_DOUBLE_EQ(s.at(3), 4.0);
+  EXPECT_EQ(s.size(), 4u);
+}
+
+TEST(TimeSeries, UpsertRejectsPreStartSamples) {
+  TimeSeries s(0);
+  ASSERT_EQ(s.upsert_at(100, 1.0), TimeSeries::Upsert::kAppended);
+  EXPECT_EQ(s.upsert_at(99, 2.0), TimeSeries::Upsert::kTooOld);
+  EXPECT_EQ(s.start_time(), 100);
+  EXPECT_EQ(s.size(), 1u);
+}
+
+TEST(TimeSeries, UpsertOnEmptySeriesDefinesStart) {
+  TimeSeries s(0);
+  EXPECT_EQ(s.upsert_at(50, 5.0), TimeSeries::Upsert::kAppended);
+  EXPECT_EQ(s.start_time(), 50);
+  EXPECT_EQ(s.end_time(), 51);
+}
+
+TEST(TimeSeries, UpsertIsDeliveryOrderInsensitive) {
+  // Determinism under reordering: once the first sample anchors the start,
+  // any delivery order of the rest yields the same series — the
+  // chaos-harness invariant that makes dirty-feed runs reproducible.
+  const std::vector<std::pair<MinuteTime, double>> samples{
+      {0, 1.0}, {1, 2.0}, {2, 3.0}, {3, 4.0}, {4, 5.0}};
+  TimeSeries fwd(0), shuffled(0);
+  for (const auto& [t, v] : samples) fwd.upsert_at(t, v);
+  for (std::size_t i : {0u, 4u, 2u, 1u, 3u}) {
+    shuffled.upsert_at(samples[i].first, samples[i].second);
+  }
+  ASSERT_EQ(fwd.size(), shuffled.size());
+  for (MinuteTime t = 0; t < 5; ++t) {
+    EXPECT_DOUBLE_EQ(fwd.at(t), shuffled.at(t)) << "minute " << t;
+  }
+}
+
 TEST(TimeSeries, ViewAndSlice) {
   TimeSeries s(10, {1.0, 2.0, 3.0, 4.0});
   const auto v = s.view(11, 13);

@@ -318,8 +318,11 @@ FileResult assess_file(const std::string& path, const Options& opt,
   cfg.alarm.patience = std::max(opt.patience, opt.persistence);
   // A hand-exported CSV rarely carries the 30-day baseline; with less
   // history the seasonality exclusion degrades conservatively (dubious
-  // changes are still delivered, §2.2).
+  // changes are still delivered, §2.2). Require at least 2 clean baseline
+  // days, though: a verdict resting on a single day's window is reported as
+  // inconclusive rather than trusted (docs/ROBUSTNESS.md).
   cfg.baseline_days = 3;
+  cfg.quality.historical_quorum = 2;
   cfg.horizon = std::min<MinuteTime>(cfg.horizon, series.end_time() - tc - 1);
   cfg.num_shards = opt.shards;
   cfg.ingest_queue_capacity = opt.ingest_queue;

@@ -4,10 +4,18 @@
 //   funnel_generate --class seasonal|stationary|variable [--minutes N]
 //                   [--seed S] [--shift T,DELTA] [--ramp T0,T1,DELTA]
 //                   [--spike T,DUR,DELTA] [--out FILE]
+//                   [--faults SPEC] [--fault-seed S]
 //
 // Companion of funnel_detect_csv: produce a synthetic KPI with known
 // injected changes, feed it to the detector, check what comes back.
 // Effects may be repeated (e.g. two --shift options).
+//
+// --faults pushes the rendered series through the deterministic fault
+// injector (workload/faults.h) before writing: e.g.
+// --faults drop=0.05,nan=0.02x4,stuck=0.01x8 simulates a dirty collection
+// pipeline. The (spec, --fault-seed) pair fully determines the damage, so
+// a dirty fixture regenerates bit-identically. The realized fault counts
+// go to stderr.
 #include <cstdio>
 #include <cstring>
 #include <iostream>
@@ -17,6 +25,7 @@
 #include "common/strings.h"
 #include "tsdb/io.h"
 #include "workload/effects.h"
+#include "workload/faults.h"
 #include "workload/generators.h"
 #include "workload/stream.h"
 
@@ -29,7 +38,9 @@ void usage(const char* argv0) {
                "usage: %s --class seasonal|stationary|variable\n"
                "          [--minutes N] [--seed S] [--shift T,DELTA]\n"
                "          [--ramp T0,T1,DELTA] [--spike T,DUR,DELTA]\n"
-               "          [--out FILE]\n",
+               "          [--out FILE] [--faults SPEC] [--fault-seed S]\n"
+               "  fault SPEC: drop=R,nan=RxN,stuck=RxN,dup=R,reorder=R,"
+               "late=RxN\n",
                argv0);
 }
 
@@ -54,6 +65,8 @@ int main(int argc, char** argv) {
   std::uint64_t seed = 1;
   std::string out_path;
   std::vector<workload::Effect> effects;
+  workload::FaultSpec faults;
+  std::uint64_t fault_seed = 1;
 
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
@@ -77,6 +90,19 @@ int main(int argc, char** argv) {
       const char* v = value();
       if (v == nullptr) return usage(argv[0]), 2;
       out_path = v;
+    } else if (a == "--faults") {
+      const char* v = value();
+      if (v == nullptr) return usage(argv[0]), 2;
+      try {
+        faults = workload::parse_fault_spec(v);
+      } catch (const funnel::Error& e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 2;
+      }
+    } else if (a == "--fault-seed") {
+      const char* v = value();
+      if (v == nullptr) return usage(argv[0]), 2;
+      fault_seed = static_cast<std::uint64_t>(std::atoll(v));
     } else if (a == "--shift") {
       const char* v = value();
       if (v == nullptr || !parse_numbers(v, nums, 2)) {
@@ -120,7 +146,23 @@ int main(int argc, char** argv) {
 
   workload::KpiStream stream(workload::make_default(kpi_class, Rng(seed)));
   for (const auto& e : effects) stream.add_effect(e);
-  const tsdb::TimeSeries series(0, workload::render(stream, 0, minutes));
+  tsdb::TimeSeries series(0, workload::render(stream, 0, minutes));
+  if (!faults.empty()) {
+    workload::FaultInjector injector(faults, fault_seed);
+    series = workload::apply_faults(series, injector);
+    const workload::FaultStats& fs = injector.stats();
+    std::fprintf(stderr,
+                 "injected faults (%s, seed %llu): %llu dropped, %llu nan, "
+                 "%llu stuck, %llu duplicated, %llu reordered, %llu late\n",
+                 workload::to_string(faults).c_str(),
+                 static_cast<unsigned long long>(fault_seed),
+                 static_cast<unsigned long long>(fs.dropped),
+                 static_cast<unsigned long long>(fs.nans),
+                 static_cast<unsigned long long>(fs.stuck),
+                 static_cast<unsigned long long>(fs.duplicated),
+                 static_cast<unsigned long long>(fs.reordered),
+                 static_cast<unsigned long long>(fs.delayed));
+  }
 
   try {
     if (out_path.empty()) {

@@ -4,9 +4,12 @@
 # This is the FUNNEL_SANITIZE=thread ctest job: it configures a dedicated
 # build tree with -DFUNNEL_SANITIZE=thread and runs the tests that exercise
 # shared state across threads — the sharded store + ingest dispatcher, the
-# thread pool, the parallel assessment engine, the online assessor, the
-# telemetry registry, the tracer's cross-thread span propagation, and the
-# chaos fault grid (dirty feeds through both pipelines, docs/ROBUSTNESS.md).
+# thread pool, the parallel assessment engine (including the SST hot path:
+# per-slot warm-started scorers reset between KPI streams), the online
+# assessor, the telemetry registry, the tracer's cross-thread span
+# propagation, the chaos fault grid (dirty feeds through both pipelines,
+# docs/ROBUSTNESS.md), and the warm-start differential suite (stateful
+# scorer lifecycle + batched Hankel kernels).
 # docs/CONCURRENCY.md describes the model these tests pin down; a TSan
 # report here means that model has been violated.
 #
@@ -25,6 +28,7 @@ TARGETS=(
   obs_trace_test
   funnel_trace_test
   funnel_chaos_test
+  detect_sst_warmstart_test
 )
 
 cmake -B "${BUILD_DIR}" -S . \

@@ -67,7 +67,7 @@ AssessmentReport Funnel::assess(changes::ChangeId id) const {
   if (trace_span.active()) trace_span.attr("impact.kpis", metrics.size());
   report.items.resize(metrics.size());
   if (pool_ == nullptr || metrics.size() < 2) {
-    detect::IkaSst scorer(config_.geometry);
+    detect::IkaSst scorer(config_.geometry, sst_params(config_));
     for (std::size_t i = 0; i < metrics.size(); ++i) {
       report.items[i] =
           assess_metric_with(scorer, change, report.impact_set, metrics[i]);
@@ -76,8 +76,8 @@ AssessmentReport Funnel::assess(changes::ChangeId id) const {
     // One scorer per execution slot: the warm-start basis stays
     // thread-local, and assess_metric_with resets it before every KPI so a
     // slot's previous stream never bleeds into the next score.
-    std::vector<detect::IkaSst> scorers(pool_->slots(),
-                                        detect::IkaSst(config_.geometry));
+    std::vector<detect::IkaSst> scorers(
+        pool_->slots(), detect::IkaSst(config_.geometry, sst_params(config_)));
     pool_->parallel_for(
         0, metrics.size(), [&](std::size_t i, std::size_t slot) {
           report.items[i] = assess_metric_with(scorers[slot], change,
@@ -132,7 +132,7 @@ std::vector<AssessmentReport> Funnel::assess_window(MinuteTime t0,
 ItemVerdict Funnel::assess_metric(const changes::SoftwareChange& change,
                                   const ImpactSet& set,
                                   const tsdb::MetricId& metric) const {
-  detect::IkaSst scorer(config_.geometry);
+  detect::IkaSst scorer(config_.geometry, sst_params(config_));
   return assess_metric_with(scorer, change, set, metric);
 }
 
@@ -193,9 +193,42 @@ ItemVerdict Funnel::assess_metric_with(detect::IkaSst& scorer,
   // span covers scoring + alarm scan only; determination has its own span.
   std::vector<double> scores;
   std::vector<detect::Alarm> alarms;
+  std::vector<detect::GateDecision> decisions;
   {
     const obs::ScopedTimer span(config_.stats, "funnel.assess.sst_us");
-    scores = detect::score_series(scorer, slice);
+    if (config_.sst_cascade) {
+      // The gates must respect the live alarm policy: a window they
+      // suppress has to be provably (stage 0) or plausibly (stage 1) unable
+      // to exceed exactly this threshold.
+      detect::CascadeConfig cc = config_.cascade;
+      cc.sst_threshold = config_.alarm.threshold;
+      detect::CascadeCounters counters;
+      scores = detect::cascade_score_series(
+          scorer, slice, cc, &counters,
+          trace_span.active() ? &decisions : nullptr);
+      if (config_.stats != nullptr) {
+        config_.stats->add("funnel.cascade.windows", counters.windows);
+        config_.stats->add("funnel.cascade.scored", counters.scored);
+        config_.stats->add("funnel.cascade.suppressed_variance",
+                           counters.suppressed_variance);
+        config_.stats->add("funnel.cascade.suppressed_cusum",
+                           counters.suppressed_cusum);
+        config_.stats->add("funnel.cascade.wow_forced", counters.wow_forced);
+        config_.stats->add("funnel.cascade.dirty", counters.dirty);
+      }
+      if (trace_span.active()) {
+        trace_span.attr("cascade.windows", counters.windows);
+        trace_span.attr("cascade.scored", counters.scored);
+        trace_span.attr("cascade.suppressed_variance",
+                        counters.suppressed_variance);
+        trace_span.attr("cascade.suppressed_cusum",
+                        counters.suppressed_cusum);
+        trace_span.attr("cascade.wow_forced", counters.wow_forced);
+        trace_span.attr("cascade.dirty", counters.dirty);
+      }
+    } else {
+      scores = detect::score_series(scorer, slice);
+    }
     alarms = detect::all_alarms(scores, scorer.window_size(), t0,
                                 config_.alarm);
   }
@@ -228,6 +261,11 @@ ItemVerdict Funnel::assess_metric_with(detect::IkaSst& scorer,
   verdict.alarm = *it;
   if (trace_span.active()) {
     trace_sst_provenance(trace_span, *it, slice, scores, t0);
+    if (it->first_window < decisions.size()) {
+      trace_span.attr(
+          "cascade.alarm_window_decision",
+          std::string_view(detect::to_string(decisions[it->first_window])));
+    }
   }
   determine_cause(change, set, metric, config_.did_window, verdict);
   if (trace_span.active()) {

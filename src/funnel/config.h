@@ -7,6 +7,7 @@
 #pragma once
 
 #include "common/minute_time.h"
+#include "detect/cascade.h"
 #include "detect/sliding.h"
 #include "detect/sst_common.h"
 #include "did/did.h"
@@ -34,6 +35,28 @@ struct FunnelConfig {
   /// with precision carried by the DiD stage).
   detect::AlarmPolicy alarm{
       .threshold = 0.22, .persistence = 7, .patience = 10};
+
+  /// SST hot-path switches (docs/DESIGN.md, "SST hot path"). Both are
+  /// opt-in; with both false the detection stage is bit-identical to the
+  /// original scorer, golden reports included.
+  ///
+  /// `sst_fast` turns on IkaParams::warm_past: the past eigen-subspace is
+  /// persisted across consecutive windows like the future one already is,
+  /// with a deterministic cold restart every `sst_restart_period` scored
+  /// windows. Scores are approximations of the exact path (the fidelity
+  /// guard-rail ctest holds them at ≥ 0.92 correlation vs exact SVD).
+  bool sst_fast = false;
+  /// `sst_cascade` puts the pre-filter cascade in front of the scorer:
+  /// windows whose Eq. 11 factor already bounds the score under the alarm
+  /// threshold (sound), or whose raw max-CUSUM stays under a small floor,
+  /// score 0 without running IKA. `cascade.sst_threshold` is overwritten
+  /// with `alarm.threshold` by the assessor so the gates always respect the
+  /// live policy.
+  bool sst_cascade = false;
+  detect::CascadeConfig cascade{};
+  /// Cold-restart period of the fast path (scored windows between
+  /// deterministic basis rebuilds). Ignored unless sst_fast.
+  int sst_restart_period = 64;
 
   /// Causality determination (§3.2.4-§3.2.5).
   did::DiDConfig did{};
@@ -116,5 +139,13 @@ struct FunnelConfig {
   /// never shows in the output.
   std::size_t num_threads = 0;
 };
+
+/// Scorer parameters implied by the config's SST hot-path switches.
+inline detect::IkaParams sst_params(const FunnelConfig& config) {
+  detect::IkaParams p;
+  p.warm_past = config.sst_fast;
+  p.restart_period = config.sst_restart_period;
+  return p;
+}
 
 }  // namespace funnel::core

@@ -57,7 +57,18 @@ void FunnelOnline::watch(changes::ChangeId id) {
     MetricWatch mw;
     mw.metric = metric;
     mw.verdict.metric = metric;
-    mw.scorer = std::make_unique<detect::IkaSst>(config_.geometry);
+    auto scorer = std::make_unique<detect::IkaSst>(config_.geometry,
+                                                   sst_params(config_));
+    detect::ChangeScorer* active = nullptr;
+    if (config_.sst_cascade) {
+      detect::CascadeConfig cc = config_.cascade;
+      cc.sst_threshold = config_.alarm.threshold;
+      mw.gate = std::make_unique<detect::CascadeGate>(std::move(scorer), cc);
+      active = mw.gate.get();
+    } else {
+      mw.scorer = std::move(scorer);
+      active = mw.scorer.get();
+    }
     // Copy the priming window under the shard's reader lock — watch() runs
     // on the control thread and must not race a store that is already
     // ingesting (docs/CONCURRENCY.md, "Online assessor").
@@ -69,7 +80,7 @@ void FunnelOnline::watch(changes::ChangeId id) {
       prime = series.slice(prime_start, series.end_time());
     });
     mw.detector = std::make_unique<detect::OnlineDetector>(
-        *mw.scorer, config_.alarm, prime_start);
+        *active, config_.alarm, prime_start);
     mw.quality.start = prime_start;
     // Prime with whatever history is already in the store; pre-change
     // alarms are discarded (rearmed) — only post-deployment behavior

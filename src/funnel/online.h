@@ -25,6 +25,7 @@
 #include <map>
 #include <memory>
 
+#include "detect/cascade.h"
 #include "detect/ika_sst.h"
 #include "funnel/assessor.h"
 #include "obs/trace.h"
@@ -93,7 +94,12 @@ class FunnelOnline {
 
   struct MetricWatch {
     tsdb::MetricId metric;
+    /// Exactly one of `scorer` / `gate` is set: with sst_cascade the
+    /// CascadeGate owns the IKA scorer and the detector feeds through it
+    /// (window-local gates only — a W-sample window carries no season of
+    /// WoW history).
     std::unique_ptr<detect::IkaSst> scorer;
+    std::unique_ptr<detect::CascadeGate> gate;
     std::unique_ptr<detect::OnlineDetector> detector;
     ItemVerdict verdict;
     FeedQuality quality;

@@ -3,11 +3,21 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cmath>
 #include <set>
+#include <span>
+#include <vector>
 
 #include "common/rng.h"
+#include "detect/cascade.h"
+#include "detect/ika_sst.h"
+#include "detect/sliding.h"
 #include "did/did.h"
 #include "funnel/impact_set.h"
+#include "tsdb/series.h"
+#include "workload/faults.h"
+#include "workload/generators.h"
+#include "workload/stream.h"
 
 namespace funnel {
 namespace {
@@ -182,6 +192,98 @@ TEST_P(DidProperties, EstimatorInvariances) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, DidProperties, ::testing::Range(1, 16));
+
+// ---- Cascade soundness over workload classes × fault specs. ----
+//
+// The pre-filter gates in front of IKA-SST may only *skip* work, never
+// drop alarms: a window the full IKA path scores above the alarm threshold
+// must never be suppressed by the window-local gates. The variance gate is
+// sound by construction (the Eq. 11 factor upper-bounds the score); the
+// CUSUM gate is empirical — this sweep is what keeps it conservative as
+// its floor or the workload generators evolve. gate_window is
+// state-independent, so per-window checking covers every access pattern
+// (batch, online, and the WoW force gate, which only ever adds work).
+
+struct CascadeCase {
+  tsdb::KpiClass cls;
+  const char* fault_spec;  ///< empty = clean telemetry
+};
+
+class CascadeSoundness : public ::testing::TestWithParam<CascadeCase> {};
+
+TEST_P(CascadeSoundness, GatesNeverSuppressAlarmingWindows) {
+  const CascadeCase c = GetParam();
+  constexpr detect::SstGeometry geom{.omega = 9, .eta = 3};
+  const detect::CascadeConfig config;  // threshold 0.22, default floors
+
+  // An 8-sigma shift plus a ramp back guarantees genuinely alarming
+  // windows in every class; faults then chew holes in the telemetry.
+  workload::KpiStream s(workload::make_default(c.cls, Rng(427)));
+  s.add_effect(workload::LevelShift{300, 8.0});
+  s.add_effect(workload::Ramp{420, 460, -5.0});
+  std::vector<double> series = workload::render(s, 0, 520);
+  if (c.fault_spec[0] != '\0') {
+    tsdb::TimeSeries ts(0, series);
+    workload::FaultInjector inj(workload::parse_fault_spec(c.fault_spec), 19);
+    const tsdb::TimeSeries dirty = workload::apply_faults(ts, inj);
+    const auto dv = dirty.values();
+    series.assign(dv.begin(), dv.end());
+  }
+
+  // Full IKA path: the exact per-direction scorer and the warm fast path
+  // both count as "the full path" — the gates sit in front of either.
+  detect::IkaSst exact(geom);
+  detect::IkaParams fast_params;
+  fast_params.warm_past = true;
+  detect::IkaSst fast(geom, fast_params);
+  const auto se = detect::score_series(exact, series);
+  const auto sf = detect::score_series(fast, series);
+
+  const std::size_t w = geom.window();
+  const std::span<const double> sp(series);
+  std::size_t alarming = 0;
+  for (std::size_t i = 0; i + w <= series.size(); ++i) {
+    const auto decision = detect::gate_window(sp.subspan(i, w), geom, config);
+
+    // Dirty windows are exactly the NaN-scoring ones.
+    ASSERT_EQ(decision == detect::GateDecision::kDirty, std::isnan(se[i]))
+        << "window " << i;
+    if (std::isnan(se[i])) continue;
+
+    const bool exceeds = se[i] > config.sst_threshold ||
+                         sf[i] > config.sst_threshold;
+    if (exceeds) {
+      ++alarming;
+      EXPECT_EQ(decision, detect::GateDecision::kScored)
+          << "window " << i << " scores " << se[i] << "/" << sf[i]
+          << " but the cascade suppressed it";
+    }
+  }
+  // The sweep is vacuous unless the workload actually alarms.
+  EXPECT_GT(alarming, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ClassesByFaults, CascadeSoundness,
+    ::testing::Values(
+        CascadeCase{tsdb::KpiClass::kStationary, ""},
+        CascadeCase{tsdb::KpiClass::kSeasonal, ""},
+        CascadeCase{tsdb::KpiClass::kVariable, ""},
+        CascadeCase{tsdb::KpiClass::kStationary, "nan=0.02x4"},
+        CascadeCase{tsdb::KpiClass::kSeasonal, "nan=0.02x4"},
+        CascadeCase{tsdb::KpiClass::kVariable, "nan=0.02x4"},
+        CascadeCase{tsdb::KpiClass::kStationary, "drop=0.05"},
+        CascadeCase{tsdb::KpiClass::kSeasonal, "drop=0.05"},
+        CascadeCase{tsdb::KpiClass::kVariable, "drop=0.05"},
+        CascadeCase{tsdb::KpiClass::kStationary, "stuck=0.01x8"},
+        CascadeCase{tsdb::KpiClass::kSeasonal, "stuck=0.01x8"},
+        CascadeCase{tsdb::KpiClass::kVariable, "stuck=0.01x8"},
+        CascadeCase{tsdb::KpiClass::kStationary,
+                    "drop=0.03,nan=0.01x4,stuck=0.005x8"},
+        CascadeCase{tsdb::KpiClass::kSeasonal,
+                    "drop=0.03,nan=0.01x4,stuck=0.005x8"},
+        CascadeCase{tsdb::KpiClass::kVariable,
+                    "drop=0.03,nan=0.01x4,stuck=0.005x8"}));
 
 }  // namespace
 }  // namespace funnel

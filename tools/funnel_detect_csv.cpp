@@ -5,8 +5,16 @@
 //                     [--method ika|improved|classic|cusum|mrls]
 //                     [--threshold X] [--persistence N] [--patience N]
 //                     [--omega N] [--scores] [--threads N]
+//                     [--sst-fast] [--no-cascade]
 //                     [--change-minute T] [--shards N] [--ingest-queue N]
 //                     [--stats] [--stats-json FILE] [--trace FILE]
+//
+// --sst-fast (--method ika only) switches the scorer to the SST hot path:
+// warm-started past subspace with deterministic cold restarts, plus the
+// pre-filter cascade (variance + raw-CUSUM gates) in front of the full
+// score. --no-cascade keeps the fast scorer but disables the gates. Scores
+// are approximations of the exact path (fidelity ≥ 0.92 correlation,
+// guarded by ctest); omit both flags for the original bit-exact behavior.
 //
 // Input: `minute,value` rows (one sample per minute; empty value = gap).
 // Output: alarm episodes (minute, peak score) on stdout; with --scores the
@@ -58,6 +66,7 @@
 #include "changes/change_log.h"
 #include "common/error.h"
 #include "common/thread_pool.h"
+#include "detect/cascade.h"
 #include "detect/classic_sst.h"
 #include "detect/cusum.h"
 #include "detect/ika_sst.h"
@@ -83,6 +92,7 @@ void usage(const char* argv0) {
       "          [--method ika|improved|classic|cusum|mrls]\n"
       "          [--threshold X] [--persistence N] [--patience N]\n"
       "          [--omega N] [--scores] [--threads N]\n"
+      "          [--sst-fast] [--no-cascade]\n"
       "          [--change-minute T] [--shards N] [--ingest-queue N]\n"
       "          [--stats] [--stats-json FILE] [--trace FILE]\n",
       argv0);
@@ -98,6 +108,8 @@ struct Options {
   std::size_t omega = 9;
   std::size_t threads = 0;  // 0 = hardware concurrency
   bool print_scores = false;
+  bool sst_fast = false;    // warm-past IKA + cascade (ika only)
+  bool no_cascade = false;  // keep the fast scorer, drop the gates
   MinuteTime change_minute = -1;  // >= 0 switches to the pipeline mode
   std::size_t shards = 4;         // store hash-shard count (pipeline mode)
   std::size_t ingest_queue = 1024;  // async ingest capacity; 0 = sync
@@ -146,6 +158,10 @@ bool parse(int argc, char** argv, Options& opt) {
     } else if (a == "--trace") {
       if (++i >= argc) return false;
       opt.trace_path = argv[i];
+    } else if (a == "--sst-fast") {
+      opt.sst_fast = true;
+    } else if (a == "--no-cascade") {
+      opt.no_cascade = true;
     } else if (a == "--scores") {
       opt.print_scores = true;
     } else if (!a.empty() && a[0] == '-') {
@@ -163,7 +179,9 @@ std::unique_ptr<detect::ChangeScorer> make_scorer(const Options& opt,
   const detect::SstGeometry g{.omega = opt.omega, .eta = 3};
   if (opt.method == "ika") {
     *default_thr = 0.35;
-    return std::make_unique<detect::IkaSst>(g);
+    detect::IkaParams p;
+    p.warm_past = opt.sst_fast;
+    return std::make_unique<detect::IkaSst>(g, p);
   }
   if (opt.method == "improved") {
     *default_thr = 0.4;
@@ -206,7 +224,18 @@ FileResult score_file(const std::string& path, const Options& opt) {
   const auto scorer = make_scorer(opt, &default_thr);
   const double threshold = opt.threshold_set ? opt.threshold : default_thr;
 
-  const auto scores = detect::score_series(*scorer, series.values());
+  std::vector<double> scores;
+  if (opt.sst_fast && !opt.no_cascade) {
+    // Gate windows against the live threshold before the full score runs.
+    auto* ika = dynamic_cast<detect::IkaSst*>(scorer.get());
+    detect::CascadeConfig cc;
+    cc.sst_threshold = threshold;
+    scores =
+        detect::cascade_score_series(*ika, series.values(), cc, nullptr,
+                                     nullptr);
+  } else {
+    scores = detect::score_series(*scorer, series.values());
+  }
   if (scores.empty()) {
     res.err = "series too short: " + std::to_string(series.size()) +
               " samples < window " +
@@ -327,6 +356,8 @@ FileResult assess_file(const std::string& path, const Options& opt,
   cfg.num_shards = opt.shards;
   cfg.ingest_queue_capacity = opt.ingest_queue;
   cfg.num_threads = 1;
+  cfg.sst_fast = opt.sst_fast;
+  cfg.sst_cascade = opt.sst_fast && !opt.no_cascade;
   cfg.stats = stats;
   cfg.tracer = tracer;
 
@@ -412,6 +443,10 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "unknown method: %s\n", opt.method.c_str());
       return 2;
     }
+  }
+  if (opt.sst_fast && opt.method != "ika") {
+    std::fprintf(stderr, "--sst-fast applies to --method ika only\n");
+    return 2;
   }
 
   obs::Registry reg;

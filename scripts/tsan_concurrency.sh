@@ -9,7 +9,8 @@
 # assessor, the telemetry registry, the tracer's cross-thread span
 # propagation, the chaos fault grid (dirty feeds through both pipelines,
 # docs/ROBUSTNESS.md), and the warm-start differential suite (stateful
-# scorer lifecycle + batched Hankel kernels).
+# scorer lifecycle + batched Hankel kernels), and the verdict journal's
+# MPSC writer thread plus its live triage-observer tap.
 # docs/CONCURRENCY.md describes the model these tests pin down; a TSan
 # report here means that model has been violated.
 #
@@ -29,6 +30,7 @@ TARGETS=(
   funnel_trace_test
   funnel_chaos_test
   detect_sst_warmstart_test
+  funnel_journal_test
 )
 
 cmake -B "${BUILD_DIR}" -S . \

@@ -83,6 +83,7 @@ double IkaSst::score(std::span<const double> window) {
     warm_ = false;
     past_warm_ = false;
     windows_since_restart_ = 0;
+    ++cold_restarts_;
   }
   if (params_.warm_past) ++windows_since_restart_;
 
@@ -112,6 +113,7 @@ double IkaSst::score(std::span<const double> window) {
                                  params_.warm_residual_tol)) {
     seed_basis(future_basis_, future, omega, eta);
     lambdas = ritz_iterate(future_op, future_basis_, params_.cold_iterations);
+    ++escalations_;
   }
   warm_ = true;
 
@@ -139,6 +141,7 @@ double IkaSst::score(std::span<const double> window) {
                                    params_.warm_residual_tol)) {
       seed_basis(past_basis_, past, omega, eta);
       mus = ritz_iterate(past_op, past_basis_, params_.cold_iterations);
+      ++escalations_;
     }
     past_warm_ = true;
     internal::accumulate_fast_score(lambdas, future_basis_, mus, past_basis_,

@@ -24,6 +24,8 @@
 // re-converges — just marginally slower.
 #pragma once
 
+#include <cstdint>
+
 #include "detect/scorer.h"
 #include "detect/sst_common.h"
 #include "linalg/matrix.h"
@@ -73,7 +75,11 @@ class IkaSst final : public ChangeScorer {
   /// Drop ALL warm-start state (both bases, warm flags, and the restart
   /// counter) — e.g. when retargeting the scorer to a different KPI stream,
   /// or when a ThreadPool slot reuses the scorer for the next metric. After
-  /// reset() the scorer is byte-equivalent to a freshly constructed one.
+  /// reset() the scorer is *scoring-state* equivalent to a freshly
+  /// constructed one: every subsequent score is byte-identical to a fresh
+  /// scorer's. The lifetime telemetry counters below deliberately survive —
+  /// they describe the scorer object, not the stream, and the per-slot
+  /// assessor scorers would lose their totals on every KPI otherwise.
   void reset() {
     warm_ = false;
     past_warm_ = false;
@@ -81,6 +87,14 @@ class IkaSst final : public ChangeScorer {
     future_basis_ = linalg::Matrix();
     past_basis_ = linalg::Matrix();
   }
+
+  /// Lifetime count of deterministic cold restarts taken by the fast path
+  /// (the restart_period policy firing; excludes the initial cold start of
+  /// each stream). Never reset; diff around a run to attribute.
+  std::uint64_t cold_restarts() const { return cold_restarts_; }
+  /// Lifetime count of warm windows escalated to a full cold re-seed by the
+  /// Ritz-residual check (future + past subspaces both count). Never reset.
+  std::uint64_t escalations() const { return escalations_; }
 
  private:
   SstGeometry geo_;
@@ -90,6 +104,8 @@ class IkaSst final : public ChangeScorer {
   bool warm_ = false;
   bool past_warm_ = false;
   int windows_since_restart_ = 0;
+  std::uint64_t cold_restarts_ = 0;  ///< lifetime telemetry, survives reset()
+  std::uint64_t escalations_ = 0;    ///< lifetime telemetry, survives reset()
 };
 
 }  // namespace funnel::detect

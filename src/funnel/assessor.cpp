@@ -1,12 +1,16 @@
 #include "funnel/assessor.h"
 
 #include <algorithm>
+#include <cstdint>
+#include <optional>
 #include <string>
 
 #include "common/error.h"
 #include "detect/ika_sst.h"
 #include "detect/sst_common.h"
 #include "did/groups.h"
+#include "funnel/verdict_journal.h"
+#include "obs/journal.h"
 #include "obs/registry.h"
 #include "obs/timer.h"
 #include "obs/trace.h"
@@ -17,6 +21,54 @@ namespace {
 void mark_inconclusive(ItemVerdict& verdict, InconclusiveReason reason) {
   verdict.cause = Cause::kInconclusive;
   verdict.inconclusive_reason = reason;
+}
+
+// Eq. 11 damp factor of the alarm's peak window, recomputed with the same
+// standardization the scorer used. The stored peak is the *damped* IKA-SST
+// score (raw subspace discordance times the |Δmedian|·√|ΔMAD| factor);
+// exposing the factor separates "how novel was the trajectory" from "how
+// hard was it damped" — exactly what an operator asks when challenging a
+// verdict. Side channel only (trace attrs + journal events); never feeds
+// back into scores.
+double peak_damp_factor(const detect::SstGeometry& geometry,
+                        const detect::Alarm& alarm,
+                        const std::vector<double>& slice,
+                        const std::vector<double>& scores) {
+  const std::size_t half = geometry.half();
+  const std::size_t window = geometry.window();
+  std::size_t peak = alarm.first_window;
+  for (std::size_t i = alarm.first_window; i < scores.size(); ++i) {
+    if (scores[i] == alarm.peak_score) {
+      peak = i;
+      break;
+    }
+  }
+  double factor = 0.0;
+  if (peak + window <= slice.size()) {
+    const std::vector<double> z = detect::standardize_window(
+        std::span<const double>(slice.data() + peak, window), half);
+    if (z.size() == window) {
+      factor = detect::robust_score_factor(
+          std::span<const double>(z.data(), half),
+          std::span<const double>(z.data() + half, half));
+    }
+  }
+  return factor;
+}
+
+// Append the batch-path journal event for one determination. The damp
+// factor and the cascade gate decision exist only inside
+// assess_metric_with, so they ride in as extras on top of the shared
+// journal_event builder.
+void emit_batch_event(const obs::Journal* journal,
+                      const changes::SoftwareChange& change,
+                      const ItemVerdict& verdict,
+                      std::optional<double> damp_factor,
+                      std::string_view gate_decision) {
+  obs::JournalEvent event = journal_event(change, verdict, "batch");
+  event.sst_damp_factor = damp_factor;
+  event.gate_decision = std::string(gate_decision);
+  journal->append(std::move(event));
 }
 
 }  // namespace
@@ -147,6 +199,12 @@ ItemVerdict Funnel::assess_metric_with(detect::IkaSst& scorer,
   ItemVerdict verdict;
   verdict.metric = metric;
 
+  // Journal sink for this determination (null/inactive = zero cost). Like
+  // stats and tracer it is a side channel: events describe the verdict, the
+  // verdict never depends on them.
+  const obs::Journal* journal = config_.journal;
+  const bool journal_on = journal != nullptr && journal->active();
+
   // Per-KPI provenance span. Runs on a pool worker in the parallel path;
   // the ambient context installed by parallel_for parents it under the
   // assess() root regardless of which thread executes the task.
@@ -185,6 +243,7 @@ ItemVerdict Funnel::assess_metric_with(detect::IkaSst& scorer,
       trace_span.attr("kpi.inconclusive_reason",
                       to_string(verdict.inconclusive_reason));
     }
+    if (journal_on) emit_batch_event(journal, change, verdict, std::nullopt, {});
     return verdict;
   }
 
@@ -196,6 +255,11 @@ ItemVerdict Funnel::assess_metric_with(detect::IkaSst& scorer,
   std::vector<detect::GateDecision> decisions;
   {
     const obs::ScopedTimer span(config_.stats, "funnel.assess.sst_us");
+    // The scorer's restart/escalation counters are lifetime totals (pool
+    // slots reuse scorers across KPIs); diff around this KPI's scoring to
+    // attribute the events to the pipeline counters.
+    const std::uint64_t restarts_before = scorer.cold_restarts();
+    const std::uint64_t escalations_before = scorer.escalations();
     if (config_.sst_cascade) {
       // The gates must respect the live alarm policy: a window they
       // suppress has to be provably (stage 0) or plausibly (stage 1) unable
@@ -205,7 +269,7 @@ ItemVerdict Funnel::assess_metric_with(detect::IkaSst& scorer,
       detect::CascadeCounters counters;
       scores = detect::cascade_score_series(
           scorer, slice, cc, &counters,
-          trace_span.active() ? &decisions : nullptr);
+          (trace_span.active() || journal_on) ? &decisions : nullptr);
       if (config_.stats != nullptr) {
         config_.stats->add("funnel.cascade.windows", counters.windows);
         config_.stats->add("funnel.cascade.scored", counters.scored);
@@ -228,6 +292,17 @@ ItemVerdict Funnel::assess_metric_with(detect::IkaSst& scorer,
       }
     } else {
       scores = detect::score_series(scorer, slice);
+    }
+    if (config_.stats != nullptr) {
+      const std::uint64_t restarts = scorer.cold_restarts() - restarts_before;
+      const std::uint64_t escalations =
+          scorer.escalations() - escalations_before;
+      if (restarts > 0) {
+        config_.stats->add("funnel.sst.cold_restarts", restarts);
+      }
+      if (escalations > 0) {
+        config_.stats->add("funnel.sst.escalations", escalations);
+      }
     }
     alarms = detect::all_alarms(scores, scorer.window_size(), t0,
                                 config_.alarm);
@@ -254,6 +329,7 @@ ItemVerdict Funnel::assess_metric_with(detect::IkaSst& scorer,
                         to_string(verdict.inconclusive_reason));
       }
     }
+    if (journal_on) emit_batch_event(journal, change, verdict, std::nullopt, {});
     return verdict;
   }
 
@@ -275,6 +351,15 @@ ItemVerdict Funnel::assess_metric_with(detect::IkaSst& scorer,
                       to_string(verdict.inconclusive_reason));
     }
   }
+  if (journal_on) {
+    std::string_view gate;
+    if (config_.sst_cascade && it->first_window < decisions.size()) {
+      gate = detect::to_string(decisions[it->first_window]);
+    }
+    emit_batch_event(journal, change, verdict,
+                     peak_damp_factor(config_.geometry, *it, slice, scores),
+                     gate);
+  }
   return verdict;
 }
 
@@ -292,30 +377,8 @@ void Funnel::trace_sst_provenance(obs::Span& span, const detect::Alarm& alarm,
   span.attr("sst.eta", config_.geometry.eta);
   span.attr("sst.krylov_k", config_.geometry.krylov_k());
 
-  // The stored peak is the *damped* IKA-SST score: raw subspace discordance
-  // times the Eq. 11 |Δmedian|·√|ΔMAD| factor. Recompute the factor on the
-  // peak window (same standardization and slack the scorer used) to expose
-  // both numbers — "how novel was the trajectory" vs "how hard was it
-  // damped" is exactly what an operator asks when challenging a verdict.
-  const std::size_t half = config_.geometry.half();
-  const std::size_t window = config_.geometry.window();
-  std::size_t peak = alarm.first_window;
-  for (std::size_t i = alarm.first_window; i < scores.size(); ++i) {
-    if (scores[i] == alarm.peak_score) {
-      peak = i;
-      break;
-    }
-  }
-  double factor = 0.0;
-  if (peak + window <= slice.size()) {
-    const std::vector<double> z = detect::standardize_window(
-        std::span<const double>(slice.data() + peak, window), half);
-    if (z.size() == window) {
-      factor = detect::robust_score_factor(
-          std::span<const double>(z.data(), half),
-          std::span<const double>(z.data() + half, half));
-    }
-  }
+  const double factor =
+      peak_damp_factor(config_.geometry, alarm, slice, scores);
   span.attr("sst.damp_factor", factor);
   span.attr("sst.raw_score",
             factor > 0.0 ? alarm.peak_score / factor : 0.0);

@@ -13,6 +13,7 @@
 #include "did/did.h"
 
 namespace funnel::obs {
+class Journal;
 class Registry;
 class Tracer;
 }  // namespace funnel::obs
@@ -122,6 +123,15 @@ struct FunnelConfig {
   /// and reports stay byte-identical either way. The tracer must outlive
   /// every Funnel/FunnelOnline using it.
   const obs::Tracer* tracer = nullptr;
+
+  /// Verdict-event journal (see obs/journal.h): every determination —
+  /// batch or online — is appended as one schema-versioned JSONL event
+  /// carrying its full decision provenance, for the triage layer
+  /// (src/triage, docs/TRIAGE.md) to score, blame and mine. Null (the
+  /// default) disables journaling at zero cost; like `stats` and `tracer`
+  /// it is a side channel only — reports stay byte-identical either way.
+  /// The journal must outlive every Funnel/FunnelOnline using it.
+  const obs::Journal* journal = nullptr;
 
   /// Metric-store construction knobs, consumed by the entry points that own
   /// their store (funnel_detect_csv, scenario builders): hash-shard count

@@ -6,6 +6,8 @@
 #include <string>
 
 #include "common/error.h"
+#include "funnel/verdict_journal.h"
+#include "obs/journal.h"
 #include "obs/registry.h"
 #include "obs/timer.h"
 
@@ -258,6 +260,8 @@ void FunnelOnline::finalize(changes::ChangeId id, bool timed_out) {
   report.change_id = id;
   report.change_time = change.time;
   report.impact_set = watch.set;
+  const obs::Journal* journal = config_.journal;
+  const bool journal_on = journal != nullptr && journal->active();
   {
     obs::Span trace_span(watch.trace.context(), "funnel.online.finalize");
     if (trace_span.active() && timed_out) {
@@ -299,6 +303,26 @@ void FunnelOnline::finalize(changes::ChangeId id, bool timed_out) {
             InconclusiveReason::kGapInDetectionWindow;
       }
       report.items.push_back(mw.verdict);
+      // Journal the finalized determination. Online events carry the
+      // determined_at stamp and time-to-verdict (the paper's rapidity
+      // metric); the batch-only extras (damp factor, gate decision) stay
+      // absent — the streaming detector never materializes them.
+      if (journal_on) {
+        journal->append(journal_event(change, mw.verdict, "online"));
+      }
+      if (config_.stats != nullptr) {
+        // Per-metric scorers live exactly as long as their watch and are
+        // never reset, so lifetime totals are this watch's totals.
+        const detect::IkaSst& scorer =
+            mw.gate != nullptr ? mw.gate->inner() : *mw.scorer;
+        if (scorer.cold_restarts() > 0) {
+          config_.stats->add("funnel.sst.cold_restarts",
+                             scorer.cold_restarts());
+        }
+        if (scorer.escalations() > 0) {
+          config_.stats->add("funnel.sst.escalations", scorer.escalations());
+        }
+      }
     }
   }
   if (watch.trace.active()) {

@@ -247,7 +247,8 @@ std::string to_json(const AssessmentReport& report) {
 
 std::string to_json_explained(const AssessmentReport& report,
                               const FunnelConfig& config,
-                              const obs::TraceDump* trace) {
+                              const obs::TraceDump* trace,
+                              const std::string* triage_json) {
   // Splice the explain array into the base report right before its closing
   // brace: the prefix stays byte-identical to to_json(report), so consumers
   // of the plain report parse the explained one unchanged.
@@ -264,7 +265,9 @@ std::string to_json_explained(const AssessmentReport& report,
     first = false;
     explain_item_to(os, v, report.change_id, config, trace);
   }
-  os << "]}";
+  os << ']';
+  if (triage_json != nullptr) os << ",\"triage\":" << *triage_json;
+  os << '}';
   return base + os.str();
 }
 

@@ -27,8 +27,15 @@ std::string to_json(const AssessmentReport& report);
 /// tracer, the per-KPI spans contribute the raw (pre-damping) SST score and
 /// the Eq. 11 damping factor, which the report alone cannot reconstruct.
 /// The base-report prefix is byte-identical to to_json(report).
+///
+/// `triage_json`, when non-null, is spliced verbatim as a trailing
+/// "triage" key — the change's standing in a triage report built from the
+/// run's verdict journal (triage::change_summary_json). A raw pre-rendered
+/// fragment keeps core free of a dependency on src/triage, which sits
+/// above it in the library graph.
 std::string to_json_explained(const AssessmentReport& report,
                               const FunnelConfig& config,
-                              const obs::TraceDump* trace = nullptr);
+                              const obs::TraceDump* trace = nullptr,
+                              const std::string* triage_json = nullptr);
 
 }  // namespace funnel::core

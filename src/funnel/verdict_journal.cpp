@@ -1,0 +1,63 @@
+#include "funnel/verdict_journal.h"
+
+namespace funnel::core {
+
+obs::JournalEvent journal_event(const changes::SoftwareChange& change,
+                                const ItemVerdict& verdict,
+                                std::string_view source) {
+  obs::JournalEvent e;
+  e.source = std::string(source);
+
+  e.change_id = change.id;
+  e.change_time = change.time;
+  e.service = change.service;
+  e.change_type = changes::to_string(change.type);
+  e.launch_mode = changes::to_string(change.mode);
+
+  e.metric = verdict.metric.to_string();
+  e.entity_kind = tsdb::to_string(verdict.metric.kind);
+  e.kpi = verdict.metric.kpi;
+
+  e.cause = to_string(verdict.cause);
+  if (verdict.cause == Cause::kInconclusive) {
+    e.inconclusive_reason = to_string(verdict.inconclusive_reason);
+  }
+  e.detected = verdict.kpi_change_detected;
+
+  if (verdict.alarm) {
+    e.alarm_minute = verdict.alarm->minute;
+    e.sst_peak = verdict.alarm->peak_score;
+  }
+
+  if (verdict.did_fit) {
+    e.did_alpha = verdict.did_fit->alpha;
+    e.did_alpha_scaled = verdict.did_fit->alpha_scaled;
+    e.did_t_stat = verdict.did_fit->t_stat;
+    e.did_n_treated = static_cast<std::int64_t>(verdict.did_fit->n_treated);
+    e.did_n_control = static_cast<std::int64_t>(verdict.did_fit->n_control);
+    e.control_kind = verdict.used_historical_control ? "seasonal-window"
+                                                     : "dark-launch-siblings";
+  }
+  e.fallback_control = verdict.used_fallback_control;
+
+  if (verdict.quality) {
+    e.coverage = verdict.quality->coverage;
+    e.window_minutes =
+        static_cast<std::int64_t>(verdict.quality->window_minutes);
+    e.clean_samples =
+        static_cast<std::int64_t>(verdict.quality->clean_samples);
+    e.longest_gap_run =
+        static_cast<std::int64_t>(verdict.quality->longest_gap_run);
+    e.longest_flat_run =
+        static_cast<std::int64_t>(verdict.quality->longest_flat_run);
+  }
+
+  if (verdict.determined_at) {
+    e.determined_at = *verdict.determined_at;
+    e.time_to_verdict = verdict.time_to_verdict(change.time);
+  }
+
+  return e;
+}
+
+}  // namespace funnel::core

@@ -1,0 +1,154 @@
+#include "triage/blame.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <sstream>
+#include <tuple>
+
+namespace funnel::triage {
+namespace {
+
+/// Floor of the linear proximity decay: evidence never vanishes entirely
+/// inside the window — the change *was* live when the alarm fired.
+constexpr double kProximityFloor = 0.1;
+
+struct Evidence {
+  std::string metric;
+  MinuteTime alarm_minute = 0;
+  double effect = 0.0;
+  double proximity = 0.0;
+
+  double contribution() const { return proximity * effect; }
+};
+
+struct Candidate {
+  BlamedChange change;
+  std::vector<Evidence> evidence;
+};
+
+double proximity_of(MinuteTime change_time, MinuteTime alarm_minute,
+                    MinuteTime window) {
+  if (window <= 0) return 1.0;
+  const double lag =
+      static_cast<double>(alarm_minute - change_time) /
+      static_cast<double>(window);
+  return std::max(kProximityFloor, 1.0 - std::max(0.0, lag));
+}
+
+std::string fmt_score(double v) {
+  std::ostringstream os;
+  os << v;
+  return os.str();
+}
+
+}  // namespace
+
+std::vector<BlameCluster> rank_blame(
+    const std::vector<obs::JournalEvent>& events, BlameOptions options) {
+  // Fold events per change (map: deterministic iteration regardless of
+  // event order).
+  std::map<std::uint64_t, Candidate> candidates;
+  for (const obs::JournalEvent& e : events) {
+    Candidate& cand = candidates[e.change_id];
+    BlamedChange& ch = cand.change;
+    ch.change_id = e.change_id;
+    ch.change_time = e.change_time;
+    ch.service = e.service;
+    ch.change_type = e.change_type;
+    ch.launch_mode = e.launch_mode;
+    ++ch.kpis_assessed;
+    if (e.cause != "software-change") continue;
+    ++ch.regressions;
+    Evidence ev;
+    ev.metric = e.metric;
+    ev.alarm_minute = e.alarm_minute.value_or(e.change_time);
+    // DiD effect size in robust-sigma units when a fit landed; the damped
+    // SST peak (same order of magnitude by construction — both are
+    // robust-scale scores) when causality came from the conservative
+    // delivered-anyway path.
+    ev.effect = e.did_alpha_scaled ? std::abs(*e.did_alpha_scaled)
+                                   : std::abs(e.sst_peak.value_or(0.0));
+    ev.proximity =
+        proximity_of(e.change_time, ev.alarm_minute, options.overlap_window);
+    cand.evidence.push_back(std::move(ev));
+  }
+
+  // Score: sort each change's evidence before the fold so the sum is a
+  // pure function of the evidence set, not of journal arrival order.
+  for (auto& [id, cand] : candidates) {
+    std::sort(cand.evidence.begin(), cand.evidence.end(),
+              [](const Evidence& a, const Evidence& b) {
+                return std::tie(a.metric, a.alarm_minute) <
+                       std::tie(b.metric, b.alarm_minute);
+              });
+    double score = 0.0;
+    const Evidence* top = nullptr;
+    for (const Evidence& ev : cand.evidence) {
+      score += ev.contribution();
+      if (top == nullptr || ev.contribution() > top->contribution()) {
+        top = &ev;
+      }
+    }
+    cand.change.score = score;
+    std::ostringstream os;
+    if (cand.evidence.empty()) {
+      os << "no regression events attributed";
+    } else {
+      os << cand.change.regressions << " regression event"
+         << (cand.change.regressions == 1 ? "" : "s")
+         << "; strongest: " << top->metric << " (effect "
+         << fmt_score(top->effect) << ", proximity "
+         << fmt_score(top->proximity) << ")";
+    }
+    cand.change.explanation = os.str();
+  }
+
+  // Cluster by chained time overlap: changes sorted by (time, id); a gap
+  // larger than the window starts a new cluster.
+  std::vector<const Candidate*> ordered;
+  ordered.reserve(candidates.size());
+  for (const auto& [id, cand] : candidates) ordered.push_back(&cand);
+  std::sort(ordered.begin(), ordered.end(),
+            [](const Candidate* a, const Candidate* b) {
+              return std::tie(a->change.change_time, a->change.change_id) <
+                     std::tie(b->change.change_time, b->change.change_id);
+            });
+
+  std::vector<BlameCluster> clusters;
+  for (const Candidate* cand : ordered) {
+    const MinuteTime t = cand->change.change_time;
+    if (clusters.empty() || t > clusters.back().end + options.overlap_window) {
+      BlameCluster cluster;
+      cluster.start = t;
+      cluster.end = t;
+      clusters.push_back(std::move(cluster));
+    }
+    clusters.back().end = std::max(clusters.back().end, t);
+    clusters.back().ranking.push_back(cand->change);
+  }
+
+  // Rank inside each cluster: score desc, exact ties to the earlier
+  // deployment (stated, not silent), then id for total order.
+  for (BlameCluster& cluster : clusters) {
+    std::sort(cluster.ranking.begin(), cluster.ranking.end(),
+              [](const BlamedChange& a, const BlamedChange& b) {
+                if (a.score != b.score) return a.score > b.score;
+                return std::tie(a.change_time, a.change_id) <
+                       std::tie(b.change_time, b.change_id);
+              });
+    for (std::size_t i = 0; i + 1 < cluster.ranking.size(); ++i) {
+      BlamedChange& a = cluster.ranking[i];
+      const BlamedChange& b = cluster.ranking[i + 1];
+      if (a.score == b.score && a.score > 0.0) {
+        std::ostringstream os;
+        os << a.explanation << "; tied with change " << b.change_id
+           << ", earlier deployment ranked first";
+        a.explanation = os.str();
+      }
+    }
+  }
+  return clusters;
+}
+
+}  // namespace funnel::triage

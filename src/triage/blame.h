@@ -1,0 +1,77 @@
+// Blame ranking for temporally overlapping changes.
+//
+// The hard triage case at ~24k changes/day is concurrency: an alarm fires
+// while several changes are inside their assessment horizon, and someone
+// must decide which one to roll back first. FUNNEL's own DiD already
+// attributes each (change, KPI) pair in isolation; blame ranking folds the
+// attributed events back together and orders the *changes*:
+//
+//   score(change) = Σ over its regression events of
+//                     proximity(alarm) × effect(event)
+//
+// where proximity decays linearly from 1 (alarm at the deployment minute)
+// to a floor of 0.1 across the overlap window — an alarm 3 minutes after a
+// deploy is stronger evidence than one 55 minutes later — and effect is the
+// DiD effect size |alpha_scaled| (robust-sigma units, comparable across
+// KPIs) or, when no fit landed, the damped SST peak. This is the "SST-alarm
+// overlap × DiD effect size" ranking the DeCaf-style triage layer calls
+// for: both factors are already in the journal, nothing is re-fit.
+//
+// Changes are clustered by chained time overlap (two changes conflict when
+// their [t, t + window] spans intersect; clusters are the transitive
+// closure) and ranked inside each cluster. Exact score ties are broken
+// toward the earlier deployment — the conventional "first suspect" — and
+// the tie is stated in the explanation rather than silently resolved.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/minute_time.h"
+#include "obs/journal.h"
+
+namespace funnel::triage {
+
+struct BlameOptions {
+  /// Minutes a change stays "live" for overlap clustering and proximity
+  /// decay — the assessment horizon is the natural value.
+  MinuteTime overlap_window = 60;
+};
+
+/// One change's entry in a cluster ranking.
+struct BlamedChange {
+  std::uint64_t change_id = 0;
+  MinuteTime change_time = 0;
+  std::string service;
+  std::string change_type;
+  std::string launch_mode;
+
+  std::uint64_t regressions = 0;  ///< attributed events backing the score
+  std::uint64_t kpis_assessed = 0;
+  double score = 0.0;
+  /// Human-readable ranking rationale (top evidence, tie notes).
+  std::string explanation;
+
+  bool operator==(const BlamedChange&) const = default;
+};
+
+/// One set of temporally overlapping changes, ranked most-blamed first.
+struct BlameCluster {
+  MinuteTime start = 0;  ///< earliest member deployment minute
+  MinuteTime end = 0;    ///< latest member deployment minute
+  std::vector<BlamedChange> ranking;
+
+  bool operator==(const BlameCluster&) const = default;
+};
+
+/// Cluster and rank every change seen in `events`. Deterministic and
+/// insensitive to event order: per-change evidence is sorted before the
+/// floating-point fold, so streaming and replayed journals rank
+/// identically. Clusters are ordered by start minute (then lowest change
+/// id); singleton clusters are kept — "only one suspect" is also an
+/// answer.
+std::vector<BlameCluster> rank_blame(
+    const std::vector<obs::JournalEvent>& events, BlameOptions options = {});
+
+}  // namespace funnel::triage

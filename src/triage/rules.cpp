@@ -1,0 +1,74 @@
+#include "triage/rules.h"
+
+#include <algorithm>
+#include <map>
+#include <tuple>
+
+namespace funnel::triage {
+namespace {
+
+/// Itemsets for one event: the three single attributes plus the three
+/// pairs. Items inside a set are sorted (they are generated in sorted
+/// order: change_type < launch_mode < service, matching lexicographic
+/// order of the attribute names).
+std::vector<std::vector<std::string>> itemsets_of(
+    const obs::JournalEvent& e) {
+  const std::string type = "change_type=" + e.change_type;
+  const std::string mode = "launch_mode=" + e.launch_mode;
+  const std::string service = "service=" + e.service;
+  return {{type},         {mode},          {service},
+          {type, mode},   {type, service}, {mode, service}};
+}
+
+struct RuleCounts {
+  std::uint64_t assessed = 0;
+  std::uint64_t support = 0;
+};
+
+}  // namespace
+
+std::vector<TriageRule> mine_rules(const std::vector<obs::JournalEvent>& events,
+                                   RuleOptions options) {
+  // (antecedent, kpi) -> counts. Map keys give deterministic enumeration.
+  std::map<std::pair<std::vector<std::string>, std::string>, RuleCounts>
+      counts;
+  for (const obs::JournalEvent& e : events) {
+    const bool regressed = (e.cause == "software-change");
+    for (auto& items : itemsets_of(e)) {
+      RuleCounts& rc = counts[{std::move(items), e.kpi}];
+      ++rc.assessed;
+      if (regressed) ++rc.support;
+    }
+  }
+
+  std::vector<TriageRule> rules;
+  for (const auto& [key, rc] : counts) {
+    if (rc.support < options.min_support) continue;
+    const double confidence =
+        static_cast<double>(rc.support) / static_cast<double>(rc.assessed);
+    if (confidence < options.min_confidence) continue;
+    TriageRule rule;
+    rule.antecedent = key.first;
+    rule.kpi = key.second;
+    rule.support = rc.support;
+    rule.assessed = rc.assessed;
+    rule.confidence = confidence;
+    rules.push_back(std::move(rule));
+  }
+
+  std::sort(rules.begin(), rules.end(),
+            [](const TriageRule& a, const TriageRule& b) {
+              if (a.confidence != b.confidence) {
+                return a.confidence > b.confidence;
+              }
+              if (a.support != b.support) return a.support > b.support;
+              return std::tie(a.antecedent, a.kpi) <
+                     std::tie(b.antecedent, b.kpi);
+            });
+  if (options.max_rules != 0 && rules.size() > options.max_rules) {
+    rules.resize(options.max_rules);
+  }
+  return rules;
+}
+
+}  // namespace funnel::triage

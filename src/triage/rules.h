@@ -1,0 +1,60 @@
+// Explainable triage rules mined from the verdict stream.
+//
+// DeCaf's (arXiv:1910.05339) production insight: operators trust mined,
+// human-readable rules over change metadata far more than an opaque score —
+// "config changes to service X regress cache KPIs (support 9, confidence
+// 0.82)" tells a release manager what to gate. The journal already joins
+// each verdict to its change metadata, so mining is a counting pass:
+//
+//   antecedent  — an itemset over {change_type=…, service=…, launch_mode=…}
+//                 (single attributes and pairs);
+//   consequent  — "regresses <kpi>" (cause == software-change for that KPI);
+//   assessed    — events matching the antecedent where that KPI was
+//                 assessed at all (the rule's denominator);
+//   support     — of those, how many regressed;
+//   confidence  — support / assessed.
+//
+// Conditioning the denominator on "the KPI was assessed" (rather than all
+// antecedent events) keeps confidence meaningful when a change type touches
+// many KPI classes — it answers "when this kind of change meets this KPI,
+// how often does the KPI lose", which is the gating question.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/journal.h"
+
+namespace funnel::triage {
+
+struct RuleOptions {
+  /// Minimum regression events a rule must explain.
+  std::uint64_t min_support = 2;
+  /// Minimum support / assessed ratio.
+  double min_confidence = 0.5;
+  /// Cap on emitted rules (highest confidence first); 0 = unlimited.
+  std::size_t max_rules = 50;
+};
+
+/// One mined rule: IF every antecedent item matches the change THEN the
+/// named KPI regresses, with the observed support/confidence.
+struct TriageRule {
+  /// Conjunctive items, e.g. {"change_type=config-change", "service=cache"}.
+  /// Always sorted, 1 or 2 items.
+  std::vector<std::string> antecedent;
+  std::string kpi;  ///< the regressed KPI name (consequent)
+  std::uint64_t support = 0;   ///< antecedent ∧ regression of kpi
+  std::uint64_t assessed = 0;  ///< antecedent ∧ kpi assessed
+  double confidence = 0.0;     ///< support / assessed
+
+  bool operator==(const TriageRule&) const = default;
+};
+
+/// Mine rules from `events`. Pure counting — deterministic and insensitive
+/// to event order. Results sorted by confidence desc, support desc, then
+/// antecedent/kpi lexicographically for a total order.
+std::vector<TriageRule> mine_rules(const std::vector<obs::JournalEvent>& events,
+                                   RuleOptions options = {});
+
+}  // namespace funnel::triage

@@ -1,0 +1,73 @@
+#include "triage/scorecard.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace funnel::triage {
+
+MinuteTime Scorecard::ttv_percentile(double p) const {
+  if (time_to_verdict.empty()) return 0;
+  // Nearest-rank on the sorted sample: index ceil(p*n) - 1, clamped.
+  const double n = static_cast<double>(time_to_verdict.size());
+  auto rank = static_cast<std::size_t>(std::ceil(p * n));
+  if (rank > 0) --rank;
+  if (rank >= time_to_verdict.size()) rank = time_to_verdict.size() - 1;
+  return time_to_verdict[rank];
+}
+
+void ScorecardBuilder::observe(const obs::JournalEvent& event) {
+  fold(totals_, event);
+  Scorecard& service = service_[event.service];
+  if (service.key.empty()) service.key = event.service;
+  fold(service, event);
+  Scorecard& kpi = kpi_[event.kpi];
+  if (kpi.key.empty()) kpi.key = event.kpi;
+  fold(kpi, event);
+}
+
+void ScorecardBuilder::fold(Scorecard& card, const obs::JournalEvent& event) {
+  ++card.events;
+  if (event.detected) ++card.detected;
+  if (event.cause == "software-change") ++card.regressions;
+  if (event.cause == "inconclusive") {
+    ++card.inconclusive;
+    ++card.inconclusive_by_reason[event.inconclusive_reason.empty()
+                                      ? "unspecified"
+                                      : event.inconclusive_reason];
+  }
+  if (event.fallback_control) ++card.fallback_control;
+  if (!event.control_kind.empty()) ++card.did_runs;
+  if (event.time_to_verdict) {
+    card.time_to_verdict.push_back(*event.time_to_verdict);
+  }
+}
+
+Scorecard ScorecardBuilder::finish(const Scorecard& card) {
+  Scorecard out = card;
+  // Sorted at read time, not insert time: the raw vector carries arrival
+  // order, and two streams of the same event set must produce equal cards.
+  std::sort(out.time_to_verdict.begin(), out.time_to_verdict.end());
+  return out;
+}
+
+Scorecard ScorecardBuilder::totals() const {
+  Scorecard out = finish(totals_);
+  out.key = "total";
+  return out;
+}
+
+std::vector<Scorecard> ScorecardBuilder::by_service() const {
+  std::vector<Scorecard> out;
+  out.reserve(service_.size());
+  for (const auto& [key, card] : service_) out.push_back(finish(card));
+  return out;
+}
+
+std::vector<Scorecard> ScorecardBuilder::by_kpi() const {
+  std::vector<Scorecard> out;
+  out.reserve(kpi_.size());
+  for (const auto& [key, card] : kpi_) out.push_back(finish(card));
+  return out;
+}
+
+}  // namespace funnel::triage

@@ -1,0 +1,344 @@
+// Unit tests for the triage layer (src/triage): scorecard arithmetic and
+// nearest-rank percentiles, blame clustering / scoring / tie-breaking,
+// rule-mining support and confidence semantics, event-order insensitivity
+// of the whole report, the explain-report splice fragment, and the golden
+// journal fixture under tests/data/.
+#include "triage/engine.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/journal.h"
+#include "triage/blame.h"
+#include "triage/rules.h"
+#include "triage/scorecard.h"
+
+namespace funnel::triage {
+namespace {
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+obs::JournalEvent make_event(std::uint64_t change_id, MinuteTime change_time,
+                             const std::string& service,
+                             const std::string& kpi,
+                             const std::string& cause) {
+  obs::JournalEvent e;
+  e.source = "batch";
+  e.change_id = change_id;
+  e.change_time = change_time;
+  e.service = service;
+  e.change_type = "software-upgrade";
+  e.launch_mode = "full-launching";
+  e.metric = "server:s1/" + kpi;
+  e.entity_kind = "server";
+  e.kpi = kpi;
+  e.cause = cause;
+  e.detected = (cause != "no-kpi-change");
+  return e;
+}
+
+obs::JournalEvent regression(std::uint64_t change_id, MinuteTime change_time,
+                             const std::string& service,
+                             const std::string& kpi, MinuteTime alarm_minute,
+                             double alpha_scaled) {
+  obs::JournalEvent e =
+      make_event(change_id, change_time, service, kpi, "software-change");
+  e.alarm_minute = alarm_minute;
+  e.sst_peak = 1.0;
+  e.did_alpha = alpha_scaled / 2.0;
+  e.did_alpha_scaled = alpha_scaled;
+  e.did_t_stat = 8.0;
+  e.did_n_treated = 2;
+  e.did_n_control = 2;
+  e.control_kind = "dark-launch-siblings";
+  return e;
+}
+
+TEST(Scorecard, FoldsCountsAndRates) {
+  ScorecardBuilder cards;
+  cards.observe(regression(1, 100, "cache", "mem", 103, 4.0));
+  cards.observe(make_event(1, 100, "cache", "cpu", "no-kpi-change"));
+  obs::JournalEvent inc = make_event(1, 100, "cache", "rt", "inconclusive");
+  inc.inconclusive_reason = "control-group-empty";
+  cards.observe(inc);
+  obs::JournalEvent fb = regression(2, 500, "web", "mem", 505, 2.0);
+  fb.fallback_control = true;
+  fb.control_kind = "seasonal-window";
+  cards.observe(fb);
+
+  const Scorecard total = cards.totals();
+  EXPECT_EQ(total.key, "total");
+  EXPECT_EQ(total.events, 4u);
+  EXPECT_EQ(total.detected, 3u);
+  EXPECT_EQ(total.regressions, 2u);
+  EXPECT_EQ(total.inconclusive, 1u);
+  EXPECT_EQ(total.fallback_control, 1u);
+  EXPECT_EQ(total.did_runs, 2u);
+  EXPECT_DOUBLE_EQ(total.regression_rate(), 0.5);
+  EXPECT_DOUBLE_EQ(total.inconclusive_rate(), 0.25);
+  EXPECT_DOUBLE_EQ(total.fallback_rate(), 0.25);
+  ASSERT_EQ(total.inconclusive_by_reason.size(), 1u);
+  EXPECT_EQ(total.inconclusive_by_reason.at("control-group-empty"), 1u);
+
+  const std::vector<Scorecard> services = cards.by_service();
+  ASSERT_EQ(services.size(), 2u);
+  EXPECT_EQ(services[0].key, "cache");  // sorted by name
+  EXPECT_EQ(services[0].events, 3u);
+  EXPECT_EQ(services[0].regressions, 1u);
+  EXPECT_EQ(services[1].key, "web");
+  EXPECT_EQ(services[1].events, 1u);
+
+  const std::vector<Scorecard> kpis = cards.by_kpi();
+  ASSERT_EQ(kpis.size(), 3u);
+  EXPECT_EQ(kpis[0].key, "cpu");
+  EXPECT_EQ(kpis[1].key, "mem");
+  EXPECT_EQ(kpis[1].regressions, 2u);
+  EXPECT_EQ(kpis[2].key, "rt");
+}
+
+TEST(Scorecard, NearestRankPercentiles) {
+  ScorecardBuilder cards;
+  // Feed deliberately out of order; the builder keeps the vector sorted.
+  for (const MinuteTime ttv : {40, 5, 20, 10}) {
+    obs::JournalEvent e = regression(1, 100, "cache", "mem", 100 + ttv, 1.0);
+    e.source = "online";
+    e.determined_at = 100 + ttv;
+    e.time_to_verdict = ttv;
+    cards.observe(e);
+  }
+  const Scorecard total = cards.totals();
+  ASSERT_EQ(total.time_to_verdict,
+            (std::vector<MinuteTime>{5, 10, 20, 40}));
+  EXPECT_EQ(total.ttv_p50(), 10);
+  EXPECT_EQ(total.ttv_p95(), 40);
+  EXPECT_EQ(total.ttv_percentile(0.0), 5);
+  EXPECT_EQ(total.ttv_percentile(1.0), 40);
+
+  const Scorecard untimed;
+  EXPECT_EQ(untimed.ttv_p50(), 0);
+}
+
+TEST(Blame, ScoresProximityTimesEffect) {
+  // Change 1 regresses two KPIs: one alarm 3' after the deploy (proximity
+  // 0.95), one 30' after (0.5). Change 2, 10' later in the same window,
+  // regresses nothing.
+  std::vector<obs::JournalEvent> events;
+  events.push_back(regression(1, 1000, "cache", "mem", 1003, 4.0));
+  events.push_back(regression(1, 1000, "cache", "rt", 1030, 2.0));
+  events.push_back(make_event(2, 1010, "web", "mem", "no-kpi-change"));
+
+  const auto clusters = rank_blame(events, BlameOptions{60});
+  ASSERT_EQ(clusters.size(), 1u);
+  EXPECT_EQ(clusters[0].start, 1000);
+  EXPECT_EQ(clusters[0].end, 1010);
+  ASSERT_EQ(clusters[0].ranking.size(), 2u);
+
+  const BlamedChange& top = clusters[0].ranking[0];
+  EXPECT_EQ(top.change_id, 1u);
+  EXPECT_EQ(top.regressions, 2u);
+  EXPECT_EQ(top.kpis_assessed, 2u);
+  EXPECT_DOUBLE_EQ(top.score, 0.95 * 4.0 + 0.5 * 2.0);
+  EXPECT_NE(top.explanation.find("server:s1/mem"), std::string::npos)
+      << top.explanation;  // the 3.8-contribution alarm is the headline
+
+  const BlamedChange& bottom = clusters[0].ranking[1];
+  EXPECT_EQ(bottom.change_id, 2u);
+  EXPECT_DOUBLE_EQ(bottom.score, 0.0);
+  EXPECT_EQ(bottom.explanation, "no regression events attributed");
+}
+
+TEST(Blame, ProximityFloorsInsideWindowAndFallsBackToSstPeak) {
+  std::vector<obs::JournalEvent> events;
+  // Alarm at the end of the window: linear decay would hit 0; the floor
+  // keeps live-change evidence at 0.1.
+  events.push_back(regression(1, 0, "cache", "mem", 60, 4.0));
+  // No DiD fit: the damped SST peak is the effect.
+  obs::JournalEvent sst_only = make_event(2, 200, "web", "rt",
+                                          "software-change");
+  sst_only.alarm_minute = 200;
+  sst_only.sst_peak = 3.0;
+  events.push_back(sst_only);
+
+  const auto clusters = rank_blame(events, BlameOptions{60});
+  ASSERT_EQ(clusters.size(), 2u);
+  ASSERT_EQ(clusters[0].ranking.size(), 1u);
+  EXPECT_DOUBLE_EQ(clusters[0].ranking[0].score, 0.1 * 4.0);
+  ASSERT_EQ(clusters[1].ranking.size(), 1u);
+  EXPECT_DOUBLE_EQ(clusters[1].ranking[0].score, 1.0 * 3.0);
+}
+
+TEST(Blame, ChainedOverlapIsTransitiveAndGapsSplit) {
+  std::vector<obs::JournalEvent> events;
+  // 0 and 50 overlap; 50 and 100 overlap; 0 and 100 do not directly, but
+  // the chain pulls all three into one cluster. 300 stands alone.
+  for (const MinuteTime t : {0, 50, 100, 300}) {
+    events.push_back(make_event(static_cast<std::uint64_t>(t + 1), t, "svc",
+                                "mem", "no-kpi-change"));
+  }
+  const auto clusters = rank_blame(events, BlameOptions{60});
+  ASSERT_EQ(clusters.size(), 2u);
+  EXPECT_EQ(clusters[0].ranking.size(), 3u);
+  EXPECT_EQ(clusters[0].start, 0);
+  EXPECT_EQ(clusters[0].end, 100);
+  EXPECT_EQ(clusters[1].ranking.size(), 1u);
+  EXPECT_EQ(clusters[1].start, 300);
+}
+
+TEST(Blame, ExactTiesGoToEarlierDeploymentAndAreStated) {
+  std::vector<obs::JournalEvent> events;
+  events.push_back(regression(8, 1005, "web", "mem", 1010, 3.0));
+  events.push_back(regression(3, 1000, "cache", "mem", 1005, 3.0));
+
+  const auto clusters = rank_blame(events, BlameOptions{60});
+  ASSERT_EQ(clusters.size(), 1u);
+  ASSERT_EQ(clusters[0].ranking.size(), 2u);
+  // Identical (proximity × effect): 5' lag in a 60' window both times.
+  ASSERT_DOUBLE_EQ(clusters[0].ranking[0].score,
+                   clusters[0].ranking[1].score);
+  EXPECT_EQ(clusters[0].ranking[0].change_id, 3u);
+  EXPECT_NE(clusters[0].ranking[0].explanation.find(
+                "tied with change 8, earlier deployment ranked first"),
+            std::string::npos)
+      << clusters[0].ranking[0].explanation;
+  EXPECT_EQ(clusters[0].ranking[1].explanation.find("tied"),
+            std::string::npos);
+}
+
+TEST(Rules, SupportAndConfidenceConditionOnAssessedKpi) {
+  std::vector<obs::JournalEvent> events;
+  // Three config changes to "cache" regress mem twice and leave it alone
+  // once; cpu was assessed three times, never regressed.
+  for (int i = 0; i < 3; ++i) {
+    obs::JournalEvent mem =
+        i < 2 ? regression(static_cast<std::uint64_t>(i), i * 10, "cache",
+                           "mem", i * 10 + 3, 2.0)
+              : make_event(2, 20, "cache", "mem", "no-kpi-change");
+    mem.change_type = "config-change";
+    events.push_back(mem);
+    obs::JournalEvent cpu = make_event(static_cast<std::uint64_t>(i), i * 10,
+                                       "cache", "cpu", "no-kpi-change");
+    cpu.change_type = "config-change";
+    events.push_back(cpu);
+  }
+
+  RuleOptions opt;
+  opt.min_support = 2;
+  opt.min_confidence = 0.5;
+  const auto rules = mine_rules(events, opt);
+  ASSERT_FALSE(rules.empty());
+  // Every surviving rule concerns mem (cpu has zero support), with
+  // support 2 of 3 assessed.
+  for (const TriageRule& r : rules) {
+    EXPECT_EQ(r.kpi, "mem");
+    EXPECT_EQ(r.support, 2u);
+    EXPECT_EQ(r.assessed, 3u);
+    EXPECT_DOUBLE_EQ(r.confidence, 2.0 / 3.0);
+    EXPECT_GE(r.antecedent.size(), 1u);
+    EXPECT_LE(r.antecedent.size(), 2u);
+    EXPECT_TRUE(std::is_sorted(r.antecedent.begin(), r.antecedent.end()));
+  }
+  // 3 singles + 3 pairs over identical metadata all qualify.
+  EXPECT_EQ(rules.size(), 6u);
+
+  opt.min_support = 3;
+  EXPECT_TRUE(mine_rules(events, opt).empty());
+  opt.min_support = 2;
+  opt.min_confidence = 0.7;
+  EXPECT_TRUE(mine_rules(events, opt).empty());
+  opt.min_confidence = 0.5;
+  opt.max_rules = 2;
+  EXPECT_EQ(mine_rules(events, opt).size(), 2u);
+}
+
+std::vector<obs::JournalEvent> mixed_stream() {
+  std::vector<obs::JournalEvent> events;
+  events.push_back(regression(1, 1000, "cache", "mem", 1003, 4.0));
+  events.push_back(regression(1, 1000, "cache", "rt", 1030, 2.0));
+  events.push_back(make_event(2, 1010, "web", "mem", "no-kpi-change"));
+  obs::JournalEvent inc = make_event(2, 1010, "web", "rt", "inconclusive");
+  inc.inconclusive_reason = "gap-in-detection-window";
+  events.push_back(inc);
+  obs::JournalEvent timed = regression(3, 2000, "web", "mem", 2013, 3.0);
+  timed.source = "online";
+  timed.determined_at = 2013;
+  timed.time_to_verdict = 13;
+  events.push_back(timed);
+  return events;
+}
+
+TEST(TriageEngine, ReportInsensitiveToEventOrder) {
+  const std::vector<obs::JournalEvent> events = mixed_stream();
+  TriageEngine forward;
+  for (const auto& e : events) forward.observe(e);
+
+  std::vector<obs::JournalEvent> shuffled = events;
+  std::reverse(shuffled.begin(), shuffled.end());
+  std::rotate(shuffled.begin(), shuffled.begin() + 2, shuffled.end());
+  TriageEngine scrambled;
+  for (const auto& e : shuffled) scrambled.observe(e);
+
+  EXPECT_EQ(to_json(forward.report()), to_json(scrambled.report()));
+  EXPECT_EQ(forward.report().totals, scrambled.report().totals);
+}
+
+TEST(TriageEngine, ChangeSummarySpliceFragment) {
+  TriageEngine engine;
+  for (const auto& e : mixed_stream()) engine.observe(e);
+  const TriageReport report = engine.report();
+
+  const std::string top = change_summary_json(report, 1);
+  EXPECT_EQ(top.find("{\"rank\":1,"), 0u) << top;
+  EXPECT_NE(top.find("\"regressions\":2"), std::string::npos) << top;
+  EXPECT_NE(top.find("\"cluster_changes\":2"), std::string::npos) << top;
+  const std::string second = change_summary_json(report, 2);
+  EXPECT_EQ(second.find("{\"rank\":2,"), 0u) << second;
+  EXPECT_EQ(change_summary_json(report, 999), "null");
+}
+
+TEST(TriageEngine, MarkdownCarriesEverySection) {
+  TriageEngine engine;
+  for (const auto& e : mixed_stream()) engine.observe(e);
+  const std::string md = to_markdown(engine.report());
+  for (const char* needle :
+       {"# Triage report", "## Service scorecards", "## KPI scorecards",
+        "## Inconclusive verdicts by reason", "## Blame ranking",
+        "### Changes deployed in [1000, 1010]", "## Mined rules",
+        "`gap-in-detection-window`: 1"}) {
+    EXPECT_NE(md.find(needle), std::string::npos) << needle;
+  }
+}
+
+// The golden fixture: a hand-written journal under tests/data/ and the
+// exact JSON report it must yield. Regenerate with
+//   funnel_triage tests/data/triage_journal.jsonl
+//                 --json tests/data/triage_golden.json
+// and review the diff — this pins the whole rendered schema.
+TEST(TriageEngine, GoldenFixtureReproducesExactly) {
+  const std::string dir = FUNNEL_TEST_DATA_DIR;
+  std::size_t bad_lines = 0;
+  bool ok = false;
+  const auto events =
+      obs::read_journal(dir + "/triage_journal.jsonl", &bad_lines, &ok);
+  ASSERT_TRUE(ok);
+  EXPECT_EQ(bad_lines, 0u);
+  ASSERT_FALSE(events.empty());
+
+  TriageEngine engine;
+  for (const auto& e : events) engine.observe(e);
+  const std::string expected = slurp(dir + "/triage_golden.json");
+  ASSERT_FALSE(expected.empty());
+  EXPECT_EQ(to_json(engine.report()) + "\n", expected);
+}
+
+}  // namespace
+}  // namespace funnel::triage

@@ -8,6 +8,7 @@
 //                     [--sst-fast] [--no-cascade]
 //                     [--change-minute T] [--shards N] [--ingest-queue N]
 //                     [--stats] [--stats-json FILE] [--trace FILE]
+//                     [--journal FILE]
 //
 // --sst-fast (--method ika only) switches the scorer to the SST hot path:
 // warm-started past subspace with deterministic cold restarts, plus the
@@ -39,11 +40,16 @@
 // trace-event JSON — load it in chrome://tracing or ui.perfetto.dev to see
 // each assessment's SST/DiD provenance laid out across threads. Per-CSV
 // wall clock always goes to stderr, as do "# wrote ..." notices naming the
-// emitted files. Stats and traces are side channels: stdout is
+// emitted files. --journal FILE appends every determination of the
+// --change-minute pipeline as one JSONL verdict event (obs/journal.h) for
+// the triage layer — pipe the file into `funnel_triage` for scorecards,
+// blame ranking and mined rules (docs/TRIAGE.md); the event count is noted
+// on stderr. Stats, traces and the journal are side channels: stdout is
 // byte-identical with them on or off, and for every --threads value.
 //
 // Exit codes: 0 success; 1 a file failed to load/parse/assess; 2 bad
-// usage; 3 an output file (--stats-json/--trace) could not be opened.
+// usage; 3 an output file (--stats-json/--trace/--journal) could not be
+// opened.
 //
 // Several CSV files are scored concurrently on a thread pool (--threads 0 =
 // one per hardware thread, 1 = serial); output is buffered per file and
@@ -76,6 +82,7 @@
 #include "funnel/online.h"
 #include "funnel/report.h"
 #include "obs/export.h"
+#include "obs/journal.h"
 #include "obs/registry.h"
 #include "obs/trace.h"
 #include "topology/topology.h"
@@ -94,7 +101,8 @@ void usage(const char* argv0) {
       "          [--omega N] [--scores] [--threads N]\n"
       "          [--sst-fast] [--no-cascade]\n"
       "          [--change-minute T] [--shards N] [--ingest-queue N]\n"
-      "          [--stats] [--stats-json FILE] [--trace FILE]\n",
+      "          [--stats] [--stats-json FILE] [--trace FILE]\n"
+      "          [--journal FILE]\n",
       argv0);
 }
 
@@ -115,7 +123,8 @@ struct Options {
   std::size_t ingest_queue = 1024;  // async ingest capacity; 0 = sync
   bool print_stats = false;
   std::string stats_json_path;
-  std::string trace_path;  // non-empty enables tracing
+  std::string trace_path;    // non-empty enables tracing
+  std::string journal_path;  // non-empty enables the verdict journal
 };
 
 bool parse(int argc, char** argv, Options& opt) {
@@ -158,6 +167,9 @@ bool parse(int argc, char** argv, Options& opt) {
     } else if (a == "--trace") {
       if (++i >= argc) return false;
       opt.trace_path = argv[i];
+    } else if (a == "--journal") {
+      if (++i >= argc) return false;
+      opt.journal_path = argv[i];
     } else if (a == "--sst-fast") {
       opt.sst_fast = true;
     } else if (a == "--no-cascade") {
@@ -293,8 +305,8 @@ FileResult score_file(const std::string& path, const Options& opt) {
 // assessor. History before T primes the detector; the remainder arrives
 // sample-by-sample exactly like the production push feed.
 FileResult assess_file(const std::string& path, const Options& opt,
-                       const obs::Registry* stats,
-                       const obs::Tracer* tracer) {
+                       const obs::Registry* stats, const obs::Tracer* tracer,
+                       const obs::Journal* journal) {
   FileResult res;
   std::ostringstream out;
   const tsdb::TimeSeries series = tsdb::load_series_csv(path);
@@ -360,6 +372,7 @@ FileResult assess_file(const std::string& path, const Options& opt,
   cfg.sst_cascade = opt.sst_fast && !opt.no_cascade;
   cfg.stats = stats;
   cfg.tracer = tracer;
+  cfg.journal = journal;
 
   core::FunnelOnline online(cfg, topo, log, store);
   core::AssessmentReport report;
@@ -396,11 +409,12 @@ FileResult assess_file(const std::string& path, const Options& opt,
 }
 
 FileResult process_file(const std::string& path, const Options& opt,
-                        const obs::Registry* stats,
-                        const obs::Tracer* tracer) {
+                        const obs::Registry* stats, const obs::Tracer* tracer,
+                        const obs::Journal* journal) {
   try {
-    return opt.change_minute >= 0 ? assess_file(path, opt, stats, tracer)
-                                  : score_file(path, opt);
+    return opt.change_minute >= 0
+               ? assess_file(path, opt, stats, tracer, journal)
+               : score_file(path, opt);
   } catch (const std::exception& e) {
     // Parse/load failures are per-file: report, keep going, exit non-zero.
     FileResult res;
@@ -417,7 +431,13 @@ void declare_core_keys(const obs::Registry& reg) {
        {"funnel.assess.changes_assessed", "funnel.assess.kpis_scored",
         "funnel.assess.alarms_raised", "funnel.online.samples_ingested",
         "funnel.online.verdicts_confirmed", "pool.tasks_executed",
-        "tsdb.store.appends", "csv.files_processed", "csv.files_failed"}) {
+        "tsdb.store.appends", "csv.files_processed", "csv.files_failed",
+        "funnel.cascade.windows", "funnel.cascade.scored",
+        "funnel.cascade.suppressed_variance",
+        "funnel.cascade.suppressed_cusum", "funnel.cascade.wow_forced",
+        "funnel.cascade.dirty", "funnel.sst.cold_restarts",
+        "funnel.sst.escalations", "funnel.journal.events",
+        "funnel.journal.bytes", "funnel.journal.dropped"}) {
     reg.declare_counter(c);
   }
   for (const char* h :
@@ -427,6 +447,24 @@ void declare_core_keys(const obs::Registry& reg) {
     reg.declare_histogram(h);
   }
   reg.declare_gauge("funnel.online.active_watches");
+  reg.declare_gauge("funnel.cascade.suppression_ratio");
+}
+
+// Derived gauge: fraction of scored-candidate windows the PR 6 cascade
+// suppressed without running the full IKA score. Computed from the
+// counters at dump time — suppression is a property of the whole run.
+void set_suppression_ratio(const obs::Registry& reg) {
+  const obs::Snapshot snap = reg.snapshot();
+  if (!snap.enabled) return;
+  const auto counter = [&](const char* key) -> double {
+    const auto it = snap.counters.find(key);
+    return it == snap.counters.end() ? 0.0 : static_cast<double>(it->second);
+  };
+  const double windows = counter("funnel.cascade.windows");
+  const double suppressed = counter("funnel.cascade.suppressed_variance") +
+                            counter("funnel.cascade.suppressed_cusum");
+  reg.set("funnel.cascade.suppression_ratio",
+          windows > 0.0 ? suppressed / windows : 0.0);
 }
 
 }  // namespace
@@ -455,6 +493,20 @@ int main(int argc, char** argv) {
   const obs::Tracer* tracer_ptr =
       opt.trace_path.empty() ? nullptr : &tracer;
 
+  // The journal opens up front (events stream during the run, unlike the
+  // end-of-run stats/trace dumps), so the unopenable-path exit happens
+  // before any work — same code 3 as the other output files.
+  std::unique_ptr<obs::Journal> journal;
+  if (!opt.journal_path.empty()) {
+    journal = std::make_unique<obs::Journal>(opt.journal_path);
+    if (!journal->ok()) {
+      std::fprintf(stderr, "error: cannot write %s\n",
+                   opt.journal_path.c_str());
+      return 3;
+    }
+    journal->set_stats(&reg);
+  }
+
   std::vector<FileResult> results(opt.paths.size());
   const auto run_one = [&](std::size_t i) {
     const auto start = std::chrono::steady_clock::now();
@@ -464,7 +516,8 @@ int main(int argc, char** argv) {
     if (file_span.active()) {
       file_span.attr("csv.path", std::string_view(opt.paths[i]));
     }
-    results[i] = process_file(opt.paths[i], opt, &reg, tracer_ptr);
+    results[i] = process_file(opt.paths[i], opt, &reg, tracer_ptr,
+                              journal.get());
     const double ms = std::chrono::duration<double, std::milli>(
                           std::chrono::steady_clock::now() - start)
                           .count();
@@ -496,7 +549,17 @@ int main(int argc, char** argv) {
     if (results[i].code != 0) code = results[i].code;
   }
 
+  if (journal != nullptr) {
+    // Barrier: every appended event is on disk before the count is
+    // reported (and before a consumer launched next reads the file).
+    journal->flush();
+    std::fprintf(stderr, "# wrote journal: %s (%llu events)\n",
+                 opt.journal_path.c_str(),
+                 static_cast<unsigned long long>(journal->written()));
+  }
+
   if (opt.print_stats || !opt.stats_json_path.empty()) {
+    set_suppression_ratio(reg);
     const obs::Snapshot snap = reg.snapshot();
     if (opt.print_stats) {
       std::fputs(obs::prometheus_text(snap).c_str(), stderr);

@@ -9,8 +9,10 @@
 # assessor, the telemetry registry, the tracer's cross-thread span
 # propagation, the chaos fault grid (dirty feeds through both pipelines,
 # docs/ROBUSTNESS.md), and the warm-start differential suite (stateful
-# scorer lifecycle + batched Hankel kernels), and the verdict journal's
-# MPSC writer thread plus its live triage-observer tap.
+# scorer lifecycle + batched Hankel kernels), the verdict journal's
+# MPSC writer thread plus its live triage-observer tap, and the persistent
+# segment store (WAL writer thread, background compaction, crash-replay
+# recovery — docs/STORAGE.md).
 # docs/CONCURRENCY.md describes the model these tests pin down; a TSan
 # report here means that model has been violated.
 #
@@ -31,6 +33,8 @@ TARGETS=(
   funnel_chaos_test
   detect_sst_warmstart_test
   funnel_journal_test
+  tsdb_persist_test
+  funnel_persist_replay_test
 )
 
 cmake -B "${BUILD_DIR}" -S . \

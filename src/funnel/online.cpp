@@ -10,6 +10,7 @@
 #include "obs/journal.h"
 #include "obs/registry.h"
 #include "obs/timer.h"
+#include "tsdb/persist/format.h"
 
 namespace funnel::core {
 namespace {
@@ -22,6 +23,84 @@ FunnelConfig serial(FunnelConfig config) {
   return config;
 }
 
+namespace persist = tsdb::persist;
+
+// Watch-snapshot blob version (persisted inside the store checkpoint; see
+// docs/STORAGE.md, "Watch snapshot"). Bump on any layout change — restore
+// refuses blobs it does not understand rather than guessing.
+constexpr std::uint8_t kWatchSnapshotVersion = 1;
+
+// The ItemVerdict codec persists the *decision*, not the evidence trail:
+// determinations consumed store state (control groups, historical windows)
+// as of the minute they ran, which a restarted process cannot re-derive.
+void encode_verdict(std::string& out, const ItemVerdict& v) {
+  persist::put_u8(out, v.kpi_change_detected ? 1 : 0);
+  persist::put_u8(out, v.alarm.has_value() ? 1 : 0);
+  if (v.alarm) {
+    persist::put_i64(out, v.alarm->minute);
+    persist::put_u64(out, v.alarm->first_window);
+    persist::put_f64(out, v.alarm->peak_score);
+  }
+  persist::put_u8(out, static_cast<std::uint8_t>(v.cause));
+  persist::put_u8(out, static_cast<std::uint8_t>(v.inconclusive_reason));
+  persist::put_u8(out, v.did_fit.has_value() ? 1 : 0);
+  if (v.did_fit) {
+    persist::put_f64(out, v.did_fit->alpha);
+    persist::put_f64(out, v.did_fit->alpha_scaled);
+    persist::put_f64(out, v.did_fit->std_error);
+    persist::put_f64(out, v.did_fit->t_stat);
+    persist::put_u64(out, v.did_fit->n_treated);
+    persist::put_u64(out, v.did_fit->n_control);
+  }
+  persist::put_u8(out, v.used_historical_control ? 1 : 0);
+  persist::put_u8(out, v.used_fallback_control ? 1 : 0);
+  persist::put_u8(out, v.quality.has_value() ? 1 : 0);
+  if (v.quality) {
+    persist::put_u64(out, v.quality->window_minutes);
+    persist::put_u64(out, v.quality->clean_samples);
+    persist::put_f64(out, v.quality->coverage);
+    persist::put_u64(out, v.quality->longest_gap_run);
+    persist::put_u64(out, v.quality->longest_flat_run);
+  }
+  persist::put_u8(out, v.determined_at.has_value() ? 1 : 0);
+  if (v.determined_at) persist::put_i64(out, *v.determined_at);
+}
+
+void decode_verdict(persist::ByteReader& r, ItemVerdict& v) {
+  v.kpi_change_detected = r.get_u8() != 0;
+  if (r.get_u8() != 0) {
+    detect::Alarm alarm;
+    alarm.minute = r.get_i64();
+    alarm.first_window = static_cast<std::size_t>(r.get_u64());
+    alarm.peak_score = r.get_f64();
+    v.alarm = alarm;
+  }
+  v.cause = static_cast<Cause>(r.get_u8());
+  v.inconclusive_reason = static_cast<InconclusiveReason>(r.get_u8());
+  if (r.get_u8() != 0) {
+    did::DiDResult fit;
+    fit.alpha = r.get_f64();
+    fit.alpha_scaled = r.get_f64();
+    fit.std_error = r.get_f64();
+    fit.t_stat = r.get_f64();
+    fit.n_treated = static_cast<std::size_t>(r.get_u64());
+    fit.n_control = static_cast<std::size_t>(r.get_u64());
+    v.did_fit = fit;
+  }
+  v.used_historical_control = r.get_u8() != 0;
+  v.used_fallback_control = r.get_u8() != 0;
+  if (r.get_u8() != 0) {
+    tsdb::QualityReport q;
+    q.window_minutes = static_cast<std::size_t>(r.get_u64());
+    q.clean_samples = static_cast<std::size_t>(r.get_u64());
+    q.coverage = r.get_f64();
+    q.longest_gap_run = static_cast<std::size_t>(r.get_u64());
+    q.longest_flat_run = static_cast<std::size_t>(r.get_u64());
+    v.quality = q;
+  }
+  if (r.get_u8() != 0) v.determined_at = r.get_i64();
+}
+
 }  // namespace
 
 FunnelOnline::FunnelOnline(FunnelConfig config,
@@ -32,13 +111,24 @@ FunnelOnline::FunnelOnline(FunnelConfig config,
       topo_(topo),
       log_(log),
       store_(store),
-      batch_(serial(config), topo, log, store) {}
+      batch_(serial(config), topo, log, store),
+      record_feed_(store.persistent()) {}
 
 FunnelOnline::~FunnelOnline() {
   if (subscribed_) store_.unsubscribe(subscription_);
 }
 
 void FunnelOnline::watch(changes::ChangeId id) {
+  // The marker must hit the WAL *before* priming reads the store, so that
+  // tail replay re-registers the watch against exactly the store state the
+  // original registration saw (docs/STORAGE.md, "Watch markers").
+  if (store_.persistent()) store_.log_watch_marker(id);
+  watch_impl(id);
+}
+
+void FunnelOnline::replay_watch(changes::ChangeId id) { watch_impl(id); }
+
+void FunnelOnline::watch_impl(changes::ChangeId id) {
   const changes::SoftwareChange& change = log_.get(id);
   ChangeWatch watch;
   watch.change_id = id;
@@ -56,21 +146,6 @@ void FunnelOnline::watch(changes::ChangeId id) {
   // root explicitly (the root never installs itself as ambient context).
   obs::Span prime_span(watch.trace.context(), "funnel.online.prime");
   for (const tsdb::MetricId& metric : impact_metrics(watch.set, store_)) {
-    MetricWatch mw;
-    mw.metric = metric;
-    mw.verdict.metric = metric;
-    auto scorer = std::make_unique<detect::IkaSst>(config_.geometry,
-                                                   sst_params(config_));
-    detect::ChangeScorer* active = nullptr;
-    if (config_.sst_cascade) {
-      detect::CascadeConfig cc = config_.cascade;
-      cc.sst_threshold = config_.alarm.threshold;
-      mw.gate = std::make_unique<detect::CascadeGate>(std::move(scorer), cc);
-      active = mw.gate.get();
-    } else {
-      mw.scorer = std::move(scorer);
-      active = mw.scorer.get();
-    }
     // Copy the priming window under the shard's reader lock — watch() runs
     // on the control thread and must not race a store that is already
     // ingesting (docs/CONCURRENCY.md, "Online assessor").
@@ -81,9 +156,7 @@ void FunnelOnline::watch(changes::ChangeId id) {
           std::max(series.start_time(), change.time - config_.lookback);
       prime = series.slice(prime_start, series.end_time());
     });
-    mw.detector = std::make_unique<detect::OnlineDetector>(
-        *active, config_.alarm, prime_start);
-    mw.quality.start = prime_start;
+    MetricWatch mw = make_metric_watch(metric, prime_start);
     // Prime with whatever history is already in the store; pre-change
     // alarms are discarded (rearmed) — only post-deployment behavior
     // changes are attributable.
@@ -100,17 +173,45 @@ void FunnelOnline::watch(changes::ChangeId id) {
                        static_cast<double>(watches_.size()));
   }
 
-  if (!subscribed_) {
-    subscription_ = store_.subscribe(
-        {}, [this](const tsdb::MetricId& m, MinuteTime t, double v) {
-          handle_sample(m, t, v);
-        });
-    subscribed_ = true;
+  subscribe_once();
+}
+
+FunnelOnline::MetricWatch FunnelOnline::make_metric_watch(
+    const tsdb::MetricId& metric, MinuteTime start) {
+  MetricWatch mw;
+  mw.metric = metric;
+  mw.verdict.metric = metric;
+  auto scorer = std::make_unique<detect::IkaSst>(config_.geometry,
+                                                 sst_params(config_));
+  detect::ChangeScorer* active = nullptr;
+  if (config_.sst_cascade) {
+    detect::CascadeConfig cc = config_.cascade;
+    cc.sst_threshold = config_.alarm.threshold;
+    mw.gate = std::make_unique<detect::CascadeGate>(std::move(scorer), cc);
+    active = mw.gate.get();
+  } else {
+    mw.scorer = std::move(scorer);
+    active = mw.scorer.get();
   }
+  mw.detector = std::make_unique<detect::OnlineDetector>(*active,
+                                                         config_.alarm, start);
+  mw.quality.start = start;
+  mw.fed_start = start;
+  return mw;
+}
+
+void FunnelOnline::subscribe_once() {
+  if (subscribed_) return;
+  subscription_ = store_.subscribe(
+      {}, [this](const tsdb::MetricId& m, MinuteTime t, double v) {
+        handle_sample(m, t, v);
+      });
+  subscribed_ = true;
 }
 
 void FunnelOnline::feed_detector(const changes::SoftwareChange& change,
                                  MetricWatch& mw, double value) {
+  if (record_feed_) mw.fed.push_back(value);
   mw.quality.on_sample(value);
   const auto alarm = mw.detector->push(value);
   if (!alarm) return;
@@ -338,6 +439,90 @@ void FunnelOnline::finalize(changes::ChangeId id, bool timed_out) {
                        static_cast<double>(watches_.size()));
   }
   if (report_cb_) report_cb_(report);
+}
+
+std::string FunnelOnline::snapshot_state() const {
+  std::string out;
+  persist::put_u8(out, kWatchSnapshotVersion);
+  persist::put_u32(out, static_cast<std::uint32_t>(watches_.size()));
+  for (const auto& [cid, watch] : watches_) {
+    persist::put_u64(out, cid);
+    persist::put_u32(out, static_cast<std::uint32_t>(watch.metrics.size()));
+    for (const auto& [metric, mw] : watch.metrics) {
+      persist::put_u8(out, static_cast<std::uint8_t>(metric.kind));
+      persist::put_str(out, metric.entity);
+      persist::put_str(out, metric.kpi);
+      persist::put_i64(out, mw.fed_start);
+      persist::put_u64(out, mw.fed.size());
+      for (double v : mw.fed) persist::put_f64(out, v);
+      persist::put_u8(out, mw.pending_determination ? 1 : 0);
+      encode_verdict(out, mw.verdict);
+    }
+  }
+  return out;
+}
+
+void FunnelOnline::restore_state(const std::string& blob) {
+  if (blob.empty()) return;
+  persist::ByteReader r(blob.data(), blob.size());
+  const auto corrupt = [] {
+    return persist::StorageError("corrupt watch snapshot");
+  };
+  if (r.get_u8() != kWatchSnapshotVersion || !r.ok()) throw corrupt();
+  const std::uint32_t n_watches = r.get_u32();
+  for (std::uint32_t w = 0; w < n_watches && r.ok(); ++w) {
+    const changes::ChangeId cid = r.get_u64();
+    const changes::SoftwareChange& change = log_.get(cid);
+    ChangeWatch watch;
+    watch.change_id = cid;
+    watch.set = identify_impact_set(change, topo_);
+    watch.deadline = change.time + config_.horizon;
+    // A fresh root span: traces are diagnostics, not replay state, and the
+    // pre-crash span already landed (or died) in the old process's ring.
+    watch.trace = obs::DetachedSpan(config_.tracer, "funnel.watch");
+    const std::uint32_t n_metrics = r.get_u32();
+    for (std::uint32_t m = 0; m < n_metrics && r.ok(); ++m) {
+      tsdb::MetricId metric;
+      const std::uint8_t kind = r.get_u8();
+      if (kind > static_cast<std::uint8_t>(tsdb::EntityKind::kService)) {
+        throw corrupt();
+      }
+      metric.kind = static_cast<tsdb::EntityKind>(kind);
+      metric.entity = r.get_str();
+      metric.kpi = r.get_str();
+      const MinuteTime fed_start = r.get_i64();
+      const std::uint64_t n_fed = r.get_u64();
+      std::vector<double> fed;
+      fed.reserve(static_cast<std::size_t>(n_fed));
+      for (std::uint64_t i = 0; i < n_fed && r.ok(); ++i) {
+        fed.push_back(r.get_f64());
+      }
+      const bool pending = r.get_u8() != 0;
+      if (!r.ok()) throw corrupt();
+      MetricWatch mw = make_metric_watch(metric, fed_start);
+      // Replaying the recorded feed rebuilds the scorer, cascade gate,
+      // online detector and feed-quality counters bit-for-bit (they are
+      // deterministic functions of the stream) — including mw.fed itself,
+      // since feed_detector re-records each value.
+      for (double v : fed) feed_detector(change, mw, v);
+      // The replay's provisional verdict is then overwritten wholesale:
+      // determinations that already ran used store evidence from their own
+      // minute, which must survive the restart verbatim.
+      mw.verdict = ItemVerdict{};
+      mw.verdict.metric = metric;
+      decode_verdict(r, mw.verdict);
+      mw.pending_determination = pending;
+      if (!r.ok()) throw corrupt();
+      watch.metrics.emplace(std::move(metric), std::move(mw));
+    }
+    watches_.emplace(cid, std::move(watch));
+  }
+  if (!r.ok() || r.remaining() != 0) throw corrupt();
+  if (config_.stats != nullptr && !watches_.empty()) {
+    config_.stats->set("funnel.online.active_watches",
+                       static_cast<double>(watches_.size()));
+  }
+  if (!watches_.empty()) subscribe_once();
 }
 
 }  // namespace funnel::core

@@ -66,6 +66,26 @@ class FunnelOnline {
   /// watch().
   std::size_t expire(MinuteTime now);
 
+  /// Re-register a watch during WAL tail replay. Identical to watch()
+  /// except no new watch marker is logged — the marker driving this call is
+  /// already on disk, and re-logging it would duplicate it in the next WAL.
+  void replay_watch(changes::ChangeId id);
+
+  /// Serialize every active watch — detector feed streams, verdict state,
+  /// pending flags — into an opaque blob for MetricStore::checkpoint().
+  /// Call only from the streaming thread (or after store.flush()); the
+  /// format is versioned and private to this class (docs/STORAGE.md).
+  std::string snapshot_state() const;
+
+  /// Recreate watches from a snapshot_state() blob: each watch's detector
+  /// is rebuilt by replaying its recorded feed stream (bit-identical SST /
+  /// cascade / quality state), then verdicts and pending flags are
+  /// overwritten from the snapshot — past determinations consumed store
+  /// state that no longer exists and must not be re-derived. Call after
+  /// constructing against a recovered store and *before* replaying the WAL
+  /// tail. Throws tsdb::persist::StorageError on a corrupt/unknown blob.
+  void restore_state(const std::string& blob);
+
   void on_verdict(VerdictCallback cb) { verdict_cb_ = std::move(cb); }
   void on_report(ReportCallback cb) { report_cb_ = std::move(cb); }
 
@@ -104,6 +124,14 @@ class FunnelOnline {
     ItemVerdict verdict;
     FeedQuality quality;
     bool pending_determination = false;  ///< alarm raised, DiD deferred
+    /// First minute the detector consumed (priming start).
+    MinuteTime fed_start = 0;
+    /// Every value the detector consumed, in order (primed history, live
+    /// samples and NaN gap fills alike). Recorded only against a persistent
+    /// store; replaying it through a fresh detector reproduces the scorer /
+    /// gate / quality state bit-for-bit, which is what snapshot_state()
+    /// persists instead of the detectors' internal matrices.
+    std::vector<double> fed;
   };
 
   struct ChangeWatch {
@@ -118,6 +146,14 @@ class FunnelOnline {
     obs::DetachedSpan trace;
   };
 
+  /// watch() minus the WAL marker: registers the watch and primes its
+  /// detectors from current store history.
+  void watch_impl(changes::ChangeId id);
+  /// Build an armed MetricWatch (scorer/gate/detector) whose detector clock
+  /// starts at `start`. Shared by priming and snapshot restore.
+  MetricWatch make_metric_watch(const tsdb::MetricId& metric,
+                                MinuteTime start);
+  void subscribe_once();
   void handle_sample(const tsdb::MetricId& id, MinuteTime t, double value);
   /// Feed one aligned sample (value, or NaN for a skipped minute) into the
   /// watch's detector, handling alarm rearm/latch bookkeeping.
@@ -138,6 +174,7 @@ class FunnelOnline {
   Funnel batch_;  ///< reuses the Fig. 3 determination logic
 
   std::map<changes::ChangeId, ChangeWatch> watches_;
+  bool record_feed_ = false;  ///< store is persistent: keep MetricWatch::fed
   tsdb::SubscriptionId subscription_ = 0;
   bool subscribed_ = false;
   VerdictCallback verdict_cb_;

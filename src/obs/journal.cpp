@@ -8,6 +8,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <deque>
+#include <filesystem>
 #include <fstream>
 #include <mutex>
 #include <thread>
@@ -426,12 +427,37 @@ std::vector<JournalEvent> read_journal(const std::string& path,
   return events;
 }
 
+std::uint64_t repair_journal(const std::string& path,
+                             std::uint64_t keep_events) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.good()) return 0;
+
+  std::uint64_t off = 0;       // bytes consumed so far
+  std::uint64_t keep_off = 0;  // end of the last event we keep
+  std::uint64_t kept = 0;
+  std::string line;
+  while (kept < keep_events && std::getline(in, line)) {
+    off += line.size() + (in.eof() ? 0 : 1);  // '\n' unless torn final line
+    if (line.empty()) continue;
+    JournalEvent e;
+    if (!parse_jsonl(line, e)) continue;  // torn/corrupt line: drop it
+    ++kept;
+    keep_off = off;
+  }
+  in.close();
+
+  std::error_code ec;
+  std::filesystem::resize_file(path, keep_off, ec);
+  return ec ? 0 : kept;
+}
+
 #ifdef FUNNEL_OBS_OFF
 
-Journal::Journal(std::string path, JournalOptions) : path_(std::move(path)) {
-  // Create/truncate the file so --journal keeps its open-check and
+Journal::Journal(std::string path, JournalOptions options)
+    : path_(std::move(path)) {
+  // Create (or truncate) the file so --journal keeps its open-check and
   // empty-journal semantics; nothing will ever be written to it.
-  std::FILE* f = std::fopen(path_.c_str(), "wb");
+  std::FILE* f = std::fopen(path_.c_str(), options.truncate ? "wb" : "ab");
   ok_ = (f != nullptr);
   if (f != nullptr) std::fclose(f);
 }
@@ -524,7 +550,7 @@ struct Journal::Impl {
 Journal::Journal(std::string path, JournalOptions options)
     : path_(std::move(path)),
       impl_(std::make_unique<Impl>(options.queue_capacity, options.policy)) {
-  impl_->file = std::fopen(path_.c_str(), "wb");
+  impl_->file = std::fopen(path_.c_str(), options.truncate ? "wb" : "ab");
   ok_ = (impl_->file != nullptr);
   if (!ok_) return;
   impl_->thread = std::thread([impl = impl_.get()] { impl->run(); });

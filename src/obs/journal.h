@@ -129,6 +129,17 @@ std::vector<JournalEvent> read_journal(const std::string& path,
                                        std::size_t* bad_lines = nullptr,
                                        bool* ok = nullptr);
 
+/// Truncate a journal to its first `keep_events` valid events — the
+/// crash-restart repair step. A persistent MetricStore checkpoint records
+/// how many events the journal held at that consistent point; on restart
+/// the assessor rewinds the journal here, reopens it in append mode
+/// (JournalOptions::truncate = false) and re-emits everything after the
+/// checkpoint during WAL replay, so the final file is byte-identical to an
+/// uninterrupted run's. Also discards a torn trailing line. Returns the
+/// number of events actually kept (< keep_events when the file is shorter).
+std::uint64_t repair_journal(const std::string& path,
+                             std::uint64_t keep_events);
+
 /// What Journal::append does when the queue is full (mirrors
 /// tsdb::Backpressure; duplicated here so obs stays dependency-free).
 enum class JournalBackpressure {
@@ -139,6 +150,9 @@ enum class JournalBackpressure {
 struct JournalOptions {
   std::size_t queue_capacity = 4096;  ///< clamped to >= 1
   JournalBackpressure policy = JournalBackpressure::kBlock;
+  /// false = open in append mode instead of truncating — the crash-restart
+  /// path, after repair_journal() has rewound the file to the checkpoint.
+  bool truncate = true;
 };
 
 #ifdef FUNNEL_OBS_OFF

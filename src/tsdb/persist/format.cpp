@@ -1,0 +1,40 @@
+#include "tsdb/persist/format.h"
+
+#include <array>
+
+namespace funnel::tsdb::persist {
+
+namespace {
+
+// CRC32C (Castagnoli) lookup table, reflected polynomial 0x82F63B78 —
+// computed once at startup so the header stays free of a 1 KiB literal.
+std::array<std::uint32_t, 256> make_crc32c_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1) ? (0x82F63B78u ^ (c >> 1)) : (c >> 1);
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+const std::array<std::uint32_t, 256>& crc32c_table() {
+  static const std::array<std::uint32_t, 256> table = make_crc32c_table();
+  return table;
+}
+
+}  // namespace
+
+std::uint32_t crc32c(const void* data, std::size_t size, std::uint32_t seed) {
+  const auto& table = crc32c_table();
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint32_t crc = seed ^ 0xFFFFFFFFu;
+  for (std::size_t i = 0; i < size; ++i) {
+    crc = table[(crc ^ p[i]) & 0xFF] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+}  // namespace funnel::tsdb::persist

@@ -1,0 +1,144 @@
+// On-disk byte codec shared by the WAL, segment and checkpoint formats.
+//
+// Everything the persistent segment store writes is little-endian and
+// CRC32C-guarded; the full byte-level contract lives in docs/STORAGE.md.
+// The helpers here are deliberately tiny: fixed-width integers rendered by
+// explicit byte shifts (so the code is endianness-independent even though
+// the format is LE), doubles as raw IEEE-754 bit patterns (NaN samples are
+// data — a recorded collection gap — and must round-trip bit-exactly), and
+// length-prefixed strings. A ByteReader never throws: it carries a sticky
+// `ok` flag so a truncated or corrupt buffer fails the whole parse instead
+// of faulting mid-record — the property the WAL's torn-tail recovery and
+// the checkpoint validator are built on.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+#include "common/error.h"
+
+namespace funnel::tsdb::persist {
+
+/// Thrown when a persistent store directory cannot be opened, or holds
+/// damage the WAL's torn-tail tolerance cannot absorb (corrupt checkpoint,
+/// corrupt or missing segment). Callers treat it as fatal for that
+/// data_dir — the funnel_detect_csv --data-dir contract maps it to exit 3.
+class StorageError : public Error {
+ public:
+  explicit StorageError(const std::string& what) : Error(what) {}
+};
+
+/// CRC32C (Castagnoli), the checksum guarding every WAL record payload,
+/// segment footer and checkpoint payload. Software table implementation —
+/// the store is minutes-per-sample, not a block device.
+std::uint32_t crc32c(const void* data, std::size_t size,
+                     std::uint32_t seed = 0);
+
+inline std::uint32_t crc32c(std::string_view bytes, std::uint32_t seed = 0) {
+  return crc32c(bytes.data(), bytes.size(), seed);
+}
+
+// --------------------------------------------------------------------------
+// Writers: append little-endian values to a std::string buffer.
+
+inline void put_u8(std::string& out, std::uint8_t v) {
+  out.push_back(static_cast<char>(v));
+}
+
+inline void put_u16(std::string& out, std::uint16_t v) {
+  out.push_back(static_cast<char>(v & 0xff));
+  out.push_back(static_cast<char>((v >> 8) & 0xff));
+}
+
+inline void put_u32(std::string& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+inline void put_u64(std::string& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+inline void put_i64(std::string& out, std::int64_t v) {
+  put_u64(out, static_cast<std::uint64_t>(v));
+}
+
+/// Raw IEEE-754 bits: NaN payloads and signed zeros round-trip exactly.
+inline void put_f64(std::string& out, double v) {
+  put_u64(out, std::bit_cast<std::uint64_t>(v));
+}
+
+/// u16 length prefix + bytes. Metric entities/KPI names are short
+/// identifiers; 64 KiB is far beyond any real name.
+inline void put_str(std::string& out, std::string_view s) {
+  put_u16(out, static_cast<std::uint16_t>(s.size()));
+  out.append(s.data(), s.size());
+}
+
+// --------------------------------------------------------------------------
+// Reader: sticky-failure cursor over a byte buffer.
+
+class ByteReader {
+ public:
+  ByteReader(const char* data, std::size_t size)
+      : p_(data), end_(data + size) {}
+  explicit ByteReader(std::string_view bytes)
+      : ByteReader(bytes.data(), bytes.size()) {}
+
+  bool ok() const { return ok_; }
+  std::size_t remaining() const { return static_cast<std::size_t>(end_ - p_); }
+
+  std::uint8_t get_u8() {
+    if (!need(1)) return 0;
+    return static_cast<std::uint8_t>(*p_++);
+  }
+
+  std::uint16_t get_u16() { return static_cast<std::uint16_t>(get_le(2)); }
+  std::uint32_t get_u32() { return static_cast<std::uint32_t>(get_le(4)); }
+  std::uint64_t get_u64() { return get_le(8); }
+  std::int64_t get_i64() { return static_cast<std::int64_t>(get_le(8)); }
+  double get_f64() { return std::bit_cast<double>(get_le(8)); }
+
+  std::string get_str() {
+    const std::uint16_t n = get_u16();
+    if (!need(n)) return {};
+    std::string s(p_, p_ + n);
+    p_ += n;
+    return s;
+  }
+
+  /// Fail the parse explicitly (e.g. an out-of-range enum value).
+  void fail() { ok_ = false; }
+
+ private:
+  bool need(std::size_t n) {
+    if (!ok_ || remaining() < n) {
+      ok_ = false;
+      return false;
+    }
+    return true;
+  }
+
+  std::uint64_t get_le(std::size_t n) {
+    if (!need(n)) return 0;
+    std::uint64_t v = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      v |= static_cast<std::uint64_t>(static_cast<unsigned char>(p_[i]))
+           << (8 * i);
+    }
+    p_ += n;
+    return v;
+  }
+
+  const char* p_;
+  const char* end_;
+  bool ok_ = true;
+};
+
+}  // namespace funnel::tsdb::persist

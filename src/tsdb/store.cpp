@@ -1,11 +1,14 @@
 #include "tsdb/store.h"
 
 #include <algorithm>
+#include <cmath>
 #include <functional>
+#include <limits>
 #include <utility>
 
 #include "common/error.h"
 #include "obs/timer.h"
+#include "tsdb/persist/backend.h"
 
 namespace funnel::tsdb {
 
@@ -19,6 +22,31 @@ MetricStore::MetricStore(const StoreOptions& options) {
     dispatcher_ = std::make_unique<IngestDispatcher>(
         options.ingest_queue_capacity, options.backpressure,
         [this](const Sample& s) { deliver(s); });
+  }
+  if (!options.data_dir.empty()) {
+    persist::BackendOptions bopts;
+    bopts.dir = options.data_dir;
+    bopts.wal_queue_capacity = options.wal_queue_capacity;
+    bopts.durability = options.durability;
+    bopts.compact_threshold = options.compact_threshold;
+    backend_ = std::make_unique<persist::PersistBackend>(bopts);
+    cold_ = options.cold_reads;
+    if (!cold_) {
+      // Full hydration: rebuild every series from the segments so the store
+      // is indistinguishable from one that never restarted. No locks: the
+      // constructor is single-threaded by definition.
+      for (const MetricId& id : backend_->cold_metrics()) {
+        shard(id).series.emplace(id, backend_->materialize(id, nullptr));
+      }
+    }
+    if (!options.hand_off_tail) {
+      // Replay the WAL tail in arrival order. No subscriber can exist yet,
+      // so this is pure state reconstruction; hand_off_tail callers replay
+      // explicitly after attaching their subscribers instead.
+      for (const persist::WalRecord& rec : backend_->recovered_tail()) {
+        replay(rec);
+      }
+    }
   }
 }
 
@@ -38,6 +66,10 @@ std::size_t MetricStore::shard_index(const MetricId& id) const {
 }
 
 void MetricStore::create(const MetricId& id, MinuteTime start) {
+  // In cold mode a segment-resident metric has no shard entry; creating it
+  // "again" would fork a hot series that shadows flushed history.
+  FUNNEL_REQUIRE(!cold_ || !backend_->has_cold(id),
+                 "metric already exists: " + id.to_string());
   StoreShard& sh = shard(id);
   const std::unique_lock<std::shared_mutex> lock(sh.data_mutex);
   const auto [it, inserted] = sh.series.emplace(id, TimeSeries(start));
@@ -46,12 +78,27 @@ void MetricStore::create(const MetricId& id, MinuteTime start) {
 }
 
 bool MetricStore::has(const MetricId& id) const {
-  const StoreShard& sh = shard(id);
-  const std::shared_lock<std::shared_mutex> lock(sh.data_mutex);
-  return sh.series.contains(id);
+  {
+    const StoreShard& sh = shard(id);
+    const std::shared_lock<std::shared_mutex> lock(sh.data_mutex);
+    if (sh.series.contains(id)) return true;
+  }
+  return cold_ && backend_->has_cold(id);
 }
 
 void MetricStore::append(const MetricId& id, MinuteTime t, double value) {
+  // Write-ahead: the record is queued for the WAL before the in-memory
+  // apply, so any state a crash preserves is replayable from disk.
+  if (backend_ != nullptr) backend_->log_sample(id, t, value);
+  append_impl(id, t, value);
+}
+
+void MetricStore::replay(const persist::WalRecord& record) {
+  if (record.type != persist::WalRecordType::kSample) return;
+  append_impl(record.metric, record.minute, record.value);
+}
+
+void MetricStore::append_impl(const MetricId& id, MinuteTime t, double value) {
   StoreShard& sh = shard(id);
   TimeSeries::Upsert outcome;
   {
@@ -61,6 +108,11 @@ void MetricStore::append(const MetricId& id, MinuteTime t, double value) {
       it = sh.series.emplace(id, TimeSeries(t)).first;
     }
     outcome = it->second.upsert_at(t, value);
+  }
+  // A late fill may land below the flush frontier; mark it so the next
+  // checkpoint re-flushes from there (the source of overlapping segments).
+  if (backend_ != nullptr && outcome == TimeSeries::Upsert::kFilled) {
+    backend_->note_dirty(id, t);
   }
   const obs::Registry* stats = stats_.load(std::memory_order_relaxed);
   if (stats != nullptr) {
@@ -93,11 +145,16 @@ void MetricStore::append(const MetricId& id, MinuteTime t, double value) {
 }
 
 void MetricStore::insert(const MetricId& id, TimeSeries series) {
+  FUNNEL_REQUIRE(!cold_ || !backend_->has_cold(id),
+                 "metric already exists: " + id.to_string());
   StoreShard& sh = shard(id);
   const std::unique_lock<std::shared_mutex> lock(sh.data_mutex);
   const auto [it, inserted] = sh.series.emplace(id, std::move(series));
   FUNNEL_REQUIRE(inserted, "metric already exists: " + id.to_string());
   (void)it;
+  // Inserted history is not WAL-logged (it can be huge); it becomes durable
+  // at the next checkpoint, which flushes from the series start because no
+  // flush frontier exists for a brand-new metric.
 }
 
 const TimeSeries& MetricStore::series(const MetricId& id) const {
@@ -111,6 +168,7 @@ const TimeSeries& MetricStore::series(const MetricId& id) const {
 }
 
 std::size_t MetricStore::metric_count() const {
+  if (cold_) return metrics().size();
   std::size_t n = 0;
   for (const auto& sh : shards_) {
     const std::shared_lock<std::shared_mutex> lock(sh->data_mutex);
@@ -128,6 +186,14 @@ std::vector<MetricId> MetricStore::metrics() const {
       out.push_back(id);
     }
   }
+  if (cold_) {
+    // Segment-resident metrics may have no hot entry yet.
+    const std::vector<MetricId> cold = backend_->cold_metrics();
+    out.insert(out.end(), cold.begin(), cold.end());
+    std::sort(out.begin(), out.end());
+    out.erase(std::unique(out.begin(), out.end()), out.end());
+    return out;
+  }
   // Each shard map is ordered; the concatenation is not. Global order keeps
   // downstream iteration (impact_metrics, report items) shard-count
   // independent.
@@ -137,6 +203,13 @@ std::vector<MetricId> MetricStore::metrics() const {
 
 std::vector<MetricId> MetricStore::metrics_of(EntityKind kind,
                                               const std::string& entity) const {
+  if (cold_) {
+    std::vector<MetricId> out;
+    for (const MetricId& id : metrics()) {
+      if (id.kind == kind && id.entity == entity) out.push_back(id);
+    }
+    return out;
+  }
   std::vector<MetricId> out;
   for (const auto& sh : shards_) {
     const std::shared_lock<std::shared_mutex> lock(sh->data_mutex);
@@ -151,6 +224,51 @@ std::vector<MetricId> MetricStore::metrics_of(EntityKind kind,
 
 std::vector<double> MetricStore::query(const MetricId& id, MinuteTime t0,
                                        MinuteTime t1) const {
+  if (cold_) {
+    // Out-of-core window read: only the segment pages holding [t0, t1) plus
+    // the hot tail's intersection are touched — no full materialization.
+    const auto seg = backend_->cold_bounds(id);
+    bool found = false;
+    MinuteTime h0 = 0, h1 = 0;
+    std::vector<double> hot_win;
+    MinuteTime hot_win_start = 0;
+    {
+      const StoreShard& sh = shard(id);
+      const std::shared_lock<std::shared_mutex> lock(sh.data_mutex);
+      const auto it = sh.series.find(id);
+      if (it != sh.series.end() && !it->second.empty()) {
+        found = true;
+        h0 = it->second.start_time();
+        h1 = it->second.end_time();
+        const MinuteTime a = std::max(t0, h0);
+        const MinuteTime b = std::min(t1, h1);
+        if (a < b) {
+          hot_win_start = a;
+          hot_win = it->second.slice(a, b);
+        }
+      }
+    }
+    if (!seg.has_value() && !found) {
+      throw NotFound("no such metric: " + id.to_string());
+    }
+    MinuteTime lo = seg.has_value() ? seg->first : h0;
+    MinuteTime hi = seg.has_value() ? seg->second : h1;
+    if (found) {
+      lo = std::min(lo, h0);
+      hi = std::max(hi, h1);
+    }
+    FUNNEL_REQUIRE(t0 >= lo && t1 <= hi && t0 <= t1,
+                   "TimeSeries::view range not covered");
+    std::vector<double> out(static_cast<std::size_t>(t1 - t0),
+                            std::numeric_limits<double>::quiet_NaN());
+    if (seg.has_value()) backend_->fill_window(id, t0, t1, out);
+    for (std::size_t i = 0; i < hot_win.size(); ++i) {
+      if (!std::isnan(hot_win[i])) {
+        out[static_cast<std::size_t>(hot_win_start - t0) + i] = hot_win[i];
+      }
+    }
+    return out;
+  }
   return read(id,
               [&](const TimeSeries& s) { return s.slice(t0, t1); });
 }
@@ -238,6 +356,125 @@ void MetricStore::flush() {
 void MetricStore::set_stats(const obs::Registry* stats) {
   stats_.store(stats, std::memory_order_relaxed);
   if (dispatcher_ != nullptr) dispatcher_->set_stats(stats);
+  if (backend_ != nullptr) backend_->set_stats(stats);
+}
+
+// ---------------------------------------------------------------------------
+// Persistence.
+
+const std::vector<persist::WalRecord>& MetricStore::recovered_tail() const {
+  static const std::vector<persist::WalRecord> kEmpty;
+  return backend_ != nullptr ? backend_->recovered_tail() : kEmpty;
+}
+
+std::uint64_t MetricStore::recovered_seq() const {
+  if (backend_ == nullptr) return 0;
+  std::uint64_t seq = backend_->checkpoint_seq();
+  if (!backend_->recovered_tail().empty()) {
+    seq = std::max(seq, backend_->recovered_tail().back().seq);
+  }
+  return seq;
+}
+
+const std::string& MetricStore::recovered_watch_state() const {
+  static const std::string kEmpty;
+  return backend_ != nullptr ? backend_->recovered_watch_state() : kEmpty;
+}
+
+std::uint64_t MetricStore::recovered_journal_events() const {
+  return backend_ != nullptr ? backend_->recovered_journal_events() : 0;
+}
+
+std::uint64_t MetricStore::recovered_wal_skipped_bytes() const {
+  return backend_ != nullptr ? backend_->recovered_wal_skipped_bytes() : 0;
+}
+
+std::uint64_t MetricStore::log_watch_marker(std::uint64_t change_id) {
+  return backend_ != nullptr ? backend_->log_watch(change_id) : 0;
+}
+
+void MetricStore::wal_flush() {
+  if (backend_ != nullptr) backend_->flush_wal();
+}
+
+void MetricStore::checkpoint(std::string watch_state,
+                             std::uint64_t journal_events) {
+  if (backend_ == nullptr) return;
+  // Cut every series at its flush frontier (lowered by dirty marks) and
+  // sparsify: finite samples only, the [lo, hi) range carries the gaps.
+  std::vector<persist::SegmentColumn> columns;
+  for (const auto& sh : shards_) {
+    const std::shared_lock<std::shared_mutex> lock(sh->data_mutex);
+    for (const auto& [id, s] : sh->series) {
+      const MinuteTime lo = backend_->flush_cut(id, s.start_time());
+      const MinuteTime hi = s.end_time();
+      if (lo >= hi) continue;
+      persist::SegmentColumn col;
+      col.metric = id;
+      col.lo = lo;
+      col.hi = hi;
+      const std::span<const double> values = s.values();
+      for (MinuteTime t = lo; t < hi; ++t) {
+        const double v = values[static_cast<std::size_t>(t - s.start_time())];
+        if (!std::isnan(v)) {
+          col.minutes.push_back(t);
+          col.values.push_back(v);
+        }
+      }
+      columns.push_back(std::move(col));
+    }
+  }
+  // Shard concatenation is not globally ordered; the segment footer (and
+  // its binary search) requires metric order.
+  std::sort(columns.begin(), columns.end(),
+            [](const persist::SegmentColumn& a,
+               const persist::SegmentColumn& b) { return a.metric < b.metric; });
+  backend_->commit_checkpoint(std::move(columns), std::move(watch_state),
+                              journal_events);
+}
+
+void MetricStore::crash_for_testing() {
+  if (backend_ != nullptr) backend_->crash_for_testing();
+}
+
+std::uint64_t MetricStore::wal_records_written() const {
+  return backend_ != nullptr ? backend_->wal_records_written() : 0;
+}
+
+std::uint64_t MetricStore::wal_bytes_written() const {
+  return backend_ != nullptr ? backend_->wal_bytes_written() : 0;
+}
+
+std::size_t MetricStore::segment_count() const {
+  return backend_ != nullptr ? backend_->segment_count() : 0;
+}
+
+std::uint64_t MetricStore::compactions() const {
+  return backend_ != nullptr ? backend_->compactions() : 0;
+}
+
+bool MetricStore::materialize_cold(const MetricId& id, TimeSeries& out) const {
+  TimeSeries hot;
+  bool found = false;
+  {
+    const StoreShard& sh = shard(id);
+    const std::shared_lock<std::shared_mutex> lock(sh.data_mutex);
+    const auto it = sh.series.find(id);
+    if (it != sh.series.end()) {
+      found = true;
+      hot = it->second;  // copy; the stitch runs without the lock
+    }
+  }
+  TimeSeries stitched =
+      backend_->materialize(id, found && !hot.empty() ? &hot : nullptr);
+  if (found) {
+    // A created-but-empty hot series keeps its start_time semantics.
+    out = stitched.empty() ? std::move(hot) : std::move(stitched);
+    return true;
+  }
+  if (stitched.empty()) return false;
+  out = std::move(stitched);
+  return true;
 }
 
 void MetricStore::deliver(const Sample& s) const {

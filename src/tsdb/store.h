@@ -48,10 +48,15 @@
 #include "obs/registry.h"
 #include "tsdb/dispatch.h"
 #include "tsdb/metric.h"
+#include "tsdb/persist/wal.h"
 #include "tsdb/series.h"
 #include "tsdb/shard.h"
 
 namespace funnel::tsdb {
+
+namespace persist {
+class PersistBackend;
+}
 
 using SubscriptionId = std::uint64_t;
 
@@ -71,6 +76,42 @@ struct StoreOptions {
 
   /// Full-queue policy in async mode (ignored when synchronous).
   Backpressure backpressure = Backpressure::kBlock;
+
+  // --- Persistence (docs/STORAGE.md). Empty data_dir = the legacy fully
+  // in-memory store; every knob below is then ignored. ---
+
+  /// Directory for the WAL + segment files. Set to make the store durable:
+  /// construction recovers whatever a previous process left there (replays
+  /// the WAL tail into memory), append() write-ahead-logs every sample, and
+  /// checkpoint() freezes flushed history into mmap'd columnar segments.
+  /// Construction throws persist::StorageError when the directory cannot be
+  /// opened or holds damage beyond the WAL's torn-tail tolerance.
+  std::string data_dir = {};
+
+  /// WAL group-commit durability (fflush vs + fsync per batch).
+  persist::WalDurability durability = persist::WalDurability::kFlush;
+
+  /// WAL MPSC queue capacity (clamped to >= 1).
+  std::size_t wal_queue_capacity = 4096;
+
+  /// Background-compact the segment list when it reaches this many files
+  /// (0 disables compaction).
+  std::size_t compact_threshold = 4;
+
+  /// false (default): recovery fully hydrates segment data into RAM — every
+  /// caller behaves exactly as an in-memory store that never crashed.
+  /// true: segment history stays on mmap; reads stitch it with the hot
+  /// in-memory tail on demand (out-of-core mode). series() then surfaces
+  /// only the hot tail — use read()/read_if/query, and note that samples
+  /// older than the hot tail's start are dropped as kTooOld rather than
+  /// late-filled into already-flushed history.
+  bool cold_reads = false;
+
+  /// true: recovery does NOT auto-apply the recovered WAL tail; the caller
+  /// replays it via recovered_tail() + replay() so it can interleave its
+  /// own bookkeeping (FunnelOnline re-registers watches at kWatch markers)
+  /// in original arrival order.
+  bool hand_off_tail = false;
 };
 
 class MetricStore {
@@ -119,6 +160,15 @@ class MetricStore {
   /// back into this store (the shard lock is held; see docs/CONCURRENCY.md).
   template <typename Fn>
   auto read(const MetricId& id, Fn&& fn) const {
+    if (cold_) {
+      // Out-of-core mode: stitch segments + hot tail into a private scratch
+      // series (no shard lock held while fn runs — the scratch is a copy).
+      TimeSeries scratch;
+      if (!materialize_cold(id, scratch)) {
+        throw NotFound("no such metric: " + id.to_string());
+      }
+      return std::forward<Fn>(fn)(scratch);
+    }
     const StoreShard& sh = shard(id);
     std::shared_lock<std::shared_mutex> lock(sh.data_mutex);
     const auto it = sh.series.find(id);
@@ -132,6 +182,12 @@ class MetricStore {
   /// when the metric is absent. Same reentrancy rule as read().
   template <typename Fn>
   bool read_if(const MetricId& id, Fn&& fn) const {
+    if (cold_) {
+      TimeSeries scratch;
+      if (!materialize_cold(id, scratch)) return false;
+      std::forward<Fn>(fn)(scratch);
+      return true;
+    }
     const StoreShard& sh = shard(id);
     std::shared_lock<std::shared_mutex> lock(sh.data_mutex);
     const auto it = sh.series.find(id);
@@ -199,9 +255,71 @@ class MetricStore {
   /// (`tsdb.store.appends`), delivery counts callbacks
   /// (`tsdb.store.notifications`) and times the dispatch loop
   /// (`tsdb.store.dispatch_us`); async mode adds the queue-depth gauge,
-  /// dispatch-lag histogram and dropped-samples counter (see dispatch.h).
+  /// dispatch-lag histogram and dropped-samples counter (see dispatch.h);
+  /// a persistent store adds the funnel.wal.* / funnel.persist.* family.
   /// The registry must outlive the store.
   void set_stats(const obs::Registry* stats);
+
+  // --- Persistence (active only when StoreOptions::data_dir is set; every
+  // method below is a cheap no-op / empty answer otherwise). The on-disk
+  // contract lives in docs/STORAGE.md. ---
+
+  /// True when this store write-ahead-logs to a data_dir.
+  bool persistent() const { return backend_ != nullptr; }
+
+  /// WAL records recovered after the last checkpoint, in arrival order
+  /// (samples + watch markers). Already applied to memory unless the store
+  /// was built with hand_off_tail.
+  const std::vector<persist::WalRecord>& recovered_tail() const;
+
+  /// Highest WAL seq recovered (checkpoint-covered or tail); the replay
+  /// harness resumes its input stream right after this point.
+  std::uint64_t recovered_seq() const;
+
+  /// FunnelOnline snapshot stored by the last checkpoint (empty if none) —
+  /// feed to FunnelOnline::restore_state before replaying the tail.
+  const std::string& recovered_watch_state() const;
+
+  /// Verdict-journal event count at the last checkpoint — feed to
+  /// obs::repair_journal so the journal rewinds to the same point.
+  std::uint64_t recovered_journal_events() const;
+
+  /// Torn-tail bytes truncated off the WAL during recovery.
+  std::uint64_t recovered_wal_skipped_bytes() const;
+
+  /// Apply one recovered record without re-logging it (it is already in the
+  /// WAL file). Samples go through the normal upsert + notify path, so
+  /// subscribers attached before the replay see the stream exactly as the
+  /// original arrival order produced it; watch markers are ignored here
+  /// (FunnelOnline handles them). Only meaningful with hand_off_tail.
+  void replay(const persist::WalRecord& record);
+
+  /// Log a FunnelOnline watch-registration marker; returns its WAL seq
+  /// (0 when not persistent).
+  std::uint64_t log_watch_marker(std::uint64_t change_id);
+
+  /// WAL durability barrier: everything appended before the call is on disk
+  /// per the durability policy.
+  void wal_flush();
+
+  /// Freeze flushed history into a new segment and commit a checkpoint
+  /// carrying `watch_state` (a FunnelOnline::snapshot_state blob) and the
+  /// verdict-journal event count. Producers must be quiesced (no concurrent
+  /// append) — callers checkpoint at natural barriers: end of a CSV run,
+  /// after flush() in the online loop. No-op when not persistent.
+  void checkpoint(std::string watch_state = {},
+                  std::uint64_t journal_events = 0);
+
+  /// Simulate a kill: abandon queued WAL records and stop persisting. The
+  /// store stays usable in memory; the replay-determinism test recovers a
+  /// fresh store from the same data_dir afterwards.
+  void crash_for_testing();
+
+  /// Bench/test introspection; all zero when not persistent.
+  std::uint64_t wal_records_written() const;
+  std::uint64_t wal_bytes_written() const;
+  std::size_t segment_count() const;
+  std::uint64_t compactions() const;
 
  private:
   std::size_t shard_index(const MetricId& id) const;
@@ -209,6 +327,14 @@ class MetricStore {
   const StoreShard& shard(const MetricId& id) const {
     return *shards_[shard_index(id)];
   }
+
+  /// append()/replay() body: upsert + dirty tracking + notification. The
+  /// WAL record is append()'s job; replay's records are already on disk.
+  void append_impl(const MetricId& id, MinuteTime t, double value);
+
+  /// Cold-mode scratch materialization (segments + hot tail); false when
+  /// the metric exists nowhere.
+  bool materialize_cold(const MetricId& id, TimeSeries& out) const;
 
   /// Snapshot the matching subscriptions for one sample and run their
   /// callbacks with no locks held. Runs on the producer thread (sync) or
@@ -224,6 +350,9 @@ class MetricStore {
 
   std::atomic<const obs::Registry*> stats_{nullptr};
   std::unique_ptr<IngestDispatcher> dispatcher_;  ///< null in sync mode
+
+  std::unique_ptr<persist::PersistBackend> backend_;  ///< null = in-memory
+  bool cold_ = false;  ///< StoreOptions::cold_reads (persistent only)
 };
 
 }  // namespace funnel::tsdb

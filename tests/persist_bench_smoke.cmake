@@ -1,0 +1,86 @@
+# Smoke check for the persistent-store benchmark: runs bench/wal_throughput
+# in --quick mode, then validates the BENCH_persist.json it emits — the
+# file must parse as JSON and carry the three cost blocks docs/STORAGE.md
+# budgets for (WAL append rate, segment flush latency, RAM-vs-mmap window
+# reads), with sane values: positive throughput, every appended record
+# accounted for by the WAL, at least one segment, and positive read costs
+# on both sides (the bench itself already asserts the RAM and mmap reads
+# return identical data).
+#
+# Invoked by ctest as:
+#   cmake -DBENCH=<wal_throughput> -DWORK_DIR=<scratch dir> -P persist_bench_smoke.cmake
+
+foreach(var BENCH WORK_DIR)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "missing -D${var}=")
+  endif()
+endforeach()
+
+file(MAKE_DIRECTORY "${WORK_DIR}")
+set(json_path "${WORK_DIR}/BENCH_persist.json")
+
+execute_process(
+  COMMAND "${BENCH}" --quick --json "${json_path}" --dir "${WORK_DIR}/store"
+  OUTPUT_VARIABLE out RESULT_VARIABLE rc ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "wal_throughput failed (${rc}): ${err}")
+endif()
+
+file(READ "${json_path}" json)
+
+# Workload block: the bench must say what it measured.
+string(JSON records ERROR_VARIABLE jerr GET "${json}" workload records)
+if(jerr)
+  message(FATAL_ERROR "BENCH_persist.json did not parse: ${jerr}")
+endif()
+if(records LESS 1)
+  message(FATAL_ERROR "workload.records must be positive, got ${records}")
+endif()
+
+# WAL block: every appended record hit the log, at a positive rate.
+string(JSON wal_records ERROR_VARIABLE jerr GET "${json}" wal records_written)
+if(jerr)
+  message(FATAL_ERROR "wal.records_written missing: ${jerr}")
+endif()
+if(NOT wal_records EQUAL records)
+  message(FATAL_ERROR
+    "WAL lost records: appended ${records}, logged ${wal_records}")
+endif()
+foreach(key records_per_s mb_per_s bytes)
+  string(JSON v ERROR_VARIABLE jerr GET "${json}" wal ${key})
+  if(jerr)
+    message(FATAL_ERROR "wal.${key} missing: ${jerr}")
+  endif()
+  if(v LESS_EQUAL 0)
+    message(FATAL_ERROR "wal.${key} must be > 0, got ${v}")
+  endif()
+endforeach()
+
+# Segment block: the checkpoint produced at least one segment.
+string(JSON segs ERROR_VARIABLE jerr GET "${json}" segment segments)
+if(jerr)
+  message(FATAL_ERROR "segment.segments missing: ${jerr}")
+endif()
+if(segs LESS 1)
+  message(FATAL_ERROR "checkpoint wrote no segment (got ${segs})")
+endif()
+string(JSON flush_ms ERROR_VARIABLE jerr GET "${json}" segment flush_ms)
+if(jerr)
+  message(FATAL_ERROR "segment.flush_ms missing: ${jerr}")
+endif()
+
+# Read block: both sides of the RAM-vs-mmap comparison reported a cost.
+foreach(key ram_us_per_window mmap_us_per_window)
+  string(JSON v ERROR_VARIABLE jerr GET "${json}" read ${key})
+  if(jerr)
+    message(FATAL_ERROR "read.${key} missing: ${jerr}")
+  endif()
+  if(v LESS_EQUAL 0)
+    message(FATAL_ERROR "read.${key} must be > 0, got ${v}")
+  endif()
+endforeach()
+
+string(JSON rate GET "${json}" wal records_per_s)
+string(JSON mmap_us GET "${json}" read mmap_us_per_window)
+message(STATUS "persist_bench_smoke OK: ${rate} records/s, "
+               "flush ${flush_ms} ms, mmap read ${mmap_us} us/window")

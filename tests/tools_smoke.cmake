@@ -7,7 +7,10 @@
 # traceEvents array. Also asserts: a dirty CSV (funnel_generate --faults)
 # still assesses without crashing; a malformed or duplicate-timestamp CSV
 # makes the tool exit non-zero (no silent skips); an unwritable --trace
-# path exits 3.
+# path exits 3. The --data-dir block covers the storage contract
+# (docs/STORAGE.md): a fresh persistent run matches the in-memory stdout
+# byte for byte, a second run recovers the store, a corrupted checkpoint
+# exits 3, and --data-dir outside pipeline mode is bad usage (exit 2).
 #
 # Invoked by ctest as:
 #   cmake -DGEN=<funnel_generate> -DDET=<funnel_detect_csv>
@@ -164,6 +167,62 @@ execute_process(COMMAND "${DET}" "${bad}"
                 RESULT_VARIABLE rc OUTPUT_QUIET ERROR_QUIET)
 if(rc EQUAL 0)
   message(FATAL_ERROR "malformed CSV must exit non-zero")
+endif()
+
+# --data-dir (docs/STORAGE.md): a fresh persistent run must reproduce the
+# in-memory verdict byte for byte on stdout, and leave a recoverable store
+# (checkpoint + WAL + segment) behind.
+set(data_dir "${WORK_DIR}/smoke_store")
+file(REMOVE_RECURSE "${data_dir}")
+execute_process(
+  COMMAND "${DET}" "${csv}" --change-minute ${change_minute}
+          --data-dir "${data_dir}"
+  OUTPUT_VARIABLE pout RESULT_VARIABLE rc ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "--data-dir run failed (${rc}): ${err}")
+endif()
+execute_process(
+  COMMAND "${DET}" "${csv}" --change-minute ${change_minute}
+  OUTPUT_VARIABLE mout RESULT_VARIABLE rc ERROR_QUIET)
+if(NOT pout STREQUAL mout)
+  message(FATAL_ERROR
+    "--data-dir stdout differs from the in-memory run:\n${pout}\nvs\n${mout}")
+endif()
+if(NOT EXISTS "${data_dir}/checkpoint")
+  message(FATAL_ERROR "--data-dir run left no checkpoint in ${data_dir}")
+endif()
+
+# A second run recovers the store instead of re-inserting the CSV history
+# and must still reach an impact verdict.
+execute_process(
+  COMMAND "${DET}" "${csv}" --change-minute ${change_minute}
+          --data-dir "${data_dir}"
+  OUTPUT_VARIABLE rout RESULT_VARIABLE rc ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "recovered --data-dir run failed (${rc}): ${err}")
+endif()
+if(NOT rout MATCHES "verdict: change has impact")
+  message(FATAL_ERROR "recovered run lost the verdict, stdout was: ${rout}")
+endif()
+
+# Corruption beyond what WAL-tail truncation repairs (a damaged checkpoint)
+# is the storage contract's distinct failure: exit 3, like an unopenable
+# output file.
+file(WRITE "${data_dir}/checkpoint" "garbage, not a checkpoint")
+execute_process(
+  COMMAND "${DET}" "${csv}" --change-minute ${change_minute}
+          --data-dir "${data_dir}"
+  RESULT_VARIABLE rc OUTPUT_QUIET ERROR_VARIABLE err)
+if(NOT rc EQUAL 3)
+  message(FATAL_ERROR "corrupt --data-dir must exit 3, got ${rc}: ${err}")
+endif()
+
+# --data-dir outside pipeline mode (or with several CSVs) is bad usage.
+execute_process(
+  COMMAND "${DET}" "${csv}" --data-dir "${WORK_DIR}/smoke_store2"
+  RESULT_VARIABLE rc OUTPUT_QUIET ERROR_QUIET)
+if(NOT rc EQUAL 2)
+  message(FATAL_ERROR "--data-dir without --change-minute must exit 2, got ${rc}")
 endif()
 
 message(STATUS "tools smoke OK (telemetry enabled=${enabled})")

@@ -1,0 +1,531 @@
+// Tests for the persistent segment store (src/tsdb/persist): WAL framing
+// and torn-tail recovery at every byte offset, dirty-feed replay through
+// upsert_at, segment round-trips and merges, the checkpoint/recover cycle,
+// background compaction, cold (out-of-core) reads, and the StorageError
+// exit contract. The on-disk format under test is docs/STORAGE.md.
+#include "tsdb/persist/backend.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "tsdb/persist/format.h"
+#include "tsdb/persist/segment.h"
+#include "tsdb/persist/wal.h"
+#include "tsdb/store.h"
+
+namespace funnel::tsdb::persist {
+namespace {
+
+namespace fs = std::filesystem;
+
+// Fresh per-test scratch directory under the gtest temp root.
+fs::path scratch(const std::string& name) {
+  const fs::path dir = fs::path(::testing::TempDir()) / ("persist_" + name);
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir;
+}
+
+std::string slurp(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string(std::istreambuf_iterator<char>(in), {});
+}
+
+void spit(const fs::path& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+// Element-wise equality where NaN == NaN (a stored gap must survive the
+// round-trip as a gap).
+void expect_values_eq(const std::vector<double>& got,
+                      const std::vector<double>& want) {
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    if (std::isnan(want[i])) {
+      EXPECT_TRUE(std::isnan(got[i])) << "index " << i;
+    } else {
+      EXPECT_EQ(got[i], want[i]) << "index " << i;
+    }
+  }
+}
+
+WalRecord sample_record(const std::string& server, const std::string& kpi,
+                        MinuteTime t, double v) {
+  WalRecord r;
+  r.type = WalRecordType::kSample;
+  r.metric = server_metric(server, kpi);
+  r.minute = t;
+  r.value = v;
+  return r;
+}
+
+// ---------------------------------------------------------------------------
+// WAL framing
+
+TEST(Wal, RoundTripsRecordsInSeqOrder) {
+  const fs::path dir = scratch("wal_roundtrip");
+  const std::string path = (dir / "wal-000001.log").string();
+  {
+    WalWriter w(path, /*next_seq=*/1);
+    ASSERT_TRUE(w.ok());
+    EXPECT_EQ(w.log(sample_record("s1", "cpu", 10, 1.5)), 1u);
+    EXPECT_EQ(w.log(sample_record("s2", "mem", 11, -2.25)), 2u);
+    WalRecord watch;
+    watch.type = WalRecordType::kWatch;
+    watch.change_id = 42;
+    EXPECT_EQ(w.log(watch), 3u);
+    // NaN samples are legal WAL payloads (a collector can report a gap).
+    EXPECT_EQ(
+        w.log(sample_record("s1", "cpu", 12,
+                            std::numeric_limits<double>::quiet_NaN())),
+        4u);
+    w.flush();
+    EXPECT_EQ(w.next_seq(), 5u);
+    EXPECT_EQ(w.records_written(), 4u);
+  }
+
+  const WalReadResult rr = read_wal(path);
+  ASSERT_TRUE(rr.ok);
+  EXPECT_EQ(rr.skipped_bytes, 0u);
+  ASSERT_EQ(rr.records.size(), 4u);
+  EXPECT_EQ(rr.records[0].seq, 1u);
+  EXPECT_EQ(rr.records[0].metric, server_metric("s1", "cpu"));
+  EXPECT_EQ(rr.records[0].minute, 10);
+  EXPECT_EQ(rr.records[0].value, 1.5);
+  EXPECT_EQ(rr.records[1].value, -2.25);
+  EXPECT_EQ(rr.records[2].type, WalRecordType::kWatch);
+  EXPECT_EQ(rr.records[2].change_id, 42u);
+  EXPECT_TRUE(std::isnan(rr.records[3].value));
+
+  // A missing file is a legal crash window, not an error.
+  const WalReadResult missing = read_wal((dir / "nope.log").string());
+  EXPECT_FALSE(missing.ok);
+  EXPECT_TRUE(missing.records.empty());
+}
+
+TEST(Wal, TornTailRecoversExactPrefixAtEveryByteOffset) {
+  const fs::path dir = scratch("wal_torn");
+  const std::string path = (dir / "wal-000001.log").string();
+  // Varying payload sizes so the truncation sweep crosses string fields.
+  const std::vector<WalRecord> records = {
+      sample_record("s1", "cpu", 100, 1.0),
+      sample_record("server-with-long-name", "kpi_with_long_name", 101, 2.0),
+      sample_record("s2", "m", 102, 3.0),
+  };
+  {
+    WalWriter w(path, 1);
+    for (const WalRecord& r : records) w.log(r);
+  }
+  const std::string full = slurp(path);
+  ASSERT_FALSE(full.empty());
+  ASSERT_EQ(read_wal(path).records.size(), 3u);
+
+  // Byte length of the first two framed records = where the last one starts.
+  WalRecord last = records[2];
+  last.seq = 3;
+  const std::size_t prefix = full.size() - encode_wal_record(last).size();
+
+  // Truncate at every byte offset of the final record: the reader must
+  // recover exactly the two-record prefix and account for every dangling
+  // byte — no over-read, no silent loss.
+  const fs::path torn = dir / "torn.log";
+  for (std::size_t cut = prefix; cut < full.size(); ++cut) {
+    spit(torn, full.substr(0, cut));
+    const WalReadResult rr = read_wal(torn.string());
+    ASSERT_TRUE(rr.ok) << "cut=" << cut;
+    EXPECT_EQ(rr.records.size(), 2u) << "cut=" << cut;
+    EXPECT_EQ(rr.valid_bytes, prefix) << "cut=" << cut;
+    EXPECT_EQ(rr.skipped_bytes, cut - prefix) << "cut=" << cut;
+  }
+}
+
+TEST(Wal, CorruptMidFileStopsAtTheDamage) {
+  const fs::path dir = scratch("wal_corrupt");
+  const std::string path = (dir / "wal-000001.log").string();
+  {
+    WalWriter w(path, 1);
+    for (int i = 0; i < 8; ++i) {
+      w.log(sample_record("s1", "cpu", 100 + i, i));
+    }
+  }
+  std::string bytes = slurp(path);
+  WalRecord first = sample_record("s1", "cpu", 100, 0);
+  first.seq = 1;
+  const std::size_t one = encode_wal_record(first).size();
+  bytes[one + 12] ^= 0x5a;  // flip a payload byte of record 2
+  spit(path, bytes);
+
+  const WalReadResult rr = read_wal(path);
+  ASSERT_TRUE(rr.ok);
+  EXPECT_EQ(rr.records.size(), 1u);
+  EXPECT_EQ(rr.valid_bytes, one);
+  EXPECT_EQ(rr.skipped_bytes, bytes.size() - one);
+}
+
+// ---------------------------------------------------------------------------
+// Segments
+
+TEST(Segment, RoundTripsSparseColumnsAndWindows) {
+  const fs::path dir = scratch("segment");
+  const std::string path = (dir / "seg-000001.seg").string();
+  SegmentColumn a;
+  a.metric = server_metric("s1", "cpu");
+  a.lo = 100;
+  a.hi = 110;  // minutes 103/107 missing: stored sparsely
+  a.minutes = {100, 101, 102, 104, 105, 106, 108, 109};
+  a.values = {1, 2, 3, 5, 6, 7, 9, 10};
+  SegmentColumn b;
+  b.metric = server_metric("s2", "mem");
+  b.lo = 50;
+  b.hi = 53;
+  b.minutes = {50, 51, 52};
+  b.values = {-1.5, 0.0, 1.5};
+  const std::vector<SegmentColumn> cols = {a, b};
+  const std::uint64_t bytes = write_segment(path, /*epoch=*/7, cols);
+  EXPECT_EQ(bytes, fs::file_size(path));
+
+  SegmentReader reader(path);
+  EXPECT_EQ(reader.epoch(), 7u);
+  ASSERT_EQ(reader.entries().size(), 2u);
+  const auto* ea = reader.find(a.metric);
+  ASSERT_NE(ea, nullptr);
+  EXPECT_EQ(ea->lo, 100);
+  EXPECT_EQ(ea->hi, 110);
+  EXPECT_EQ(ea->count, 8u);
+  EXPECT_EQ(reader.find(server_metric("nope", "x")), nullptr);
+
+  // Window overlay honors the sparse holes and the [t0, t1) bounds.
+  std::vector<double> out(6, std::numeric_limits<double>::quiet_NaN());
+  reader.read_into(*ea, 102, 108, out);
+  EXPECT_EQ(out[0], 3.0);
+  EXPECT_TRUE(std::isnan(out[1]));  // minute 103 was a gap
+  EXPECT_EQ(out[2], 5.0);
+  EXPECT_EQ(out[4], 7.0);
+  EXPECT_TRUE(std::isnan(out[5]));  // minute 107 was a gap too
+}
+
+TEST(Segment, MergeOverlaysNewestSegmentOverOldest) {
+  const fs::path dir = scratch("segment_merge");
+  SegmentColumn old_col;
+  old_col.metric = server_metric("s1", "cpu");
+  old_col.lo = 100;
+  old_col.hi = 105;
+  old_col.minutes = {100, 101, 102, 104};
+  old_col.values = {1, 2, 3, 5};
+  SegmentColumn new_col;  // overlapping late fill: plugs minute 103
+  new_col.metric = old_col.metric;
+  new_col.lo = 103;
+  new_col.hi = 107;
+  new_col.minutes = {103, 105, 106};
+  new_col.values = {4, 6, 7};
+
+  const std::string p1 = (dir / "seg-000001.seg").string();
+  const std::string p2 = (dir / "seg-000002.seg").string();
+  write_segment(p1, 1, std::vector<SegmentColumn>{old_col});
+  write_segment(p2, 2, std::vector<SegmentColumn>{new_col});
+  SegmentReader r1(p1), r2(p2);
+  const std::vector<const SegmentReader*> readers = {&r1, &r2};
+  const std::vector<SegmentColumn> merged = merge_segments(readers);
+  ASSERT_EQ(merged.size(), 1u);
+  EXPECT_EQ(merged[0].lo, 100);
+  EXPECT_EQ(merged[0].hi, 107);
+  const std::vector<MinuteTime> want_m = {100, 101, 102, 103, 104, 105, 106};
+  const std::vector<double> want_v = {1, 2, 3, 4, 5, 6, 7};
+  EXPECT_EQ(merged[0].minutes, want_m);
+  EXPECT_EQ(merged[0].values, want_v);
+}
+
+TEST(Segment, CorruptFooterThrowsStorageError) {
+  const fs::path dir = scratch("segment_corrupt");
+  const std::string path = (dir / "seg-000001.seg").string();
+  SegmentColumn c;
+  c.metric = server_metric("s1", "cpu");
+  c.lo = 0;
+  c.hi = 2;
+  c.minutes = {0, 1};
+  c.values = {1, 2};
+  write_segment(path, 1, std::vector<SegmentColumn>{c});
+  std::string bytes = slurp(path);
+  bytes[bytes.size() - 30] ^= 0xff;  // damage the footer region
+  spit(path, bytes);
+  EXPECT_THROW(SegmentReader reader(path), StorageError);
+}
+
+// ---------------------------------------------------------------------------
+// MetricStore integration
+
+StoreOptions persistent_options(const fs::path& dir) {
+  StoreOptions o;
+  o.data_dir = dir.string();
+  return o;
+}
+
+TEST(PersistentStore, DirtyFeedReplayMatchesInMemoryStore) {
+  const fs::path dir = scratch("dirty_replay");
+  MetricStore reference;  // in-memory twin fed the identical dirty stream
+  const MetricId id = server_metric("s1", "cpu");
+  // Dups, reordering, gaps and a late fill — every upsert_at outcome.
+  const std::vector<std::pair<MinuteTime, double>> feed = {
+      {100, 1.0}, {101, 2.0}, {104, 5.0},  // gap at 102/103
+      {101, 99.0},                         // duplicate: first write wins
+      {103, 4.0},                          // late fill into the gap
+      {99, 42.0},                          // too old: dropped
+      {105, 6.0},
+  };
+  {
+    MetricStore store(persistent_options(dir));
+    ASSERT_TRUE(store.persistent());
+    for (const auto& [t, v] : feed) {
+      store.append(id, t, v);
+      reference.append(id, t, v);
+    }
+  }  // destructor drains the WAL
+
+  MetricStore recovered(persistent_options(dir));
+  EXPECT_EQ(recovered.recovered_tail().size(), feed.size());
+  recovered.read(id, [&](const TimeSeries& got) {
+    reference.read(id, [&](const TimeSeries& want) {
+      EXPECT_EQ(got.start_time(), want.start_time());
+      EXPECT_EQ(got.end_time(), want.end_time());
+      expect_values_eq(got.slice(got.start_time(), got.end_time()),
+                       want.slice(want.start_time(), want.end_time()));
+    });
+  });
+}
+
+TEST(PersistentStore, CheckpointRecoverRoundTripsStateAndMetadata) {
+  const fs::path dir = scratch("checkpoint");
+  const MetricId a = server_metric("s1", "cpu");
+  const MetricId b = server_metric("s2", "mem");
+  {
+    MetricStore store(persistent_options(dir));
+    for (MinuteTime t = 0; t < 50; ++t) {
+      if (t != 45) store.append(a, t, static_cast<double>(t));
+      store.append(b, t, -static_cast<double>(t));
+    }
+    store.checkpoint("watch-blob", /*journal_events=*/7);
+    EXPECT_EQ(store.segment_count(), 1u);
+    // Post-checkpoint tail plus a late fill at minute 45 — *below* the
+    // flush frontier: the dirty mark must pull the next checkpoint's cut
+    // back down so the fill is not stranded in a dropped WAL.
+    for (MinuteTime t = 50; t < 60; ++t) store.append(a, t, 1000.0 + t);
+    store.append(a, 45, 4545.0);
+  }
+
+  MetricStore store(persistent_options(dir));
+  EXPECT_EQ(store.recovered_watch_state(), "watch-blob");
+  EXPECT_EQ(store.recovered_journal_events(), 7u);
+  // Tail = the 11 post-checkpoint appends (the first 99 are in segments).
+  EXPECT_EQ(store.recovered_tail().size(), 11u);
+  EXPECT_EQ(store.recovered_seq(), 110u);
+  store.read(a, [](const TimeSeries& s) {
+    ASSERT_EQ(s.start_time(), 0);
+    ASSERT_EQ(s.end_time(), 60);
+    EXPECT_EQ(s.at(44), 44.0);
+    EXPECT_EQ(s.at(45), 4545.0);
+    EXPECT_EQ(s.at(59), 1059.0);
+  });
+  // Second-generation checkpoint + recovery: the re-flushed cut includes
+  // the late fill, even though its WAL generation is gone.
+  store.checkpoint();
+  MetricStore third(persistent_options(dir));
+  EXPECT_EQ(third.recovered_tail().size(), 0u);
+  third.read(a, [](const TimeSeries& s) {
+    EXPECT_EQ(s.at(45), 4545.0);
+    EXPECT_EQ(s.at(59), 1059.0);
+  });
+}
+
+TEST(PersistentStore, CrashLosesOnlyUnflushedTailAndRecoversCleanly) {
+  const fs::path dir = scratch("crash");
+  const MetricId id = server_metric("s1", "cpu");
+  {
+    MetricStore store(persistent_options(dir));
+    for (MinuteTime t = 0; t < 30; ++t) {
+      store.append(id, t, static_cast<double>(t));
+    }
+    store.wal_flush();
+    store.crash_for_testing();
+    // Appends after the kill exist only in memory; recovery must not see
+    // them.
+    store.append(id, 30, 999.0);
+  }
+  // Simulate a torn final frame on top of the kill: half a record of
+  // garbage appended to the WAL.
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    const std::string name = entry.path().filename().string();
+    if (name.rfind("wal-", 0) == 0) {
+      WalRecord r = sample_record("s1", "cpu", 31, 7.0);
+      r.seq = 31;
+      const std::string frame = encode_wal_record(r);
+      std::ofstream out(entry.path(),
+                        std::ios::binary | std::ios::app);
+      out.write(frame.data(),
+                static_cast<std::streamsize>(frame.size() / 2));
+    }
+  }
+
+  MetricStore store(persistent_options(dir));
+  EXPECT_EQ(store.recovered_tail().size(), 30u);
+  EXPECT_GT(store.recovered_wal_skipped_bytes(), 0u);
+  store.read(id, [](const TimeSeries& s) {
+    EXPECT_EQ(s.end_time(), 30);
+    EXPECT_EQ(s.at(29), 29.0);
+  });
+  // The recovered store keeps appending where the WAL left off.
+  store.append(id, 30, 30.0);
+  store.checkpoint();
+  MetricStore again(persistent_options(dir));
+  again.read(id, [](const TimeSeries& s) { EXPECT_EQ(s.at(30), 30.0); });
+}
+
+TEST(PersistentStore, CorruptCheckpointThrowsStorageError) {
+  const fs::path dir = scratch("corrupt_checkpoint");
+  {
+    MetricStore store(persistent_options(dir));
+    store.append(server_metric("s1", "cpu"), 0, 1.0);
+    store.checkpoint();
+  }
+  const fs::path ckp = dir / "checkpoint";
+  ASSERT_TRUE(fs::exists(ckp));
+  std::string bytes = slurp(ckp);
+  bytes[bytes.size() / 2] ^= 0xff;
+  spit(ckp, bytes);
+  EXPECT_THROW(MetricStore store(persistent_options(dir)), StorageError);
+
+  // A referenced-but-missing segment is equally fatal (damage beyond the
+  // WAL's torn-tail tolerance must never be silently dropped).
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  {
+    MetricStore store(persistent_options(dir));
+    store.append(server_metric("s1", "cpu"), 0, 1.0);
+    store.checkpoint();
+  }
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    const std::string name = entry.path().filename().string();
+    if (name.rfind("seg-", 0) == 0) fs::remove(entry.path());
+  }
+  EXPECT_THROW(MetricStore store(persistent_options(dir)), StorageError);
+}
+
+TEST(PersistentStore, StrayFilesAreDeletedOnRecovery) {
+  const fs::path dir = scratch("strays");
+  {
+    MetricStore store(persistent_options(dir));
+    store.append(server_metric("s1", "cpu"), 0, 1.0);
+    store.checkpoint();
+  }
+  // Files no checkpoint references: a half-published segment, an orphaned
+  // WAL generation, an in-flight tmp.
+  spit(dir / "seg-999999.seg", "junk");
+  spit(dir / "wal-999999.log", "junk");
+  spit(dir / "checkpoint.tmp", "junk");
+  MetricStore store(persistent_options(dir));
+  EXPECT_FALSE(fs::exists(dir / "seg-999999.seg"));
+  EXPECT_FALSE(fs::exists(dir / "wal-999999.log"));
+  EXPECT_FALSE(fs::exists(dir / "checkpoint.tmp"));
+  store.read(server_metric("s1", "cpu"),
+             [](const TimeSeries& s) { EXPECT_EQ(s.at(0), 1.0); });
+}
+
+TEST(PersistentStore, CompactionMergesOverlappingSegments) {
+  const fs::path dir = scratch("compaction");
+  StoreOptions options = persistent_options(dir);
+  options.compact_threshold = 2;
+  const MetricId id = server_metric("s1", "cpu");
+  MetricStore store(options);
+  // Each cycle checkpoints a fresh slice; threshold 2 kicks the background
+  // merge, which the *next* checkpoint adopts.
+  MinuteTime t = 0;
+  for (int cycle = 0; cycle < 4; ++cycle) {
+    for (MinuteTime end = t + 20; t < end; ++t) {
+      store.append(id, t, static_cast<double>(t));
+    }
+    store.checkpoint();
+  }
+  // Merges run on a background thread and are adopted by the *next*
+  // checkpoint; keep checkpointing (empty cuts — no new segments) until
+  // the whole overlapping pile has collapsed into one file.
+  for (int i = 0; i < 400 && store.segment_count() > 1; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    store.checkpoint();
+  }
+  EXPECT_GE(store.compactions(), 1u);
+  EXPECT_EQ(store.segment_count(), 1u);
+  store.read(id, [&](const TimeSeries& s) {
+    ASSERT_EQ(s.end_time(), t);
+    for (MinuteTime m = 0; m < t; ++m) {
+      ASSERT_EQ(s.at(m), static_cast<double>(m)) << "minute " << m;
+    }
+  });
+}
+
+TEST(PersistentStore, ColdReadsMatchHydratedReads) {
+  const fs::path dir = scratch("cold");
+  const MetricId a = server_metric("s1", "cpu");
+  const MetricId b = server_metric("s2", "mem");
+  {
+    MetricStore store(persistent_options(dir));
+    for (MinuteTime t = 0; t < 200; ++t) {
+      store.append(a, t, std::sin(static_cast<double>(t)));
+      if (t % 3 != 0) store.append(b, t, static_cast<double>(t) * 0.5);
+    }
+    store.checkpoint();
+    for (MinuteTime t = 200; t < 230; ++t) {
+      store.append(a, t, std::sin(static_cast<double>(t)));
+    }
+  }
+
+  MetricStore hot(persistent_options(dir));
+  StoreOptions cold_options = persistent_options(dir);
+  cold_options.cold_reads = true;
+  MetricStore cold(cold_options);
+
+  EXPECT_EQ(hot.metric_count(), cold.metric_count());
+  EXPECT_EQ(hot.metrics(), cold.metrics());
+  EXPECT_TRUE(cold.has(a));
+  EXPECT_TRUE(cold.has(b));
+  for (const MetricId& id : {a, b}) {
+    hot.read(id, [&](const TimeSeries& want) {
+      cold.read(id, [&](const TimeSeries& got) {
+        EXPECT_EQ(got.start_time(), want.start_time());
+        EXPECT_EQ(got.end_time(), want.end_time());
+        expect_values_eq(got.slice(got.start_time(), got.end_time()),
+                         want.slice(want.start_time(), want.end_time()));
+      });
+    });
+  }
+  // query() windows spanning the segment/hot-tail boundary agree too.
+  const auto want_q = hot.query(a, 150, 220);
+  const auto got_q = cold.query(a, 150, 220);
+  ASSERT_EQ(want_q.size(), got_q.size());
+  for (std::size_t i = 0; i < want_q.size(); ++i) {
+    EXPECT_EQ(want_q[i], got_q[i]) << i;
+  }
+}
+
+TEST(PersistentStore, InMemoryStoreKeepsLegacyBehavior) {
+  MetricStore store;  // no data_dir
+  EXPECT_FALSE(store.persistent());
+  EXPECT_TRUE(store.recovered_tail().empty());
+  EXPECT_EQ(store.recovered_seq(), 0u);
+  EXPECT_EQ(store.recovered_watch_state(), "");
+  store.append(server_metric("s1", "cpu"), 0, 1.0);
+  store.checkpoint("ignored", 9);  // must be a no-op, not a crash
+  store.wal_flush();
+  EXPECT_EQ(store.wal_records_written(), 0u);
+  EXPECT_EQ(store.segment_count(), 0u);
+}
+
+}  // namespace
+}  // namespace funnel::tsdb::persist

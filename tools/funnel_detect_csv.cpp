@@ -7,6 +7,7 @@
 //                     [--omega N] [--scores] [--threads N]
 //                     [--sst-fast] [--no-cascade]
 //                     [--change-minute T] [--shards N] [--ingest-queue N]
+//                     [--data-dir DIR]
 //                     [--stats] [--stats-json FILE] [--trace FILE]
 //                     [--journal FILE]
 //
@@ -34,6 +35,20 @@
 // output is byte-identical for every combination — the run ends with a
 // flush() barrier (see docs/CONCURRENCY.md).
 //
+// --data-dir DIR (pipeline mode, single CSV) backs the store with the
+// persistent segment store (docs/STORAGE.md): every streamed sample is
+// write-ahead-logged into DIR, and the run ends with a checkpoint that
+// freezes the history into an mmap'd columnar segment plus the watch
+// snapshot and journal event count. If DIR already holds the metric (a
+// previous run, or funnel_generate --data-dir), the CSV history is not
+// re-inserted — the recovered store provides it. A fresh DIR produces
+// output byte-identical to the in-memory pipeline; a re-run over a store
+// that already holds the post-change tail instead primes the watch through
+// the stored data, so the verdict lands at the horizon (the assessor saw
+// everything at watch time) rather than mid-stream. An unopenable or
+// corrupt-beyond-the-WAL directory exits 3, like the other output files;
+// a torn WAL tail is NOT corruption (recovery truncates it silently).
+//
 // --stats prints the run's self-telemetry (Prometheus text) to stderr;
 // --stats-json FILE writes the JSON snapshot. --trace FILE enables decision
 // tracing (obs/trace.h) and writes the run's span tree as Chrome
@@ -49,7 +64,7 @@
 //
 // Exit codes: 0 success; 1 a file failed to load/parse/assess; 2 bad
 // usage; 3 an output file (--stats-json/--trace/--journal) could not be
-// opened.
+// opened or the --data-dir store could not be opened/recovered.
 //
 // Several CSV files are scored concurrently on a thread pool (--threads 0 =
 // one per hardware thread, 1 = serial); output is buffered per file and
@@ -87,6 +102,7 @@
 #include "obs/trace.h"
 #include "topology/topology.h"
 #include "tsdb/io.h"
+#include "tsdb/persist/format.h"
 
 using namespace funnel;
 
@@ -101,6 +117,7 @@ void usage(const char* argv0) {
       "          [--omega N] [--scores] [--threads N]\n"
       "          [--sst-fast] [--no-cascade]\n"
       "          [--change-minute T] [--shards N] [--ingest-queue N]\n"
+      "          [--data-dir DIR]\n"
       "          [--stats] [--stats-json FILE] [--trace FILE]\n"
       "          [--journal FILE]\n",
       argv0);
@@ -121,6 +138,7 @@ struct Options {
   MinuteTime change_minute = -1;  // >= 0 switches to the pipeline mode
   std::size_t shards = 4;         // store hash-shard count (pipeline mode)
   std::size_t ingest_queue = 1024;  // async ingest capacity; 0 = sync
+  std::string data_dir;  // non-empty makes the pipeline store persistent
   bool print_stats = false;
   std::string stats_json_path;
   std::string trace_path;    // non-empty enables tracing
@@ -159,6 +177,9 @@ bool parse(int argc, char** argv, Options& opt) {
       if (opt.shards == 0) return false;
     } else if (a == "--ingest-queue") {
       if (!next(nullptr, &opt.ingest_queue)) return false;
+    } else if (a == "--data-dir") {
+      if (++i >= argc) return false;
+      opt.data_dir = argv[i];
     } else if (a == "--stats") {
       opt.print_stats = true;
     } else if (a == "--stats-json") {
@@ -343,14 +364,20 @@ FileResult assess_file(const std::string& path, const Options& opt,
   tsdb::MetricStore store(tsdb::StoreOptions{
       .num_shards = opt.shards,
       .ingest_queue_capacity = opt.ingest_queue,
-      .backpressure = tsdb::Backpressure::kBlock});
+      .backpressure = tsdb::Backpressure::kBlock,
+      .data_dir = opt.data_dir});
   store.set_stats(stats);
   const tsdb::MetricId metric = tsdb::server_metric("host", "kpi");
-  tsdb::TimeSeries history(series.start_time());
-  for (MinuteTime t = series.start_time(); t < tc; ++t) {
-    history.append(series.at(t));
+  // A recovered --data-dir store already holds the metric (seeded by a
+  // previous run or funnel_generate --data-dir); the CSV history is only
+  // inserted into a store that has never seen it.
+  if (!store.has(metric)) {
+    tsdb::TimeSeries history(series.start_time());
+    for (MinuteTime t = series.start_time(); t < tc; ++t) {
+      history.append(series.at(t));
+    }
+    store.insert(metric, std::move(history));
   }
-  store.insert(metric, std::move(history));
 
   core::FunnelConfig cfg;
   cfg.geometry.omega = opt.omega;
@@ -388,6 +415,14 @@ FileResult assess_file(const std::string& path, const Options& opt,
   // Barrier: wait until the dispatcher has delivered every queued sample
   // (no-op for a synchronous store) before reading the report.
   store.flush();
+  if (store.persistent()) {
+    // End-of-run checkpoint: freeze the streamed history into a segment and
+    // record the watch snapshot + journal event count, so a process killed
+    // right here resumes from this exact state (docs/STORAGE.md §5).
+    if (journal != nullptr) journal->flush();
+    store.checkpoint(online.snapshot_state(),
+                     journal != nullptr ? journal->written() : 0);
+  }
 
   char line[160];
   std::snprintf(line, sizeof(line),
@@ -415,6 +450,14 @@ FileResult process_file(const std::string& path, const Options& opt,
     return opt.change_minute >= 0
                ? assess_file(path, opt, stats, tracer, journal)
                : score_file(path, opt);
+  } catch (const tsdb::persist::StorageError& e) {
+    // The --data-dir store could not be opened or recovered (corruption
+    // beyond what WAL-tail truncation repairs). Same exit code as an
+    // unopenable output file.
+    FileResult res;
+    res.err = std::string("error: ") + e.what() + "\n";
+    res.code = 3;
+    return res;
   } catch (const std::exception& e) {
     // Parse/load failures are per-file: report, keep going, exit non-zero.
     FileResult res;
@@ -486,6 +529,13 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "--sst-fast applies to --method ika only\n");
     return 2;
   }
+  if (!opt.data_dir.empty() &&
+      (opt.change_minute < 0 || opt.paths.size() != 1)) {
+    std::fprintf(stderr,
+                 "--data-dir requires --change-minute and exactly one CSV "
+                 "(one store directory per assessed series)\n");
+    return 2;
+  }
 
   obs::Registry reg;
   declare_core_keys(reg);
@@ -546,7 +596,8 @@ int main(int argc, char** argv) {
     }
     std::fputs(results[i].out.c_str(), stdout);
     std::fputs(results[i].err.c_str(), stderr);
-    if (results[i].code != 0) code = results[i].code;
+    // 3 (environment: store/output unusable) outranks 1 (per-file failure).
+    code = std::max(code, results[i].code);
   }
 
   if (journal != nullptr) {

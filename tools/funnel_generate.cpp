@@ -4,7 +4,7 @@
 //   funnel_generate --class seasonal|stationary|variable [--minutes N]
 //                   [--seed S] [--shift T,DELTA] [--ramp T0,T1,DELTA]
 //                   [--spike T,DUR,DELTA] [--out FILE]
-//                   [--faults SPEC] [--fault-seed S]
+//                   [--faults SPEC] [--fault-seed S] [--data-dir DIR]
 //
 // Companion of funnel_detect_csv: produce a synthetic KPI with known
 // injected changes, feed it to the detector, check what comes back.
@@ -16,6 +16,12 @@
 // pipeline. The (spec, --fault-seed) pair fully determines the damage, so
 // a dirty fixture regenerates bit-identically. The realized fault counts
 // go to stderr.
+//
+// --data-dir DIR additionally streams the finished series into the
+// persistent segment store (docs/STORAGE.md) under the metric
+// `server:host/kpi` — the id funnel_detect_csv's pipeline mode uses — and
+// checkpoints, so a later `funnel_detect_csv --change-minute T --data-dir
+// DIR` recovers the history from disk instead of re-inserting the CSV.
 #include <cstdio>
 #include <cstring>
 #include <iostream>
@@ -24,6 +30,7 @@
 #include "common/error.h"
 #include "common/strings.h"
 #include "tsdb/io.h"
+#include "tsdb/store.h"
 #include "workload/effects.h"
 #include "workload/faults.h"
 #include "workload/generators.h"
@@ -39,6 +46,7 @@ void usage(const char* argv0) {
                "          [--minutes N] [--seed S] [--shift T,DELTA]\n"
                "          [--ramp T0,T1,DELTA] [--spike T,DUR,DELTA]\n"
                "          [--out FILE] [--faults SPEC] [--fault-seed S]\n"
+               "          [--data-dir DIR]\n"
                "  fault SPEC: drop=R,nan=RxN,stuck=RxN,dup=R,reorder=R,"
                "late=RxN\n",
                argv0);
@@ -64,6 +72,7 @@ int main(int argc, char** argv) {
   MinuteTime minutes = 1440;
   std::uint64_t seed = 1;
   std::string out_path;
+  std::string data_dir;
   std::vector<workload::Effect> effects;
   workload::FaultSpec faults;
   std::uint64_t fault_seed = 1;
@@ -90,6 +99,10 @@ int main(int argc, char** argv) {
       const char* v = value();
       if (v == nullptr) return usage(argv[0]), 2;
       out_path = v;
+    } else if (a == "--data-dir") {
+      const char* v = value();
+      if (v == nullptr) return usage(argv[0]), 2;
+      data_dir = v;
     } else if (a == "--faults") {
       const char* v = value();
       if (v == nullptr) return usage(argv[0]), 2;
@@ -171,6 +184,22 @@ int main(int argc, char** argv) {
       tsdb::save_series_csv(out_path, series);
       std::fprintf(stderr, "wrote %zu samples to %s\n", series.size(),
                    out_path.c_str());
+    }
+    if (!data_dir.empty()) {
+      // Stream sample-by-sample (each one write-ahead-logged), then
+      // checkpoint so the history lands in a columnar segment. Gaps stay
+      // gaps: a NaN minute is appended as NaN, exactly what the CSV holds.
+      tsdb::StoreOptions sopt;
+      sopt.data_dir = data_dir;
+      tsdb::MetricStore store(sopt);
+      const tsdb::MetricId metric = tsdb::server_metric("host", "kpi");
+      for (MinuteTime t = series.start_time(); t < series.end_time(); ++t) {
+        store.append(metric, t, series.at(t));
+      }
+      store.checkpoint();
+      std::fprintf(stderr, "wrote %zu samples to store %s (%s)\n",
+                   series.size(), data_dir.c_str(),
+                   metric.to_string().c_str());
     }
   } catch (const funnel::Error& e) {
     std::fprintf(stderr, "error: %s\n", e.what());

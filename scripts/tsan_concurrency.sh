@@ -10,9 +10,11 @@
 # propagation, the chaos fault grid (dirty feeds through both pipelines,
 # docs/ROBUSTNESS.md), and the warm-start differential suite (stateful
 # scorer lifecycle + batched Hankel kernels), the verdict journal's
-# MPSC writer thread plus its live triage-observer tap, and the persistent
+# MPSC writer thread plus its live triage-observer tap, the persistent
 # segment store (WAL writer thread, background compaction, crash-replay
-# recovery — docs/STORAGE.md).
+# recovery — docs/STORAGE.md), and the live telemetry plane (HTTP worker
+# pool serving Registry snapshots while hot-path recorders run, the selfmon
+# background sampler — docs/OBSERVABILITY.md "Live endpoints").
 # docs/CONCURRENCY.md describes the model these tests pin down; a TSan
 # report here means that model has been violated.
 #
@@ -35,6 +37,8 @@ TARGETS=(
   funnel_journal_test
   tsdb_persist_test
   funnel_persist_replay_test
+  obs_server_test
+  obs_selfmon_test
 )
 
 cmake -B "${BUILD_DIR}" -S . \

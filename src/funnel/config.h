@@ -148,6 +148,26 @@ struct FunnelConfig {
   /// and each KPI is scored by a freshly reset()-ed scorer, so scheduling
   /// never shows in the output.
   std::size_t num_threads = 0;
+
+  /// Live telemetry plane (obs/plane.h, docs/OBSERVABILITY.md "Live
+  /// endpoints"), consumed by the entry points that host the pipeline
+  /// (funnel_detect_csv --http-port, the ROADMAP service-mode daemon):
+  /// TCP port of the embedded HTTP exposition server on 127.0.0.1.
+  /// 0 (the default) = no server — and, like every obs knob, byte-identical
+  /// reports and journals; -1 = bind an ephemeral port (announced by the
+  /// host). Under FUNNEL_OBS=OFF the server is compiled out and any
+  /// non-zero value fails fast at plane start.
+  int obs_http_port = 0;
+
+  /// Self-surveillance (obs/selfmon.h): sample the pipeline's own KPIs
+  /// (dispatch lag, queue backlogs, SST µs/window, WAL commit latency,
+  /// time-to-verdict) every `selfmon_tick_ms` under the reserved
+  /// `__funnel_self/` topology and run the online detectors over them;
+  /// degradation flips /healthz and journals a "pipeline-degradation"
+  /// verdict. Side channel only — off by default, reports byte-identical
+  /// either way.
+  bool selfmon = false;
+  std::size_t selfmon_tick_ms = 1000;
 };
 
 /// Scorer parameters implied by the config's SST hot-path switches.

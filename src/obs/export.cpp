@@ -13,15 +13,38 @@ void key_to(std::ostringstream& os, const std::string& s) {
   os << '"' << s << '"';
 }
 
+void finite_to(std::ostringstream& os, double v) {
+  // %.17g round-trips doubles; trim the default ostream precision issues.
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  os << buf;
+}
+
+// JSON has no literal for non-finite numbers; null is the conventional
+// stand-in.
 void number_to(std::ostringstream& os, double v) {
   if (!std::isfinite(v)) {
     os << "null";
     return;
   }
-  // %.17g round-trips doubles; trim the default ostream precision issues.
-  char buf[40];
-  std::snprintf(buf, sizeof(buf), "%.17g", v);
-  os << buf;
+  finite_to(os, v);
+}
+
+// Prometheus exposition DOES have non-finite literals — "NaN", "+Inf",
+// "-Inf" — and a bare "null" sample value fails the scrape parser, so the
+// text format must never borrow the JSON rendering. (A NaN gauge is
+// reachable: Registry::set stores whatever the caller computed, e.g. a
+// mean over zero samples.)
+void prom_number_to(std::ostringstream& os, double v) {
+  if (std::isnan(v)) {
+    os << "NaN";
+    return;
+  }
+  if (std::isinf(v)) {
+    os << (v > 0 ? "+Inf" : "-Inf");
+    return;
+  }
+  finite_to(os, v);
 }
 
 // Prometheus metric names must match [a-zA-Z_:][a-zA-Z0-9_:]*. Stat keys
@@ -107,7 +130,7 @@ std::string prometheus_text(const Snapshot& snap) {
   for (const auto& [name, value] : snap.gauges) {
     const std::string n = prom_name(name);
     os << "# TYPE " << n << " gauge\n" << n << ' ';
-    number_to(os, value);
+    prom_number_to(os, value);
     os << '\n';
   }
   const std::span<const double> bounds = bucket_bounds();
@@ -119,14 +142,14 @@ std::string prometheus_text(const Snapshot& snap) {
       cumulative += h.buckets[b];
       os << n << "_bucket{le=\"";
       if (b < bounds.size()) {
-        number_to(os, bounds[b]);
+        prom_number_to(os, bounds[b]);
       } else {
         os << "+Inf";
       }
       os << "\"} " << cumulative << '\n';
     }
     os << n << "_sum ";
-    number_to(os, h.sum);
+    prom_number_to(os, h.sum);
     os << '\n' << n << "_count " << h.count << '\n';
   }
   return os.str();

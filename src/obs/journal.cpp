@@ -623,6 +623,14 @@ std::uint64_t Journal::dropped() const {
 void Journal::set_stats(const Registry* stats) const {
   if (!ok_) return;
   impl_->stats.store(stats, std::memory_order_relaxed);
+  if (stats != nullptr) {
+    stats->set("funnel.journal.queue_capacity",
+               static_cast<double>(impl_->capacity));
+    stats->declare_gauge("funnel.journal.queue_depth");
+    stats->declare_counter("funnel.journal.events");
+    stats->declare_counter("funnel.journal.bytes");
+    stats->declare_counter("funnel.journal.dropped");
+  }
 }
 
 void Journal::set_observer(std::function<void(const JournalEvent&)> observer) {

@@ -227,9 +227,10 @@ class Journal {
   std::uint64_t dropped() const;
 
   /// Attach a telemetry registry (null detaches): `funnel.journal.events`,
-  /// `funnel.journal.bytes`, `funnel.journal.dropped` counters and a
-  /// `funnel.journal.queue_depth` gauge. The registry must outlive this
-  /// journal.
+  /// `funnel.journal.bytes`, `funnel.journal.dropped` counters and
+  /// `funnel.journal.queue_depth` / `funnel.journal.queue_capacity` gauges
+  /// (the pair behind the /healthz journal-writer backlog check). The
+  /// registry must outlive this journal.
   void set_stats(const Registry* stats) const;
 
   /// Optional in-process tap, invoked on the writer thread once per written

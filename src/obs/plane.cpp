@@ -1,0 +1,165 @@
+#include "obs/plane.h"
+
+#include <algorithm>
+#include <sstream>
+#include <utility>
+
+#include "obs/export.h"
+
+namespace funnel::obs {
+namespace {
+
+// Span names are string literals from our own code, but /tracez output must
+// stay valid JSON whatever lands in a ring.
+void json_string_to(std::ostringstream& os, std::string_view s) {
+  os << '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          os << buf;
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+}  // namespace
+
+TelemetryPlane::TelemetryPlane(const Registry* stats, PlaneOptions options)
+    : stats_(stats),
+      options_(std::move(options)),
+      server_(options_.http) {
+  server_.set_stats(stats_);
+}
+
+TelemetryPlane::~TelemetryPlane() { stop(); }
+
+void TelemetryPlane::set_selfmon(SelfMonitor* selfmon) { selfmon_ = selfmon; }
+
+void TelemetryPlane::set_ready(bool ready) {
+  ready_.store(ready, std::memory_order_release);
+}
+
+void TelemetryPlane::publish_trace(TraceDump dump) {
+  auto shared = std::make_shared<const TraceDump>(std::move(dump));
+  std::lock_guard lock(trace_mutex_);
+  trace_dump_ = std::move(shared);
+}
+
+bool TelemetryPlane::start() {
+  server_.handle("/metrics", [this](const HttpRequest&) { return metrics(); });
+  server_.handle("/stats.json",
+                 [this](const HttpRequest&) { return stats_json(); });
+  server_.handle("/healthz", [this](const HttpRequest&) { return healthz(); });
+  server_.handle("/readyz", [this](const HttpRequest&) { return readyz(); });
+  server_.handle("/statusz", [this](const HttpRequest&) { return statusz(); });
+  server_.handle("/tracez", [this](const HttpRequest&) { return tracez(); });
+  server_.handle("/", [this](const HttpRequest&) {
+    return HttpResponse{200, "text/plain; charset=utf-8",
+                        "funnel telemetry plane\n/metrics /stats.json "
+                        "/healthz /readyz /statusz /tracez\n"};
+  });
+  if (!server_.start()) return false;
+  started_at_ = std::chrono::steady_clock::now();
+  return true;
+}
+
+void TelemetryPlane::stop() { server_.stop(); }
+
+HttpResponse TelemetryPlane::metrics() const {
+  const Snapshot snap = stats_ ? stats_->snapshot() : Snapshot{};
+  return {200, "text/plain; version=0.0.4; charset=utf-8",
+          prometheus_text(snap)};
+}
+
+HttpResponse TelemetryPlane::stats_json() const {
+  const Snapshot snap = stats_ ? stats_->snapshot() : Snapshot{};
+  return {200, "application/json", snapshot_json(snap)};
+}
+
+HttpResponse TelemetryPlane::healthz() const {
+  HealthReport report;
+  if (selfmon_ != nullptr) {
+    report = selfmon_->health();
+  } else if (stats_ != nullptr) {
+    report = evaluate_health(stats_->snapshot());
+  }
+  return {report.healthy ? 200 : 503, "text/plain; charset=utf-8",
+          report.render()};
+}
+
+HttpResponse TelemetryPlane::readyz() const {
+  const bool ready = ready_.load(std::memory_order_acquire);
+  return {ready ? 200 : 503, "text/plain; charset=utf-8",
+          ready ? "ready\n" : "starting\n"};
+}
+
+HttpResponse TelemetryPlane::statusz() const {
+  const auto uptime = std::chrono::duration_cast<std::chrono::seconds>(
+      std::chrono::steady_clock::now() - started_at_);
+  std::ostringstream os;
+  os << "funnel telemetry plane\n";
+  if (!options_.build_info.empty()) os << "build: " << options_.build_info
+                                       << '\n';
+  os << "obs_enabled: " << (kEnabled ? "true" : "false") << '\n'
+     << "uptime_s: " << uptime.count() << '\n'
+     << "port: " << server_.port() << '\n'
+     << "requests: " << server_.requests_served() << '\n'
+     << "ready: "
+     << (ready_.load(std::memory_order_acquire) ? "true" : "false") << '\n';
+  if (selfmon_ != nullptr) {
+    os << "selfmon: on (ticks " << selfmon_->ticks() << ", alarms "
+       << selfmon_->alarms_raised() << ")\n";
+  } else {
+    os << "selfmon: off\n";
+  }
+  if (!options_.config_summary.empty()) {
+    os << "config: " << options_.config_summary << '\n';
+  }
+  return {200, "text/plain; charset=utf-8", os.str()};
+}
+
+HttpResponse TelemetryPlane::tracez() const {
+  std::shared_ptr<const TraceDump> dump;
+  {
+    std::lock_guard lock(trace_mutex_);
+    dump = trace_dump_;
+  }
+  std::ostringstream os;
+  if (dump == nullptr) {
+    os << "{\"recorded\":0,\"dropped\":0,\"threads\":0,\"spans\":[]}";
+    return {200, "application/json", os.str()};
+  }
+  // Most recent spans (the dump is sorted by start_ns).
+  const std::size_t n =
+      std::min(options_.tracez_max_spans, dump->spans.size());
+  const std::size_t begin = dump->spans.size() - n;
+  const std::uint64_t base =
+      dump->spans.empty() ? 0 : dump->spans.front().start_ns;
+  os << "{\"recorded\":" << dump->recorded
+     << ",\"dropped\":" << dump->dropped << ",\"threads\":" << dump->threads
+     << ",\"spans\":[";
+  for (std::size_t i = begin; i < dump->spans.size(); ++i) {
+    const SpanRecord& s = dump->spans[i];
+    if (i > begin) os << ',';
+    os << "{\"name\":";
+    json_string_to(os, s.name);
+    os << ",\"trace\":" << s.trace_id << ",\"span\":" << s.span_id
+       << ",\"parent\":" << s.parent_id << ",\"start_us\":"
+       << (s.start_ns - base) / 1000 << ",\"dur_us\":"
+       << (s.end_ns - s.start_ns) / 1000 << '}';
+  }
+  os << "]}";
+  return {200, "application/json", os.str()};
+}
+
+}  // namespace funnel::obs

@@ -1,0 +1,110 @@
+// The live telemetry plane: one object wiring the embedded HTTP server
+// (obs/server.h) to the observability stack — the ROADMAP service-mode
+// daemon's exposition surface, usable today from `funnel_detect_csv
+// --http-port`.
+//
+// Endpoints (all GET/HEAD; docs/OBSERVABILITY.md "Live endpoints"):
+//   /metrics     Prometheus text exposition of the live Registry
+//   /stats.json  the same snapshot as --stats-json, as application/json
+//   /healthz     deep health: per-subsystem checks (obs/selfmon.h) —
+//                ingest dispatcher, WAL writer, journal writer, compaction,
+//                plus selfmon detector alarms when a SelfMonitor is
+//                attached; 200 "healthy" / 503 "unhealthy" + one line per
+//                check
+//   /readyz      readiness: 200 once set_ready(true) (pipeline constructed
+//                and ingesting), 503 before
+//   /statusz     human-readable build/config/uptime page
+//   /tracez      recent span summaries as JSON, from the last published
+//                TraceDump
+//
+// /tracez serves a *cached* dump: Tracer::collect() is only defined at
+// quiesce points (obs/trace.h), so the pipeline publishes via
+// publish_trace() at its natural barriers (end of a CSV file, after
+// flush()) and the handler renders the latest published copy — never a
+// live collect racing the recorders.
+//
+// Every handler reads only thread-safe state (Registry::snapshot, atomics,
+// the mutex-guarded trace cache), because handlers run concurrently on the
+// server's worker pool. The plane is a side channel like the rest of obs:
+// reports are byte-identical with it running or not, and under
+// FUNNEL_OBS=OFF start() fails with the server stub's "compiled out" error.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "obs/selfmon.h"
+#include "obs/server.h"
+#include "obs/trace.h"
+
+namespace funnel::obs {
+
+struct PlaneOptions {
+  /// Listener config; http.port 0 binds an ephemeral port (see port()).
+  HttpServerOptions http{};
+  /// Free-form build identification for /statusz (version, flags).
+  std::string build_info;
+  /// Free-form one-line config rendering for /statusz.
+  std::string config_summary;
+  /// Most recent spans rendered by /tracez (the full dump is retained).
+  std::size_t tracez_max_spans = 256;
+};
+
+class TelemetryPlane {
+ public:
+  /// `stats` is the registry /metrics and /stats.json expose (null = empty
+  /// snapshots); it must outlive the plane.
+  explicit TelemetryPlane(const Registry* stats, PlaneOptions options = {});
+  ~TelemetryPlane();
+
+  TelemetryPlane(const TelemetryPlane&) = delete;
+  TelemetryPlane& operator=(const TelemetryPlane&) = delete;
+
+  /// Attach the self-monitor /healthz consults (null = threshold checks
+  /// only). Call before start(); the monitor must outlive the plane.
+  void set_selfmon(SelfMonitor* selfmon);
+
+  /// Flip /readyz (starts false; typically set once ingestion is wired).
+  void set_ready(bool ready);
+
+  /// Publish a trace dump for /tracez. Call at quiesce points only —
+  /// this is the Tracer::collect() contract, not the plane's.
+  void publish_trace(TraceDump dump);
+
+  /// Register routes and start the server. False (see error()) on bind
+  /// failure or under FUNNEL_OBS=OFF.
+  bool start();
+
+  void stop();
+  bool running() const { return server_.running(); }
+
+  /// Bound port after start() (the ephemeral one when options.http.port
+  /// was 0).
+  std::uint16_t port() const { return server_.port(); }
+
+  const std::string& error() const { return server_.error(); }
+  std::uint64_t requests_served() const { return server_.requests_served(); }
+
+ private:
+  HttpResponse metrics() const;
+  HttpResponse stats_json() const;
+  HttpResponse healthz() const;
+  HttpResponse readyz() const;
+  HttpResponse statusz() const;
+  HttpResponse tracez() const;
+
+  const Registry* stats_;
+  PlaneOptions options_;
+  HttpServer server_;
+  SelfMonitor* selfmon_ = nullptr;
+  std::atomic<bool> ready_{false};
+  std::chrono::steady_clock::time_point started_at_{};
+
+  mutable std::mutex trace_mutex_;  ///< guards trace_dump_
+  std::shared_ptr<const TraceDump> trace_dump_;
+};
+
+}  // namespace funnel::obs

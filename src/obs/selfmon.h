@@ -1,0 +1,191 @@
+// Self-surveillance — the funnel watches itself.
+//
+// The paper's pitch is *rapid* assessment; DeCaf (arXiv:1910.05339) adds
+// the operational corollary: the assessment pipeline is itself a service
+// whose degradation must be detected with the same rigor as a customer
+// regression. This subsystem closes that loop. A SelfMonitor samples the
+// pipeline's own telemetry — ingest dispatch lag, MPSC queue depths, SST
+// µs/window, WAL commit latency, journal backlog, time-to-verdict — once
+// per tick out of the live obs::Registry into a dedicated in-memory
+// tsdb::MetricStore under the reserved `__funnel_self/` topology, and runs
+// the SAME online detectors (IKA-SST + the persistence alarm policy,
+// detect/sliding.h) over those KPI series. When the funnel's own queue
+// depth ramps or its scoring latency steps, the alarm carries provenance
+// like any other verdict: a `__funnel_self/` JournalEvent with cause
+// "pipeline-degradation" lands in the verdict journal, and /healthz
+// (obs/plane.h) flips unhealthy.
+//
+// Two layers of health, deliberately different in latency:
+//   * evaluate_health(): instantaneous per-subsystem threshold checks on a
+//     fresh snapshot (dispatcher queue fraction, WAL writer backlog,
+//     journal writer backlog, compaction backlog). This is what /healthz
+//     serves per request — a stall shows up on the next scrape.
+//   * the detector loop: trend/step detection over the sampled KPI series,
+//     gated by the same W-window + persistence rule as customer KPIs, so a
+//     slow ramp that never crosses a static threshold still alarms — and is
+//     journaled with SST evidence.
+//
+// The `__funnel_self` entity name is reserved: ingest topologies must not
+// use it (docs/OBSERVABILITY.md). Everything here is a side channel —
+// assessment reports stay byte-identical with selfmon on or off — and the
+// FUNNEL_OBS=OFF build reduces it to no-ops (empty snapshots, start()
+// refuses), with no #ifdef in callers.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/minute_time.h"
+#include "detect/sliding.h"
+#include "obs/journal.h"
+#include "obs/registry.h"
+#include "tsdb/store.h"
+
+namespace funnel::obs {
+
+/// Reserved self-surveillance entity: selfmon KPIs are stored as
+/// service:__funnel_self/<kpi> and journaled with service "__funnel_self".
+inline constexpr const char* kSelfEntity = "__funnel_self";
+
+struct SelfMonitorOptions {
+  /// Background sampling cadence (start()); tick() can also be driven
+  /// manually for deterministic tests.
+  std::chrono::milliseconds tick_period{1000};
+
+  /// Detector geometry over the per-tick KPI series. omega 5 (W = 18) is
+  /// the paper's fast-mitigation setting: 18 ticks of context before the
+  /// first score, small enough to catch a stall within a scrape interval
+  /// or two at 1 s ticks.
+  std::size_t omega = 5;
+
+  /// Alarm policy over the KPI scores. Slightly tighter persistence than
+  /// the customer-KPI default (5 vs 7): selfmon KPIs are mechanical
+  /// (queue fractions, latencies), not user behavior, so the seasonality
+  /// false-positive pressure the 7-minute rule guards against is absent.
+  detect::AlarmPolicy alarm{.threshold = 0.35, .persistence = 5,
+                            .patience = 7};
+
+  /// evaluate_health(): a bounded MPSC queue at or above this fraction of
+  /// its capacity fails its subsystem check.
+  double unhealthy_queue_frac = 0.95;
+
+  /// evaluate_health(): fail the compaction check when the live segment
+  /// count exceeds this (the background compactor is falling behind).
+  /// 0 disables the check.
+  std::size_t compact_backlog_max = 16;
+
+  /// A detector alarm keeps the "selfmon" health check failing for this
+  /// many ticks after it fires (detectors re-arm immediately; health
+  /// latches long enough for a scraper to see it).
+  std::size_t alarm_hold_ticks = 30;
+};
+
+/// One per-subsystem health probe result.
+struct HealthCheck {
+  std::string name;    ///< "ingest-dispatcher", "wal-writer", ...
+  bool ok = true;
+  std::string detail;  ///< human-readable evidence, e.g. "queue 512/1024"
+};
+
+struct HealthReport {
+  bool healthy = true;
+  std::vector<HealthCheck> checks;
+
+  /// "healthy\n" / "unhealthy\n" followed by one "ok|FAIL <name> <detail>"
+  /// line per check — the /healthz body.
+  std::string render() const;
+};
+
+/// Instantaneous per-subsystem checks over a registry snapshot: ingest
+/// dispatcher queue fraction, WAL writer backlog, journal writer backlog,
+/// compaction backlog. Subsystems whose stats are absent (sync dispatch, no
+/// persistence, no journal) pass with detail "n/a" — absence of a subsystem
+/// is not a failure. Pure function of the snapshot; usable without a
+/// SelfMonitor (the plane's /healthz falls back to it when selfmon is off).
+HealthReport evaluate_health(const Snapshot& snap,
+                             const SelfMonitorOptions& options = {});
+
+/// The self-surveillance loop. Construction wires the KPI set and
+/// detectors; drive it either with start()/stop() (background thread,
+/// tick_period cadence) or manual tick() calls (tests, single-threaded
+/// harnesses). All public methods are thread-safe.
+class SelfMonitor {
+ public:
+  /// `watched` is the registry the pipeline records into (null = selfmon
+  /// inert: ticks sample nothing, health reports healthy). It must outlive
+  /// this monitor.
+  explicit SelfMonitor(const Registry* watched,
+                       SelfMonitorOptions options = {});
+  ~SelfMonitor();
+
+  SelfMonitor(const SelfMonitor&) = delete;
+  SelfMonitor& operator=(const SelfMonitor&) = delete;
+
+  /// Attach the verdict journal degradation events are appended to (null
+  /// detaches). The journal must outlive this monitor.
+  void set_journal(const Journal* journal);
+
+  /// Sample one tick now: read the watched registry, append one sample per
+  /// KPI to the `__funnel_self/` store, feed the detectors, journal any
+  /// alarm. Safe from any thread (serialized internally); a no-op when the
+  /// build is FUNNEL_OBS=OFF or `watched` is null.
+  void tick();
+
+  /// Start the background sampling thread. False when already running or
+  /// when ticking would be a no-op (OFF build / null registry).
+  bool start();
+
+  /// Stop and join the background thread (idempotent; also run by the
+  /// destructor). Manual tick() remains usable afterwards.
+  void stop();
+
+  bool running() const;
+
+  /// Health = instantaneous evaluate_health() on the watched registry plus
+  /// the "selfmon" check (recent detector alarms).
+  HealthReport health() const;
+
+  /// KPI names sampled each tick (fixed at construction; each is stored as
+  /// service:__funnel_self/<name>).
+  const std::vector<std::string>& kpis() const;
+
+  /// The self-surveillance store: one series per KPI, minute == tick
+  /// index. Quiesce ticking (stop(), or no concurrent tick()) before
+  /// unlocked reads, per the MetricStore contract.
+  const tsdb::MetricStore& store() const;
+
+  std::uint64_t ticks() const;
+  std::uint64_t alarms_raised() const;
+
+ private:
+  struct Kpi;
+
+  void tick_locked();
+  void on_alarm_locked(Kpi& kpi, const detect::Alarm& alarm);
+
+  const Registry* watched_;
+  SelfMonitorOptions options_;
+  const Journal* journal_ = nullptr;
+
+  mutable std::mutex mutex_;  ///< serializes tick state + alarm bookkeeping
+  tsdb::MetricStore store_;
+  std::vector<std::unique_ptr<Kpi>> kpis_;
+  std::vector<std::string> kpi_names_;
+  std::uint64_t tick_count_ = 0;
+  std::uint64_t alarms_ = 0;
+
+  // Background driver.
+  mutable std::mutex run_mutex_;
+  std::condition_variable run_cv_;
+  bool stop_requested_ = false;
+  std::thread thread_;
+  bool thread_running_ = false;
+};
+
+}  // namespace funnel::obs

@@ -1,0 +1,328 @@
+#include "obs/server.h"
+
+#ifndef FUNNEL_OBS_OFF
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <condition_variable>
+#include <cstring>
+#include <deque>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace funnel::obs {
+namespace {
+
+const char* status_reason(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 204: return "No Content";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 500: return "Internal Server Error";
+    case 503: return "Service Unavailable";
+    default:  return status < 400 ? "OK" : "Error";
+  }
+}
+
+// Loop until every byte is out (or the peer is gone). MSG_NOSIGNAL: a
+// scraper hanging up mid-response must not SIGPIPE the pipeline.
+void write_all(int fd, const char* data, std::size_t len) {
+  while (len > 0) {
+    ssize_t n = ::send(fd, data, len, MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return;
+    }
+    data += static_cast<std::size_t>(n);
+    len -= static_cast<std::size_t>(n);
+  }
+}
+
+void write_response(int fd, const HttpResponse& resp, bool head_only) {
+  std::string head = "HTTP/1.1 " + std::to_string(resp.status) + " " +
+                     status_reason(resp.status) +
+                     "\r\nContent-Type: " + resp.content_type +
+                     "\r\nContent-Length: " + std::to_string(resp.body.size()) +
+                     "\r\nConnection: close\r\n\r\n";
+  write_all(fd, head.data(), head.size());
+  if (!head_only) write_all(fd, resp.body.data(), resp.body.size());
+}
+
+/// Read until the blank line ending the request head, a size/time bound, or
+/// EOF. Returns false on overflow/timeout/error (head may be partial).
+bool read_request_head(int fd, std::size_t max_bytes, std::string* head) {
+  char buf[2048];
+  while (head->size() < max_bytes) {
+    ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;  // includes EAGAIN from SO_RCVTIMEO: slowloris timeout
+    }
+    if (n == 0) return false;
+    head->append(buf, static_cast<std::size_t>(n));
+    // Bound before the terminator check: a head that arrives in one read
+    // must not dodge the limit just because its "\r\n\r\n" is present.
+    if (head->size() > max_bytes) return false;
+    if (head->find("\r\n\r\n") != std::string::npos) return true;
+  }
+  return false;
+}
+
+/// Parse "METHOD SP target SP HTTP/1.x" out of the head's first line.
+bool parse_request_line(const std::string& head, HttpRequest* req) {
+  std::size_t eol = head.find("\r\n");
+  if (eol == std::string::npos) return false;
+  std::string line = head.substr(0, eol);
+  std::size_t sp1 = line.find(' ');
+  if (sp1 == std::string::npos || sp1 == 0) return false;
+  std::size_t sp2 = line.find(' ', sp1 + 1);
+  if (sp2 == std::string::npos || sp2 == sp1 + 1) return false;
+  std::string version = line.substr(sp2 + 1);
+  if (version.rfind("HTTP/1.", 0) != 0) return false;
+  req->method = line.substr(0, sp1);
+  req->target = line.substr(sp1 + 1, sp2 - sp1 - 1);
+  std::size_t q = req->target.find('?');
+  req->path = req->target.substr(0, q);
+  req->query = q == std::string::npos ? "" : req->target.substr(q + 1);
+  return !req->path.empty() && req->path[0] == '/';
+}
+
+}  // namespace
+
+struct HttpServer::Impl {
+  explicit Impl(HttpServerOptions o) : options(std::move(o)) {
+    if (options.num_workers == 0) options.num_workers = 1;
+    if (options.queue_capacity == 0) options.queue_capacity = 1;
+  }
+
+  HttpServerOptions options;
+  std::unordered_map<std::string, Handler> routes;
+
+  int listen_fd = -1;
+  std::atomic<std::uint16_t> bound_port{0};
+  std::atomic<bool> running{false};
+  std::atomic<bool> stopping{false};
+  std::thread accept_thread;
+  std::vector<std::thread> workers;
+
+  std::mutex mutex;                ///< guards pending
+  std::condition_variable cv;
+  std::deque<int> pending;         ///< accepted fds awaiting a worker
+
+  std::atomic<std::uint64_t> requests{0};
+  std::atomic<const Registry*> stats{nullptr};
+
+  void account(int status, double micros) {
+    requests.fetch_add(1, std::memory_order_relaxed);
+    if (const Registry* reg = stats.load(std::memory_order_acquire)) {
+      reg->add("obs.server.requests");
+      if (status >= 400) reg->add("obs.server.http_errors");
+      reg->observe("obs.server.request_us", micros);
+    }
+  }
+
+  void serve_connection(int fd) {
+    // Bound the read side so a half-open scraper can't pin a worker.
+    timeval tv{};
+    tv.tv_sec = 5;
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+
+    auto t0 = std::chrono::steady_clock::now();
+    std::string head;
+    HttpRequest req;
+    HttpResponse resp;
+    bool head_only = false;
+    if (!read_request_head(fd, options.max_request_bytes, &head) ||
+        !parse_request_line(head, &req)) {
+      if (head.empty()) {  // peer connected and hung up: not a request
+        ::close(fd);
+        return;
+      }
+      resp = {400, "text/plain; charset=utf-8", "bad request\n"};
+    } else if (req.method != "GET" && req.method != "HEAD") {
+      resp = {405, "text/plain; charset=utf-8", "method not allowed\n"};
+    } else {
+      head_only = req.method == "HEAD";
+      auto it = routes.find(req.path);
+      if (it == routes.end()) {
+        resp = {404, "text/plain; charset=utf-8", "not found\n"};
+      } else {
+        try {
+          resp = it->second(req);
+        } catch (const std::exception& e) {
+          resp = {500, "text/plain; charset=utf-8",
+                  std::string("handler error: ") + e.what() + "\n"};
+        } catch (...) {
+          resp = {500, "text/plain; charset=utf-8", "handler error\n"};
+        }
+      }
+    }
+    write_response(fd, resp, head_only);
+    ::close(fd);
+    double micros = std::chrono::duration<double, std::micro>(
+                        std::chrono::steady_clock::now() - t0)
+                        .count();
+    account(resp.status, micros);
+  }
+
+  void worker_loop() {
+    for (;;) {
+      int fd = -1;
+      {
+        std::unique_lock lock(mutex);
+        cv.wait(lock, [&] {
+          return stopping.load(std::memory_order_relaxed) || !pending.empty();
+        });
+        if (stopping.load(std::memory_order_relaxed)) return;
+        fd = pending.front();
+        pending.pop_front();
+      }
+      serve_connection(fd);
+    }
+  }
+
+  void accept_loop() {
+    pollfd pfd{listen_fd, POLLIN, 0};
+    while (!stopping.load(std::memory_order_relaxed)) {
+      // Finite poll so stop() never waits on a quiet socket.
+      int ready = ::poll(&pfd, 1, 200);
+      if (ready <= 0) continue;  // timeout or EINTR
+      int fd = ::accept(listen_fd, nullptr, nullptr);
+      if (fd < 0) continue;
+      bool shed = false;
+      {
+        std::lock_guard lock(mutex);
+        if (pending.size() >= options.queue_capacity) {
+          shed = true;
+        } else {
+          pending.push_back(fd);
+        }
+      }
+      if (shed) {
+        // Load-shed from the accept thread: a scrape storm gets 503s, the
+        // worker queue stays bounded.
+        write_response(fd, {503, "text/plain; charset=utf-8", "overloaded\n"},
+                       false);
+        ::close(fd);
+        account(503, 0.0);
+      } else {
+        cv.notify_one();
+      }
+    }
+  }
+};
+
+HttpServer::HttpServer(HttpServerOptions options)
+    : impl_(std::make_unique<Impl>(std::move(options))) {}
+
+HttpServer::~HttpServer() { stop(); }
+
+void HttpServer::handle(std::string path, Handler handler) {
+  impl_->routes[std::move(path)] = std::move(handler);
+}
+
+bool HttpServer::start() {
+  if (impl_->running.load()) {
+    error_ = "server already running";
+    return false;
+  }
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    error_ = std::string("socket: ") + std::strerror(errno);
+    return false;
+  }
+  // Skip TIME_WAIT on restart. This does NOT allow stealing a port another
+  // live listener holds — bind below still fails with EADDRINUSE, which is
+  // the diagnostic the CLI's port-conflict exit path relies on.
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(impl_->options.port);
+  if (::inet_pton(AF_INET, impl_->options.bind_address.c_str(),
+                  &addr.sin_addr) != 1) {
+    error_ = "invalid bind address: " + impl_->options.bind_address;
+    ::close(fd);
+    return false;
+  }
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    error_ = "bind " + impl_->options.bind_address + ":" +
+             std::to_string(impl_->options.port) + ": " +
+             std::strerror(errno);
+    ::close(fd);
+    return false;
+  }
+  if (::listen(fd, 64) != 0) {
+    error_ = std::string("listen: ") + std::strerror(errno);
+    ::close(fd);
+    return false;
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) != 0) {
+    error_ = std::string("getsockname: ") + std::strerror(errno);
+    ::close(fd);
+    return false;
+  }
+  impl_->bound_port.store(ntohs(bound.sin_port));
+
+  impl_->listen_fd = fd;
+  impl_->stopping.store(false);
+  impl_->running.store(true);
+  impl_->workers.reserve(impl_->options.num_workers);
+  for (std::size_t i = 0; i < impl_->options.num_workers; ++i) {
+    impl_->workers.emplace_back([this] { impl_->worker_loop(); });
+  }
+  impl_->accept_thread = std::thread([this] { impl_->accept_loop(); });
+  error_.clear();
+  return true;
+}
+
+void HttpServer::stop() {
+  if (!impl_->running.load()) return;
+  impl_->stopping.store(true);
+  impl_->cv.notify_all();
+  if (impl_->accept_thread.joinable()) impl_->accept_thread.join();
+  for (auto& w : impl_->workers) {
+    if (w.joinable()) w.join();
+  }
+  impl_->workers.clear();
+  // Workers bail on stop without draining; connections still queued get a
+  // hangup rather than a stall.
+  for (int fd : impl_->pending) ::close(fd);
+  impl_->pending.clear();
+  ::close(impl_->listen_fd);
+  impl_->listen_fd = -1;
+  impl_->bound_port.store(0);
+  impl_->running.store(false);
+  impl_->stopping.store(false);
+}
+
+bool HttpServer::running() const { return impl_->running.load(); }
+
+std::uint16_t HttpServer::port() const { return impl_->bound_port.load(); }
+
+std::uint64_t HttpServer::requests_served() const {
+  return impl_->requests.load(std::memory_order_relaxed);
+}
+
+void HttpServer::set_stats(const Registry* stats) {
+  impl_->stats.store(stats, std::memory_order_release);
+}
+
+}  // namespace funnel::obs
+
+#endif  // FUNNEL_OBS_OFF

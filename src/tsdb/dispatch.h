@@ -96,12 +96,20 @@ class IngestDispatcher {
 
   std::size_t depth() const;
 
-  /// Attach a telemetry registry (null detaches): queue-depth gauge
-  /// (`tsdb.store.queue_depth`), enqueue-to-dispatch lag histogram
-  /// (`tsdb.store.dispatch_lag_us`), shed-sample counter
+  /// Attach a telemetry registry (null detaches): queue-depth and
+  /// queue-capacity gauges (`tsdb.store.queue_depth` /
+  /// `tsdb.store.queue_capacity` — the pair the selfmon backlog fraction
+  /// and the /healthz dispatcher check divide), enqueue-to-dispatch lag
+  /// histogram (`tsdb.store.dispatch_lag_us`), shed-sample counter
   /// (`tsdb.store.dropped_samples`). The registry must outlive this object.
   void set_stats(const obs::Registry* stats) {
     stats_.store(stats, std::memory_order_relaxed);
+    if (stats != nullptr) {
+      stats->set("tsdb.store.queue_capacity", static_cast<double>(capacity_));
+      stats->declare_gauge("tsdb.store.queue_depth");
+      stats->declare_histogram("tsdb.store.dispatch_lag_us");
+      stats->declare_counter("tsdb.store.dropped_samples");
+    }
   }
 
  private:

@@ -1,6 +1,7 @@
 #include "tsdb/persist/wal.h"
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdio>
 #include <deque>
@@ -168,6 +169,7 @@ struct WalWriter::Impl {
 
       buf.clear();
       for (const WalRecord& rec : batch) buf += encode_wal_record(rec);
+      const auto commit_start = std::chrono::steady_clock::now();
       std::fwrite(buf.data(), 1, buf.size(), out);
       std::fflush(out);
 #ifdef __unix__
@@ -178,6 +180,13 @@ struct WalWriter::Impl {
         reg->add("funnel.wal.records", batch.size());
         reg->add("funnel.wal.bytes", buf.size());
         reg->add("funnel.wal.batches");
+        // One observation per group commit (fwrite + fflush [+ fsync]) —
+        // the "WAL fsync latency" KPI the selfmon loop watches for a
+        // degrading disk.
+        reg->observe("funnel.wal.commit_us",
+                     std::chrono::duration<double, std::micro>(
+                         std::chrono::steady_clock::now() - commit_start)
+                         .count());
       }
 
       {
@@ -313,6 +322,15 @@ void WalWriter::crash_for_testing() {
 void WalWriter::set_stats(const obs::Registry* stats) {
   if (!ok_) return;
   impl_->stats.store(stats, std::memory_order_relaxed);
+  if (stats != nullptr) {
+    stats->set("funnel.wal.queue_capacity",
+               static_cast<double>(impl_->capacity));
+    stats->declare_gauge("funnel.wal.queue_depth");
+    stats->declare_counter("funnel.wal.records");
+    stats->declare_counter("funnel.wal.bytes");
+    stats->declare_counter("funnel.wal.batches");
+    stats->declare_histogram("funnel.wal.commit_us");
+  }
 }
 
 }  // namespace funnel::tsdb::persist

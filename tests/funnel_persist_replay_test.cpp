@@ -19,6 +19,7 @@
 #include "funnel/online.h"
 #include "funnel/report_json.h"
 #include "obs/journal.h"
+#include "obs/registry.h"
 #include "tsdb/persist/wal.h"
 #include "tsdb/store.h"
 #include "workload/generators.h"
@@ -259,6 +260,7 @@ TEST(PersistReplay, KillAtRandomizedPointsIsByteIdentical) {
 }
 
 TEST(PersistReplay, JournalRepairKeepsExactEventPrefix) {
+  if (!obs::kEnabled) GTEST_SKIP() << "FUNNEL_OBS=OFF: append is a no-op";
   const fs::path dir =
       fs::path(::testing::TempDir()) / "persist_journal_repair";
   fs::remove_all(dir);

@@ -1,0 +1,270 @@
+// Tests for self-surveillance (obs/selfmon.h): the instantaneous
+// evaluate_health() threshold checks, the SelfMonitor sampling loop
+// (KPI extraction from a live registry into the reserved `__funnel_self/`
+// store, hold-last semantics for histogram-delta KPIs), and the acceptance
+// scenario from docs/OBSERVABILITY.md — an injected dispatcher stall must
+// trip the online detector, flip health() unhealthy, and land a
+// "pipeline-degradation" verdict with `__funnel_self` provenance in the
+// verdict journal.
+//
+// The stall is fault-injected by writing the pipeline's own stats
+// (tsdb.store.queue_depth / queue_capacity gauges, dispatch_lag_us
+// observations) straight into a Registry and driving tick() manually, so
+// the test is deterministic: no threads, no timing.
+//
+// Under -DFUNNEL_OBS=OFF selfmon reduces to no-ops; only that contract is
+// checked.
+#include "obs/selfmon.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/journal.h"
+#include "obs/registry.h"
+#include "tsdb/metric.h"
+
+namespace funnel::obs {
+namespace {
+
+#define SKIP_IF_OBS_OFF()                                      \
+  if (!kEnabled) GTEST_SKIP() << "obs compiled to no-ops "     \
+                                 "(FUNNEL_OBS=OFF)"
+
+std::string temp_path(const std::string& name) {
+  return ::testing::TempDir() + "funnel_selfmon_" + name;
+}
+
+/// Paint a steady-state pipeline into the registry: a mostly-idle
+/// dispatcher queue with a small deterministic ripple, and modest dispatch
+/// lag. The ripple keeps the detector's robust sigma finite so the later
+/// step is scored against real (not degenerate) baseline noise.
+void record_baseline(Registry& reg, int t) {
+  reg.set("tsdb.store.queue_depth", 40.0 + 8.0 * double(t % 5));
+  reg.set("tsdb.store.queue_capacity", 1024.0);
+  reg.observe("tsdb.store.dispatch_lag_us", 90.0 + 5.0 * double(t % 3));
+}
+
+/// The stall: the queue pinned near capacity, lag two orders up.
+void record_stall(Registry& reg, int t) {
+  reg.set("tsdb.store.queue_depth", 1000.0 + double(t % 4));
+  reg.set("tsdb.store.queue_capacity", 1024.0);
+  reg.observe("tsdb.store.dispatch_lag_us", 9000.0 + 40.0 * double(t % 3));
+}
+
+TEST(ObsSelfmonHealth, EmptySnapshotIsHealthyWithAbsentSubsystems) {
+  SKIP_IF_OBS_OFF();
+  Registry reg;
+  const HealthReport report = evaluate_health(reg.snapshot());
+  EXPECT_TRUE(report.healthy);
+  ASSERT_EQ(report.checks.size(), 4u);
+  for (const HealthCheck& c : report.checks) {
+    EXPECT_TRUE(c.ok) << c.name;
+    EXPECT_EQ(c.detail, "n/a") << c.name;
+  }
+  const std::string text = report.render();
+  EXPECT_EQ(text.substr(0, 8), "healthy\n");
+  EXPECT_NE(text.find("ok ingest-dispatcher n/a"), std::string::npos);
+  EXPECT_NE(text.find("ok wal-writer n/a"), std::string::npos);
+  EXPECT_NE(text.find("ok journal-writer n/a"), std::string::npos);
+  EXPECT_NE(text.find("ok compaction n/a"), std::string::npos);
+}
+
+TEST(ObsSelfmonHealth, SaturatedQueueFailsItsSubsystemCheck) {
+  SKIP_IF_OBS_OFF();
+  Registry reg;
+  reg.set("tsdb.store.queue_depth", 1000.0);
+  reg.set("tsdb.store.queue_capacity", 1024.0);
+  reg.set("funnel.wal.queue_depth", 3.0);
+  reg.set("funnel.wal.queue_capacity", 512.0);
+  const HealthReport report = evaluate_health(reg.snapshot());
+  EXPECT_FALSE(report.healthy);
+  const std::string text = report.render();
+  EXPECT_EQ(text.substr(0, 10), "unhealthy\n");
+  EXPECT_NE(text.find("FAIL ingest-dispatcher queue 1000/1024"),
+            std::string::npos)
+      << text;
+  // The healthy WAL queue still passes, with its evidence.
+  EXPECT_NE(text.find("ok wal-writer queue 3/512"), std::string::npos)
+      << text;
+}
+
+TEST(ObsSelfmonHealth, CompactionBacklogFailsWhenSegmentsPileUp) {
+  SKIP_IF_OBS_OFF();
+  Registry reg;
+  reg.set("funnel.persist.segments", 40.0);
+  SelfMonitorOptions options;
+  options.compact_backlog_max = 16;
+  EXPECT_FALSE(evaluate_health(reg.snapshot(), options).healthy);
+  // Backlog under the limit, or the check disabled, passes.
+  options.compact_backlog_max = 64;
+  EXPECT_TRUE(evaluate_health(reg.snapshot(), options).healthy);
+  options.compact_backlog_max = 0;
+  EXPECT_TRUE(evaluate_health(reg.snapshot(), options).healthy);
+}
+
+TEST(ObsSelfmon, NullRegistryIsInert) {
+  SelfMonitor monitor(nullptr);
+  monitor.tick();
+  EXPECT_FALSE(monitor.start());
+  EXPECT_EQ(monitor.ticks(), 0u);
+  EXPECT_TRUE(monitor.health().healthy);
+}
+
+TEST(ObsSelfmon, OffBuildIsInert) {
+  if (kEnabled) GTEST_SKIP() << "no-op contract only applies to OFF builds";
+  Registry reg;
+  SelfMonitor monitor(&reg);
+  monitor.tick();
+  EXPECT_FALSE(monitor.start());
+  EXPECT_EQ(monitor.ticks(), 0u);
+  EXPECT_TRUE(monitor.health().healthy);
+}
+
+TEST(ObsSelfmon, TicksSampleKpisIntoTheReservedStore) {
+  SKIP_IF_OBS_OFF();
+  Registry reg;
+  SelfMonitor monitor(&reg);
+  ASSERT_EQ(monitor.kpis().size(), 7u);
+  for (int t = 0; t < 3; ++t) {
+    record_baseline(reg, t);
+    monitor.tick();
+  }
+  EXPECT_EQ(monitor.ticks(), 3u);
+
+  // Every KPI has a __funnel_self/ series with one sample per tick, minute
+  // == tick index.
+  for (const std::string& kpi : monitor.kpis()) {
+    const tsdb::TimeSeries& series =
+        monitor.store().series(tsdb::service_metric(kSelfEntity, kpi));
+    EXPECT_EQ(series.size(), 3u) << kpi;
+    EXPECT_EQ(series.start_time(), 0) << kpi;
+  }
+
+  // The sampled values are mirrored as funnel.selfmon.* gauges and the tick
+  // counter advances in the watched registry itself.
+  const Snapshot snap = reg.snapshot();
+  EXPECT_EQ(snap.counters.at("funnel.selfmon.ticks"), 3u);
+  const double frac = snap.gauges.at("funnel.selfmon.dispatch_queue_frac");
+  EXPECT_GT(frac, 0.0);
+  EXPECT_LT(frac, 0.1);
+  EXPECT_GT(snap.gauges.at("funnel.selfmon.dispatch_lag_us"), 0.0);
+}
+
+TEST(ObsSelfmon, HistogramKpiHoldsLastValueWhenIdle) {
+  SKIP_IF_OBS_OFF();
+  Registry reg;
+  SelfMonitor monitor(&reg);
+  reg.set("tsdb.store.queue_capacity", 0.0);  // frac KPIs stay n/a
+  reg.observe("tsdb.store.dispatch_lag_us", 100.0);
+  reg.observe("tsdb.store.dispatch_lag_us", 300.0);
+  monitor.tick();  // mean of the two new observations = 200
+  monitor.tick();  // no new observations: hold, don't drop to 0
+  reg.observe("tsdb.store.dispatch_lag_us", 700.0);
+  monitor.tick();  // one new observation since last tick = 700
+
+  const tsdb::TimeSeries& series = monitor.store().series(
+      tsdb::service_metric(kSelfEntity, "dispatch_lag_us"));
+  ASSERT_EQ(series.size(), 3u);
+  EXPECT_DOUBLE_EQ(series.values()[0], 200.0);
+  EXPECT_DOUBLE_EQ(series.values()[1], 200.0);
+  EXPECT_DOUBLE_EQ(series.values()[2], 700.0);
+}
+
+// The acceptance scenario: a fault-injected dispatcher stall must (a) trip
+// the online detector on the sampled `__funnel_self/` series, (b) flip
+// health() unhealthy on both layers — the instantaneous queue check and the
+// latched selfmon check — and (c) journal a "pipeline-degradation" verdict
+// carrying the reserved-service provenance.
+TEST(ObsSelfmon, InjectedDispatcherStallAlarmsAndJournals) {
+  SKIP_IF_OBS_OFF();
+  const std::string journal_path = temp_path("stall.jsonl");
+  Registry reg;
+  SelfMonitorOptions options;
+  options.omega = 5;  // W = 18 ticks of context before the first score
+  SelfMonitor monitor(&reg, options);
+  Journal journal(journal_path);
+  ASSERT_TRUE(journal.ok());
+  monitor.set_journal(&journal);
+
+  // Steady state long enough to fill the detector windows.
+  int t = 0;
+  for (; t < 40; ++t) {
+    record_baseline(reg, t);
+    monitor.tick();
+  }
+  EXPECT_EQ(monitor.alarms_raised(), 0u);
+  EXPECT_TRUE(monitor.health().healthy);
+
+  // Stall: queue pinned near capacity, lag steps up. The detector needs
+  // W-ish ticks of the new regime plus the persistence rule; 40 is plenty.
+  for (int s = 0; s < 40; ++s, ++t) {
+    record_stall(reg, s);
+    monitor.tick();
+  }
+  EXPECT_GE(monitor.alarms_raised(), 1u);
+  EXPECT_GE(reg.snapshot().counters.at("funnel.selfmon.alarms"), 1u);
+
+  const HealthReport report = monitor.health();
+  EXPECT_FALSE(report.healthy);
+  const std::string text = report.render();
+  // Layer 1: the instantaneous queue check sees 1000+/1024 > 0.95.
+  EXPECT_NE(text.find("FAIL ingest-dispatcher"), std::string::npos) << text;
+  // Layer 2: the detector alarm is latched on the selfmon check.
+  EXPECT_NE(text.find("FAIL selfmon degraded:"), std::string::npos) << text;
+
+  // The verdict journal carries the degradation with full provenance.
+  journal.flush();
+  const auto events = read_journal(journal_path);
+  ASSERT_GE(events.size(), 1u);
+  bool found_dispatch_kpi = false;
+  for (const JournalEvent& ev : events) {
+    EXPECT_EQ(ev.source, "selfmon");
+    EXPECT_EQ(ev.service, kSelfEntity);
+    EXPECT_EQ(ev.change_type, "pipeline");
+    EXPECT_EQ(ev.cause, "pipeline-degradation");
+    EXPECT_TRUE(ev.detected);
+    EXPECT_TRUE(ev.alarm_minute.has_value());
+    EXPECT_TRUE(ev.sst_peak.has_value());
+    EXPECT_EQ(ev.metric.find("service:__funnel_self/"), 0u) << ev.metric;
+    if (ev.kpi == "dispatch_queue_frac" || ev.kpi == "dispatch_lag_us") {
+      found_dispatch_kpi = true;
+    }
+  }
+  EXPECT_TRUE(found_dispatch_kpi)
+      << "no alarm on a dispatcher KPI in " << events.size() << " events";
+  std::remove(journal_path.c_str());
+}
+
+TEST(ObsSelfmon, BackgroundThreadStartsTicksAndStops) {
+  SKIP_IF_OBS_OFF();
+  Registry reg;
+  record_baseline(reg, 0);
+  SelfMonitorOptions options;
+  options.tick_period = std::chrono::milliseconds(5);
+  SelfMonitor monitor(&reg, options);
+  ASSERT_TRUE(monitor.start());
+  EXPECT_TRUE(monitor.running());
+  EXPECT_FALSE(monitor.start());  // already running
+  // The first tick runs immediately; wait for a few more.
+  for (int i = 0; i < 200 && monitor.ticks() < 3; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  monitor.stop();
+  EXPECT_FALSE(monitor.running());
+  const std::uint64_t ticks = monitor.ticks();
+  EXPECT_GE(ticks, 3u);
+  // Stopped means stopped: no more ticks accrue.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_EQ(monitor.ticks(), ticks);
+  // Manual ticking still works after stop().
+  monitor.tick();
+  EXPECT_EQ(monitor.ticks(), ticks + 1);
+}
+
+}  // namespace
+}  // namespace funnel::obs

@@ -1,0 +1,249 @@
+// End-to-end smoke for the live telemetry plane behind `funnel_detect_csv
+// --serve` (docs/OBSERVABILITY.md "Live endpoints"): launch the real tool
+// against a generated KPI with `--http-port auto --port-file --selfmon
+// --serve`, wait for the port-file handshake, scrape /healthz, /metrics,
+// /stats.json and /tracez over a raw socket, then SIGTERM it and require a
+// clean exit 0. Also the failure contracts: a port that is already bound
+// must exit 3 with a diagnostic, and SIGTERM must interrupt an unbounded
+// --serve promptly.
+//
+// Under -DFUNNEL_OBS=OFF the plane cannot start; the same invocation must
+// exit 3 fast (the "compiled out" contract) — so the test is meaningful in
+// both build flavors.
+//
+// The tool path arrives via -DFUNNEL_DETECT_CSV_PATH from tests/CMakeLists.
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/registry.h"
+
+namespace {
+
+std::string temp_path(const std::string& name) {
+  return ::testing::TempDir() + "funnel_serve_smoke_" + name;
+}
+
+/// 300 minutes of a deterministic noisy level with a +3 step at minute 200
+/// — enough for the online pipeline to run; the verdict itself is not what
+/// this smoke checks.
+std::string write_kpi_csv() {
+  const std::string path = temp_path("kpi.csv");
+  std::ofstream out(path, std::ios::trunc);
+  for (int t = 0; t < 300; ++t) {
+    const double ripple = 0.3 * double((t * 7) % 11) / 11.0;
+    const double level = t >= 200 ? 13.0 : 10.0;
+    out << t << ',' << (level + ripple) << '\n';
+  }
+  return path;
+}
+
+pid_t spawn(const std::vector<std::string>& args, const std::string& log) {
+  const pid_t pid = ::fork();
+  if (pid != 0) return pid;
+  // Child: both streams onto ONE shared file description (dup2, not two
+  // freopens — independent file positions would overwrite each other).
+  const int fd = ::open(log.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd >= 0) {
+    ::dup2(fd, STDOUT_FILENO);
+    ::dup2(fd, STDERR_FILENO);
+    ::close(fd);
+  }
+  std::vector<char*> argv;
+  argv.reserve(args.size() + 1);
+  for (const std::string& a : args) argv.push_back(const_cast<char*>(a.c_str()));
+  argv.push_back(nullptr);
+  ::execv(argv[0], argv.data());
+  std::_Exit(127);
+}
+
+/// Wait for the child with a deadline; SIGKILL + fail past it. Returns the
+/// raw waitpid status.
+int await_exit(pid_t pid, int timeout_ms) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms);
+  int status = 0;
+  for (;;) {
+    const pid_t r = ::waitpid(pid, &status, WNOHANG);
+    if (r == pid) return status;
+    if (std::chrono::steady_clock::now() > deadline) {
+      ::kill(pid, SIGKILL);
+      ::waitpid(pid, &status, 0);
+      ADD_FAILURE() << "child " << pid << " missed the exit deadline";
+      return status;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+/// Poll the --port-file handshake until the tool announces its bound port.
+int read_port_file(const std::string& path, int timeout_ms) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms);
+  while (std::chrono::steady_clock::now() < deadline) {
+    std::ifstream in(path);
+    int port = 0;
+    if (in >> port && port > 0) return port;
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  return 0;
+}
+
+std::string http_get(int port, const std::string& path) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return "";
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return "";
+  }
+  const std::string req = "GET " + path + " HTTP/1.1\r\nHost: t\r\n\r\n";
+  (void)::send(fd, req.data(), req.size(), 0);
+  std::string rsp;
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    rsp.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  return rsp;
+}
+
+int status_of(const std::string& response) {
+  if (response.size() < 12 || response.compare(0, 5, "HTTP/") != 0) return -1;
+  return std::atoi(response.c_str() + 9);
+}
+
+TEST(ToolsServeSmoke, ServesTelemetryUntilSigterm) {
+  const std::string csv = write_kpi_csv();
+  const std::string port_file = temp_path("port");
+  const std::string log = temp_path("serve.log");
+  std::remove(port_file.c_str());
+  const std::vector<std::string> args = {
+      FUNNEL_DETECT_CSV_PATH, csv,
+      "--change-minute", "200",
+      "--http-port", "auto",
+      "--port-file", port_file,
+      "--selfmon", "--selfmon-tick-ms", "25",
+      "--serve", "--serve-seconds", "60"};
+  const pid_t pid = spawn(args, log);
+  ASSERT_GT(pid, 0);
+
+  if (!funnel::obs::kEnabled) {
+    // FUNNEL_OBS=OFF: the plane cannot start, the tool must exit 3 fast.
+    const int status = await_exit(pid, 20000);
+    ASSERT_TRUE(WIFEXITED(status));
+    EXPECT_EQ(WEXITSTATUS(status), 3) << slurp(log);
+    EXPECT_NE(slurp(log).find("compiled out"), std::string::npos)
+        << slurp(log);
+    return;
+  }
+
+  const int port = read_port_file(port_file, 20000);
+  ASSERT_GT(port, 0) << "no port-file handshake; tool log:\n" << slurp(log);
+
+  // /healthz: the live pipeline with selfmon attached reports healthy with
+  // per-subsystem evidence.
+  const std::string health = http_get(port, "/healthz");
+  EXPECT_EQ(status_of(health), 200) << health;
+  EXPECT_NE(health.find("healthy"), std::string::npos);
+  EXPECT_NE(health.find("selfmon"), std::string::npos);
+
+  // /metrics: Prometheus exposition with the pipeline's and the selfmon's
+  // own series, plus the server accounting for itself.
+  const std::string metrics = http_get(port, "/metrics");
+  EXPECT_EQ(status_of(metrics), 200);
+  EXPECT_NE(metrics.find("funnel_online_samples_ingested"), std::string::npos);
+  EXPECT_NE(metrics.find("funnel_selfmon_ticks"), std::string::npos);
+  EXPECT_NE(metrics.find("obs_server_requests"), std::string::npos);
+
+  // /stats.json: the --stats-json snapshot, live.
+  const std::string stats = http_get(port, "/stats.json");
+  EXPECT_EQ(status_of(stats), 200);
+  EXPECT_NE(stats.find("\"enabled\":true"), std::string::npos);
+  EXPECT_NE(stats.find("tsdb.store.appends"), std::string::npos);
+
+  // /tracez: the assessment published its trace dump at the quiesce point
+  // before the serve loop.
+  const std::string tracez = http_get(port, "/tracez");
+  EXPECT_EQ(status_of(tracez), 200);
+  EXPECT_NE(tracez.find("\"spans\":["), std::string::npos);
+
+  // SIGTERM interrupts the hold loop; the tool still exits 0.
+  ASSERT_EQ(::kill(pid, SIGTERM), 0);
+  const int status = await_exit(pid, 20000);
+  ASSERT_TRUE(WIFEXITED(status)) << slurp(log);
+  EXPECT_EQ(WEXITSTATUS(status), 0) << slurp(log);
+  const std::string logged = slurp(log);
+  EXPECT_NE(logged.find("# serving telemetry on 127.0.0.1:"),
+            std::string::npos)
+      << logged;
+  std::remove(port_file.c_str());
+}
+
+TEST(ToolsServeSmoke, AlreadyBoundPortExits3WithDiagnostic) {
+  // Occupy an ephemeral port ourselves; the tool must fail to bind it and
+  // exit 3 with the address in the diagnostic (or the "compiled out" error
+  // under FUNNEL_OBS=OFF — same exit code, same contract).
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = 0;
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  ASSERT_EQ(::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+  ASSERT_EQ(::listen(fd, 1), 0);
+  socklen_t len = sizeof(addr);
+  ASSERT_EQ(::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len), 0);
+  const int port = ntohs(addr.sin_port);
+
+  const std::string csv = write_kpi_csv();
+  const std::string log = temp_path("conflict.log");
+  std::ostringstream port_text;
+  port_text << port;
+  const std::vector<std::string> args = {
+      FUNNEL_DETECT_CSV_PATH, csv,
+      "--change-minute", "200",
+      "--http-port", port_text.str(),
+      "--serve", "--serve-seconds", "30"};
+  const pid_t pid = spawn(args, log);
+  ASSERT_GT(pid, 0);
+  const int status = await_exit(pid, 30000);
+  ::close(fd);
+  ASSERT_TRUE(WIFEXITED(status));
+  EXPECT_EQ(WEXITSTATUS(status), 3) << slurp(log);
+  const std::string logged = slurp(log);
+  if (funnel::obs::kEnabled) {
+    EXPECT_NE(logged.find(port_text.str()), std::string::npos) << logged;
+    EXPECT_NE(logged.find("in use"), std::string::npos) << logged;
+  } else {
+    EXPECT_NE(logged.find("compiled out"), std::string::npos) << logged;
+  }
+}
+
+}  // namespace

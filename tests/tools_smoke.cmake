@@ -225,4 +225,63 @@ if(NOT rc EQUAL 2)
   message(FATAL_ERROR "--data-dir without --change-minute must exit 2, got ${rc}")
 endif()
 
+# Persistence counters surface uniformly (docs/OBSERVABILITY.md): a
+# --data-dir run's --stats-json must carry the wal.* counters, the WAL
+# commit-latency histogram, and the queue-capacity gauges /healthz keys on.
+set(wal_stats "${WORK_DIR}/smoke_wal_stats.json")
+set(wal_dir "${WORK_DIR}/smoke_wal_store")
+file(REMOVE_RECURSE "${wal_dir}")
+execute_process(
+  COMMAND "${DET}" "${csv}" --change-minute ${change_minute}
+          --data-dir "${wal_dir}" --stats-json "${wal_stats}"
+  RESULT_VARIABLE rc OUTPUT_QUIET ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "--data-dir --stats-json run failed (${rc}): ${err}")
+endif()
+if(enabled)
+  file(READ "${wal_stats}" wjson)
+  foreach(key "funnel.wal.records" "funnel.wal.batches" "funnel.wal.bytes")
+    string(JSON val ERROR_VARIABLE jerr GET "${wjson}" counters "${key}")
+    if(jerr OR val LESS 1)
+      message(FATAL_ERROR "stats JSON counter '${key}' missing or zero (${jerr})")
+    endif()
+  endforeach()
+  string(JSON commits ERROR_VARIABLE jerr GET "${wjson}"
+         histograms "funnel.wal.commit_us" count)
+  if(jerr OR commits LESS 1)
+    message(FATAL_ERROR "funnel.wal.commit_us histogram empty or missing (${jerr})")
+  endif()
+  foreach(key "funnel.wal.queue_capacity" "funnel.persist.segments")
+    string(JSON val ERROR_VARIABLE jerr GET "${wjson}" gauges "${key}")
+    if(jerr)
+      message(FATAL_ERROR "stats JSON gauge '${key}' missing (${jerr})")
+    endif()
+  endforeach()
+endif()
+
+# --serve misuse is bad usage (exit 2), diagnosed before any work: holding
+# the process open needs a listening plane, and the one-shot --scores dump
+# has nothing to serve.
+execute_process(
+  COMMAND "${DET}" "${csv}" --change-minute ${change_minute} --serve
+  RESULT_VARIABLE rc OUTPUT_QUIET ERROR_VARIABLE err)
+if(NOT rc EQUAL 2)
+  message(FATAL_ERROR "--serve without --http-port must exit 2, got ${rc}")
+endif()
+if(NOT err MATCHES "--http-port")
+  message(FATAL_ERROR "expected a --http-port diagnostic, got: ${err}")
+endif()
+execute_process(
+  COMMAND "${DET}" "${csv}" --scores --http-port auto --serve
+  RESULT_VARIABLE rc OUTPUT_QUIET ERROR_QUIET)
+if(NOT rc EQUAL 2)
+  message(FATAL_ERROR "--serve with --scores must exit 2, got ${rc}")
+endif()
+execute_process(
+  COMMAND "${DET}" "${csv}" --port-file "${WORK_DIR}/p"
+  RESULT_VARIABLE rc OUTPUT_QUIET ERROR_QUIET)
+if(NOT rc EQUAL 2)
+  message(FATAL_ERROR "--port-file without --http-port must exit 2, got ${rc}")
+endif()
+
 message(STATUS "tools smoke OK (telemetry enabled=${enabled})")

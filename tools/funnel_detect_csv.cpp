@@ -10,6 +10,8 @@
 //                     [--data-dir DIR]
 //                     [--stats] [--stats-json FILE] [--trace FILE]
 //                     [--journal FILE]
+//                     [--http-port P|auto] [--port-file FILE] [--selfmon]
+//                     [--selfmon-tick-ms N] [--serve] [--serve-seconds S]
 //
 // --sst-fast (--method ika only) switches the scorer to the SST hot path:
 // warm-started past subspace with deterministic cold restarts, plus the
@@ -62,9 +64,26 @@
 // on stderr. Stats, traces and the journal are side channels: stdout is
 // byte-identical with them on or off, and for every --threads value.
 //
+// --http-port P starts the live telemetry plane (obs/plane.h) on
+// 127.0.0.1:P for the duration of the run: GET /metrics, /stats.json,
+// /healthz, /readyz, /statusz, /tracez. P = `auto` binds an ephemeral port
+// (announced on stderr; --port-file FILE writes the bound port for test
+// harnesses). 0 — the default — keeps the plane off; output is
+// byte-identical either way. --selfmon additionally starts the
+// self-surveillance loop (obs/selfmon.h): the pipeline's own KPIs are
+// sampled every --selfmon-tick-ms (default 1000) under the reserved
+// `__funnel_self/` topology and watched by the online detectors; pipeline
+// degradation flips /healthz and — with --journal — appends
+// "pipeline-degradation" verdict events. --serve holds the process open
+// after the CSV work finishes so the endpoints stay scrapeable: until
+// SIGINT/SIGTERM, or at most --serve-seconds S. --serve requires a
+// listening plane (--http-port) and is incompatible with the one-shot
+// --scores dump.
+//
 // Exit codes: 0 success; 1 a file failed to load/parse/assess; 2 bad
 // usage; 3 an output file (--stats-json/--trace/--journal) could not be
-// opened or the --data-dir store could not be opened/recovered.
+// opened, the --data-dir store could not be opened/recovered, or the
+// telemetry plane could not bind its port (already in use).
 //
 // Several CSV files are scored concurrently on a thread pool (--threads 0 =
 // one per hardware thread, 1 = serial); output is buffered per file and
@@ -75,6 +94,7 @@
 // This is the "bring your own KPI" entry point: export any metric from your
 // monitoring system and see what FUNNEL's detector family thinks of it.
 #include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <exception>
@@ -82,6 +102,7 @@
 #include <memory>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "changes/change_log.h"
@@ -98,7 +119,9 @@
 #include "funnel/report.h"
 #include "obs/export.h"
 #include "obs/journal.h"
+#include "obs/plane.h"
 #include "obs/registry.h"
+#include "obs/selfmon.h"
 #include "obs/trace.h"
 #include "topology/topology.h"
 #include "tsdb/io.h"
@@ -119,7 +142,9 @@ void usage(const char* argv0) {
       "          [--change-minute T] [--shards N] [--ingest-queue N]\n"
       "          [--data-dir DIR]\n"
       "          [--stats] [--stats-json FILE] [--trace FILE]\n"
-      "          [--journal FILE]\n",
+      "          [--journal FILE]\n"
+      "          [--http-port P|auto] [--port-file FILE] [--selfmon]\n"
+      "          [--selfmon-tick-ms N] [--serve] [--serve-seconds S]\n",
       argv0);
 }
 
@@ -143,6 +168,12 @@ struct Options {
   std::string stats_json_path;
   std::string trace_path;    // non-empty enables tracing
   std::string journal_path;  // non-empty enables the verdict journal
+  int http_port = 0;         // 0 = plane off; -1 = ephemeral (--http-port auto)
+  std::string port_file;     // write the bound port here (harness handshake)
+  bool selfmon = false;      // start the self-surveillance loop
+  std::size_t selfmon_tick_ms = 1000;
+  bool serve = false;        // hold the process open, keep serving
+  std::size_t serve_seconds = 0;  // 0 = until SIGINT/SIGTERM
 };
 
 bool parse(int argc, char** argv, Options& opt) {
@@ -191,6 +222,26 @@ bool parse(int argc, char** argv, Options& opt) {
     } else if (a == "--journal") {
       if (++i >= argc) return false;
       opt.journal_path = argv[i];
+    } else if (a == "--http-port") {
+      if (++i >= argc) return false;
+      if (std::strcmp(argv[i], "auto") == 0) {
+        opt.http_port = -1;
+      } else {
+        opt.http_port = std::atoi(argv[i]);
+        if (opt.http_port < 0 || opt.http_port > 65535) return false;
+      }
+    } else if (a == "--port-file") {
+      if (++i >= argc) return false;
+      opt.port_file = argv[i];
+    } else if (a == "--selfmon") {
+      opt.selfmon = true;
+    } else if (a == "--selfmon-tick-ms") {
+      if (!next(nullptr, &opt.selfmon_tick_ms)) return false;
+      if (opt.selfmon_tick_ms == 0) return false;
+    } else if (a == "--serve") {
+      opt.serve = true;
+    } else if (a == "--serve-seconds") {
+      if (!next(nullptr, &opt.serve_seconds)) return false;
     } else if (a == "--sst-fast") {
       opt.sst_fast = true;
     } else if (a == "--no-cascade") {
@@ -400,6 +451,12 @@ FileResult assess_file(const std::string& path, const Options& opt,
   cfg.stats = stats;
   cfg.tracer = tracer;
   cfg.journal = journal;
+  // The plane/selfmon knobs are process-level (main owns the server and the
+  // monitor); recorded on the config so a service-mode host embedding this
+  // flow sees the same shape.
+  cfg.obs_http_port = opt.http_port;
+  cfg.selfmon = opt.selfmon;
+  cfg.selfmon_tick_ms = opt.selfmon_tick_ms;
 
   core::FunnelOnline online(cfg, topo, log, store);
   core::AssessmentReport report;
@@ -469,28 +526,40 @@ FileResult process_file(const std::string& path, const Options& opt,
 
 void declare_core_keys(const obs::Registry& reg) {
   // A stable key set for dashboards and the ctest smoke check, present
-  // even before (or without) the first event of each kind.
+  // even before (or without) the first event of each kind. The WAL /
+  // persistence / journal-backlog family is declared here too so
+  // --stats-json and /metrics expose the same keys whether or not the run
+  // was persistent — zeros, not absences, when a subsystem never ran.
   for (const char* c :
        {"funnel.assess.changes_assessed", "funnel.assess.kpis_scored",
         "funnel.assess.alarms_raised", "funnel.online.samples_ingested",
         "funnel.online.verdicts_confirmed", "pool.tasks_executed",
-        "tsdb.store.appends", "csv.files_processed", "csv.files_failed",
-        "funnel.cascade.windows", "funnel.cascade.scored",
-        "funnel.cascade.suppressed_variance",
+        "tsdb.store.appends", "tsdb.store.notifications",
+        "tsdb.store.late_fills", "tsdb.store.duplicates_ignored",
+        "tsdb.store.too_old_dropped", "csv.files_processed",
+        "csv.files_failed", "funnel.cascade.windows",
+        "funnel.cascade.scored", "funnel.cascade.suppressed_variance",
         "funnel.cascade.suppressed_cusum", "funnel.cascade.wow_forced",
         "funnel.cascade.dirty", "funnel.sst.cold_restarts",
         "funnel.sst.escalations", "funnel.journal.events",
-        "funnel.journal.bytes", "funnel.journal.dropped"}) {
+        "funnel.journal.bytes", "funnel.journal.dropped",
+        "funnel.wal.records", "funnel.wal.bytes", "funnel.wal.batches",
+        "funnel.persist.segments_written", "funnel.persist.segment_bytes",
+        "funnel.persist.checkpoints", "funnel.persist.compactions"}) {
     reg.declare_counter(c);
   }
   for (const char* h :
        {"funnel.assess.sst_us", "funnel.assess.did_us",
         "funnel.assess.total_us", "funnel.online.time_to_verdict_min",
-        "pool.queue_wait_us", "csv.process_us"}) {
+        "pool.queue_wait_us", "csv.process_us", "funnel.wal.commit_us"}) {
     reg.declare_histogram(h);
   }
-  reg.declare_gauge("funnel.online.active_watches");
-  reg.declare_gauge("funnel.cascade.suppression_ratio");
+  for (const char* g :
+       {"funnel.online.active_watches", "funnel.cascade.suppression_ratio",
+        "funnel.journal.queue_depth", "funnel.wal.queue_depth",
+        "funnel.persist.segments"}) {
+    reg.declare_gauge(g);
+  }
 }
 
 // Derived gauge: fraction of scored-candidate windows the PR 6 cascade
@@ -509,6 +578,10 @@ void set_suppression_ratio(const obs::Registry& reg) {
   reg.set("funnel.cascade.suppression_ratio",
           windows > 0.0 ? suppressed / windows : 0.0);
 }
+
+volatile std::sig_atomic_t g_stop_serving = 0;
+
+void handle_stop_signal(int) { g_stop_serving = 1; }
 
 }  // namespace
 
@@ -536,6 +609,22 @@ int main(int argc, char** argv) {
                  "(one store directory per assessed series)\n");
     return 2;
   }
+  if (opt.serve && opt.http_port == 0) {
+    std::fprintf(stderr,
+                 "--serve holds the process open to keep serving telemetry; "
+                 "it requires --http-port P (or --http-port auto)\n");
+    return 2;
+  }
+  if (opt.serve && opt.print_scores) {
+    std::fprintf(stderr,
+                 "--serve is incompatible with the one-shot --scores dump "
+                 "(scores are printed once; there is nothing to serve)\n");
+    return 2;
+  }
+  if (!opt.port_file.empty() && opt.http_port == 0) {
+    std::fprintf(stderr, "--port-file requires --http-port\n");
+    return 2;
+  }
 
   obs::Registry reg;
   declare_core_keys(reg);
@@ -556,6 +645,56 @@ int main(int argc, char** argv) {
     }
     journal->set_stats(&reg);
   }
+
+  // Live telemetry plane + self-surveillance. The plane binds before any
+  // CSV work so a taken port fails fast (exit 3, like an unopenable output
+  // file). Destruction order matters: `plane` is declared after `selfmon`
+  // so its handlers (which consult the monitor) die first.
+  std::unique_ptr<obs::SelfMonitor> selfmon;
+  if (opt.selfmon) {
+    obs::SelfMonitorOptions smopt;
+    smopt.tick_period = std::chrono::milliseconds(opt.selfmon_tick_ms);
+    selfmon = std::make_unique<obs::SelfMonitor>(&reg, smopt);
+    selfmon->set_journal(journal.get());
+  }
+  std::unique_ptr<obs::TelemetryPlane> plane;
+  if (opt.http_port != 0) {
+    obs::PlaneOptions popt;
+    popt.http.port =
+        opt.http_port < 0 ? 0 : static_cast<std::uint16_t>(opt.http_port);
+    popt.build_info = "funnel_detect_csv";
+    popt.config_summary =
+        "method=" + opt.method + " omega=" + std::to_string(opt.omega) +
+        (opt.change_minute >= 0 ? " mode=pipeline" : " mode=score");
+    plane = std::make_unique<obs::TelemetryPlane>(&reg, popt);
+    plane->set_selfmon(selfmon.get());
+    if (!plane->start()) {
+      std::fprintf(stderr, "error: cannot start telemetry plane: %s\n",
+                   plane->error().c_str());
+      return 3;
+    }
+    std::fprintf(stderr, "# serving telemetry on 127.0.0.1:%u\n",
+                 static_cast<unsigned>(plane->port()));
+    if (!opt.port_file.empty()) {
+      std::ofstream pf(opt.port_file);
+      if (!pf) {
+        std::fprintf(stderr, "error: cannot write %s\n",
+                     opt.port_file.c_str());
+        return 3;
+      }
+      pf << plane->port() << '\n';
+    }
+  }
+  if (opt.serve && plane != nullptr) {
+    // Installed here, not at the hold loop: the port-file handshake above
+    // invites a supervisor to SIGTERM at any point from now on, and between
+    // here and the hold loop sits the whole assessment — the default signal
+    // action would kill the process instead of stopping the serve cleanly.
+    std::signal(SIGINT, handle_stop_signal);
+    std::signal(SIGTERM, handle_stop_signal);
+  }
+  if (selfmon != nullptr) selfmon->start();
+  if (plane != nullptr) plane->set_ready(true);
 
   std::vector<FileResult> results(opt.paths.size());
   const auto run_one = [&](std::size_t i) {
@@ -638,6 +777,27 @@ int main(int argc, char** argv) {
     }
     out << obs::chrome_trace_json(tracer.collect()) << '\n';
     std::fprintf(stderr, "# wrote trace: %s\n", opt.trace_path.c_str());
+  }
+
+  if (plane != nullptr && tracer_ptr != nullptr) {
+    // Same quiesce point as the --trace dump: publish the run's span tree
+    // so /tracez serves it for the rest of the process lifetime.
+    plane->publish_trace(tracer.collect());
+  }
+  if (opt.serve && plane != nullptr) {
+    std::fprintf(stderr,
+                 "# holding open: GET /metrics /stats.json /healthz /readyz "
+                 "/statusz /tracez (SIGINT/SIGTERM to stop%s)\n",
+                 opt.serve_seconds > 0 ? ", bounded by --serve-seconds" : "");
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::seconds(opt.serve_seconds);
+    while (g_stop_serving == 0 &&
+           (opt.serve_seconds == 0 ||
+            std::chrono::steady_clock::now() < deadline)) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+    std::fprintf(stderr, "# serve loop done (%llu requests)\n",
+                 static_cast<unsigned long long>(plane->requests_served()));
   }
   return code;
 }

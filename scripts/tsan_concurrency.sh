@@ -14,7 +14,9 @@
 # segment store (WAL writer thread, background compaction, crash-replay
 # recovery — docs/STORAGE.md), and the live telemetry plane (HTTP worker
 # pool serving Registry snapshots while hot-path recorders run, the selfmon
-# background sampler — docs/OBSERVABILITY.md "Live endpoints").
+# background sampler — docs/OBSERVABILITY.md "Live endpoints"), and the
+# multi-tenant service plane (HTTP workers racing ingest/changes/report
+# against per-tenant locks, quotas and quarantine — docs/SERVICE.md).
 # docs/CONCURRENCY.md describes the model these tests pin down; a TSan
 # report here means that model has been violated.
 #
@@ -39,6 +41,7 @@ TARGETS=(
   funnel_persist_replay_test
   obs_server_test
   obs_selfmon_test
+  service_test
 )
 
 cmake -B "${BUILD_DIR}" -S . \

@@ -24,6 +24,7 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <vector>
 
 #include "detect/cascade.h"
 #include "detect/ika_sst.h"
@@ -90,6 +91,17 @@ class FunnelOnline {
   void on_report(ReportCallback cb) { report_cb_ = std::move(cb); }
 
   std::size_t active_watches() const { return watches_.size(); }
+
+  /// Ids of the active watches, ascending. Same threading rule as
+  /// active_watches(): quiesce (store.flush()) before reading against an
+  /// async store. The service layer uses this after restore_state() to
+  /// rebuild its already-watched set for idempotent change re-registration.
+  std::vector<changes::ChangeId> active_watch_ids() const {
+    std::vector<changes::ChangeId> ids;
+    ids.reserve(watches_.size());
+    for (const auto& [id, watch] : watches_) ids.push_back(id);
+    return ids;
+  }
 
  private:
   /// Quality of the sample stream as the detector saw it — which is what

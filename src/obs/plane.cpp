@@ -55,6 +55,25 @@ void TelemetryPlane::publish_trace(TraceDump dump) {
   trace_dump_ = std::move(shared);
 }
 
+void TelemetryPlane::handle(std::string path, HttpServer::Handler handler) {
+  server_.handle(std::move(path), std::move(handler));
+}
+
+void TelemetryPlane::handle_post(std::string path,
+                                 HttpServer::Handler handler) {
+  server_.handle_post(std::move(path), std::move(handler));
+}
+
+void TelemetryPlane::handle_prefix(std::string prefix,
+                                   HttpServer::Handler handler, bool post) {
+  server_.handle_prefix(std::move(prefix), std::move(handler), post);
+}
+
+void TelemetryPlane::add_health(
+    std::function<std::vector<HealthCheck>()> contributor) {
+  health_extras_.push_back(std::move(contributor));
+}
+
 bool TelemetryPlane::start() {
   server_.handle("/metrics", [this](const HttpRequest&) { return metrics(); });
   server_.handle("/stats.json",
@@ -66,7 +85,8 @@ bool TelemetryPlane::start() {
   server_.handle("/", [this](const HttpRequest&) {
     return HttpResponse{200, "text/plain; charset=utf-8",
                         "funnel telemetry plane\n/metrics /stats.json "
-                        "/healthz /readyz /statusz /tracez\n"};
+                        "/healthz /readyz /statusz /tracez\n",
+                        {}};
   });
   if (!server_.start()) return false;
   started_at_ = std::chrono::steady_clock::now();
@@ -78,12 +98,12 @@ void TelemetryPlane::stop() { server_.stop(); }
 HttpResponse TelemetryPlane::metrics() const {
   const Snapshot snap = stats_ ? stats_->snapshot() : Snapshot{};
   return {200, "text/plain; version=0.0.4; charset=utf-8",
-          prometheus_text(snap)};
+          prometheus_text(snap), {}};
 }
 
 HttpResponse TelemetryPlane::stats_json() const {
   const Snapshot snap = stats_ ? stats_->snapshot() : Snapshot{};
-  return {200, "application/json", snapshot_json(snap)};
+  return {200, "application/json", snapshot_json(snap), {}};
 }
 
 HttpResponse TelemetryPlane::healthz() const {
@@ -93,14 +113,20 @@ HttpResponse TelemetryPlane::healthz() const {
   } else if (stats_ != nullptr) {
     report = evaluate_health(stats_->snapshot());
   }
+  for (const auto& contributor : health_extras_) {
+    for (HealthCheck& check : contributor()) {
+      report.healthy = report.healthy && check.ok;
+      report.checks.push_back(std::move(check));
+    }
+  }
   return {report.healthy ? 200 : 503, "text/plain; charset=utf-8",
-          report.render()};
+          report.render(), {}};
 }
 
 HttpResponse TelemetryPlane::readyz() const {
   const bool ready = ready_.load(std::memory_order_acquire);
   return {ready ? 200 : 503, "text/plain; charset=utf-8",
-          ready ? "ready\n" : "starting\n"};
+          ready ? "ready\n" : "starting\n", {}};
 }
 
 HttpResponse TelemetryPlane::statusz() const {
@@ -125,7 +151,7 @@ HttpResponse TelemetryPlane::statusz() const {
   if (!options_.config_summary.empty()) {
     os << "config: " << options_.config_summary << '\n';
   }
-  return {200, "text/plain; charset=utf-8", os.str()};
+  return {200, "text/plain; charset=utf-8", os.str(), {}};
 }
 
 HttpResponse TelemetryPlane::tracez() const {
@@ -137,7 +163,7 @@ HttpResponse TelemetryPlane::tracez() const {
   std::ostringstream os;
   if (dump == nullptr) {
     os << "{\"recorded\":0,\"dropped\":0,\"threads\":0,\"spans\":[]}";
-    return {200, "application/json", os.str()};
+    return {200, "application/json", os.str(), {}};
   }
   // Most recent spans (the dump is sorted by start_ns).
   const std::size_t n =
@@ -159,7 +185,7 @@ HttpResponse TelemetryPlane::tracez() const {
        << (s.end_ns - s.start_ns) / 1000 << '}';
   }
   os << "]}";
-  return {200, "application/json", os.str()};
+  return {200, "application/json", os.str(), {}};
 }
 
 }  // namespace funnel::obs

@@ -32,9 +32,11 @@
 
 #include <chrono>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <vector>
 
 #include "obs/selfmon.h"
 #include "obs/server.h"
@@ -74,6 +76,23 @@ class TelemetryPlane {
   /// this is the Tracer::collect() contract, not the plane's.
   void publish_trace(TraceDump dump);
 
+  /// Mount extra routes on the plane's server — how a host (the
+  /// multi-tenant FunnelService, src/service) shares one listener with the
+  /// exposition endpoints. Same contracts as HttpServer::handle /
+  /// handle_post / handle_prefix; register before start(). The plane's own
+  /// paths (/metrics, /healthz, ...) are registered at start() and win any
+  /// exact-path collision.
+  void handle(std::string path, HttpServer::Handler handler);
+  void handle_post(std::string path, HttpServer::Handler handler);
+  void handle_prefix(std::string prefix, HttpServer::Handler handler,
+                     bool post = false);
+
+  /// Add a /healthz contributor: its checks are appended to the report on
+  /// every probe and AND-ed into the overall verdict (per-tenant detail
+  /// lines come from here). Register before start(); the callable runs on
+  /// server worker threads and must be thread-safe.
+  void add_health(std::function<std::vector<HealthCheck>()> contributor);
+
   /// Register routes and start the server. False (see error()) on bind
   /// failure or under FUNNEL_OBS=OFF.
   bool start();
@@ -100,6 +119,9 @@ class TelemetryPlane {
   PlaneOptions options_;
   HttpServer server_;
   SelfMonitor* selfmon_ = nullptr;
+  /// Extra health checks (add_health); fixed after start(), so handlers
+  /// read it lock-free.
+  std::vector<std::function<std::vector<HealthCheck>()>> health_extras_;
   std::atomic<bool> ready_{false};
   std::chrono::steady_clock::time_point started_at_{};
 

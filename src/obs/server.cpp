@@ -8,13 +8,17 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <atomic>
+#include <cctype>
 #include <cerrno>
 #include <chrono>
 #include <condition_variable>
 #include <cstring>
 #include <deque>
+#include <limits>
 #include <mutex>
+#include <optional>
 #include <thread>
 #include <unordered_map>
 #include <utility>
@@ -30,6 +34,9 @@ const char* status_reason(int status) {
     case 400: return "Bad Request";
     case 404: return "Not Found";
     case 405: return "Method Not Allowed";
+    case 411: return "Length Required";
+    case 413: return "Payload Too Large";
+    case 429: return "Too Many Requests";
     case 500: return "Internal Server Error";
     case 503: return "Service Unavailable";
     default:  return status < 400 ? "OK" : "Error";
@@ -54,30 +61,91 @@ void write_response(int fd, const HttpResponse& resp, bool head_only) {
   std::string head = "HTTP/1.1 " + std::to_string(resp.status) + " " +
                      status_reason(resp.status) +
                      "\r\nContent-Type: " + resp.content_type +
-                     "\r\nContent-Length: " + std::to_string(resp.body.size()) +
-                     "\r\nConnection: close\r\n\r\n";
+                     "\r\nContent-Length: " + std::to_string(resp.body.size());
+  for (const auto& [name, value] : resp.headers) {
+    head += "\r\n" + name + ": " + value;
+  }
+  head += "\r\nConnection: close\r\n\r\n";
   write_all(fd, head.data(), head.size());
   if (!head_only) write_all(fd, resp.body.data(), resp.body.size());
 }
 
 /// Read until the blank line ending the request head, a size/time bound, or
-/// EOF. Returns false on overflow/timeout/error (head may be partial).
-bool read_request_head(int fd, std::size_t max_bytes, std::string* head) {
-  char buf[2048];
-  while (head->size() < max_bytes) {
-    ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+/// EOF. Returns false on overflow/timeout/error (head may be partial). On
+/// success `*head_end` is the offset just past "\r\n\r\n"; bytes beyond it
+/// (the body's first chunk, arriving in the same packets) stay in `*buf`.
+/// The head bound applies to the head alone, never to those body bytes.
+bool read_request_head(int fd, std::size_t max_bytes, std::string* buf,
+                       std::size_t* head_end) {
+  char tmp[2048];
+  for (;;) {
+    const std::size_t pos = buf->find("\r\n\r\n");
+    if (pos != std::string::npos) {
+      *head_end = pos + 4;
+      return *head_end <= max_bytes;
+    }
+    if (buf->size() > max_bytes) return false;
+    ssize_t n = ::recv(fd, tmp, sizeof(tmp), 0);
     if (n < 0) {
       if (errno == EINTR) continue;
       return false;  // includes EAGAIN from SO_RCVTIMEO: slowloris timeout
     }
     if (n == 0) return false;
-    head->append(buf, static_cast<std::size_t>(n));
-    // Bound before the terminator check: a head that arrives in one read
-    // must not dodge the limit just because its "\r\n\r\n" is present.
-    if (head->size() > max_bytes) return false;
-    if (head->find("\r\n\r\n") != std::string::npos) return true;
+    buf->append(tmp, static_cast<std::size_t>(n));
   }
-  return false;
+}
+
+/// Scan the head's header lines for Content-Length (case-insensitive name,
+/// as HTTP requires). Returns false on a malformed value (answer 400);
+/// `*length` stays untouched when the header is absent.
+bool parse_content_length(const std::string& buf, std::size_t head_end,
+                          std::optional<std::size_t>* length) {
+  std::size_t line = buf.find("\r\n") + 2;  // skip the request line
+  while (line + 2 <= head_end) {
+    std::size_t eol = buf.find("\r\n", line);
+    if (eol == std::string::npos || eol >= head_end) break;
+    std::size_t colon = buf.find(':', line);
+    if (colon != std::string::npos && colon < eol) {
+      std::string name = buf.substr(line, colon - line);
+      std::transform(name.begin(), name.end(), name.begin(),
+                     [](unsigned char c) { return std::tolower(c); });
+      if (name == "content-length") {
+        std::size_t v = colon + 1;
+        while (v < eol && (buf[v] == ' ' || buf[v] == '\t')) ++v;
+        std::size_t end = eol;
+        while (end > v && (buf[end - 1] == ' ' || buf[end - 1] == '\t')) --end;
+        if (end == v) return false;
+        std::size_t value = 0;
+        for (std::size_t i = v; i < end; ++i) {
+          if (buf[i] < '0' || buf[i] > '9') return false;
+          if (value > (std::numeric_limits<std::size_t>::max() - 9) / 10) {
+            return false;
+          }
+          value = value * 10 + static_cast<std::size_t>(buf[i] - '0');
+        }
+        *length = value;
+      }
+    }
+    line = eol + 2;
+  }
+  return true;
+}
+
+/// Read the remainder of a Content-Length body (its first chunk may already
+/// sit in `*body`). False on timeout/EOF before `length` bytes arrived.
+bool read_request_body(int fd, std::size_t length, std::string* body) {
+  char tmp[4096];
+  while (body->size() < length) {
+    ssize_t n = ::recv(fd, tmp, sizeof(tmp), 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (n == 0) return false;
+    body->append(tmp, static_cast<std::size_t>(n));
+  }
+  body->resize(length);  // ignore pipelined bytes beyond the declared body
+  return true;
 }
 
 /// Parse "METHOD SP target SP HTTP/1.x" out of the head's first line.
@@ -108,7 +176,20 @@ struct HttpServer::Impl {
   }
 
   HttpServerOptions options;
-  std::unordered_map<std::string, Handler> routes;
+  /// Exact-path routes: independent GET/HEAD and POST slots, so a POST to a
+  /// GET-only path is a clean 405 (and vice versa).
+  struct Route {
+    Handler get;
+    Handler post;
+  };
+  std::unordered_map<std::string, Route> routes;
+  /// Prefix routes (e.g. "/v1/ingest/<tenant>"), longest match wins.
+  struct PrefixRoute {
+    std::string prefix;
+    Handler handler;
+    bool post = false;
+  };
+  std::vector<PrefixRoute> prefix_routes;
 
   int listen_fd = -1;
   std::atomic<std::uint16_t> bound_port{0};
@@ -133,6 +214,31 @@ struct HttpServer::Impl {
     }
   }
 
+  /// Route lookup: exact path first (405 on a method mismatch), then the
+  /// longest matching prefix of the right method. `*path_known` reports
+  /// whether any route — either method — covers the path.
+  const Handler* find_handler(const std::string& path, bool is_post,
+                              bool* path_known) const {
+    auto it = routes.find(path);
+    if (it != routes.end()) {
+      *path_known = true;
+      const Handler& h = is_post ? it->second.post : it->second.get;
+      if (h) return &h;
+    }
+    const Handler* best = nullptr;
+    std::size_t best_len = 0;
+    for (const PrefixRoute& pr : prefix_routes) {
+      if (path.rfind(pr.prefix, 0) != 0) continue;
+      *path_known = true;
+      if (pr.post != is_post) continue;
+      if (best == nullptr || pr.prefix.size() > best_len) {
+        best = &pr.handler;
+        best_len = pr.prefix.size();
+      }
+    }
+    return best;
+  }
+
   void serve_connection(int fd) {
     // Bound the read side so a half-open scraper can't pin a worker.
     timeval tv{};
@@ -140,33 +246,65 @@ struct HttpServer::Impl {
     ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
 
     auto t0 = std::chrono::steady_clock::now();
-    std::string head;
+    std::string buf;
+    std::size_t head_end = 0;
     HttpRequest req;
     HttpResponse resp;
     bool head_only = false;
-    if (!read_request_head(fd, options.max_request_bytes, &head) ||
-        !parse_request_line(head, &req)) {
-      if (head.empty()) {  // peer connected and hung up: not a request
+    bool parsed = false;
+    const Handler* handler = nullptr;
+    if (!read_request_head(fd, options.max_request_bytes, &buf, &head_end) ||
+        !parse_request_line(buf, &req)) {
+      if (buf.empty()) {  // peer connected and hung up: not a request
         ::close(fd);
         return;
       }
       resp = {400, "text/plain; charset=utf-8", "bad request\n"};
-    } else if (req.method != "GET" && req.method != "HEAD") {
+    } else if (req.method != "GET" && req.method != "HEAD" &&
+               req.method != "POST") {
       resp = {405, "text/plain; charset=utf-8", "method not allowed\n"};
     } else {
       head_only = req.method == "HEAD";
-      auto it = routes.find(req.path);
-      if (it == routes.end()) {
-        resp = {404, "text/plain; charset=utf-8", "not found\n"};
+      // Route before body: 404/405 never depend on (or wait for) a
+      // payload, so POSTing to a GET-only path is a clean 405 even with
+      // no Content-Length.
+      bool path_known = false;
+      handler = find_handler(req.path, req.method == "POST", &path_known);
+      if (handler == nullptr) {
+        resp = path_known
+                   ? HttpResponse{405, "text/plain; charset=utf-8",
+                                  "method not allowed\n"}
+                   : HttpResponse{404, "text/plain; charset=utf-8",
+                                  "not found\n"};
       } else {
-        try {
-          resp = it->second(req);
-        } catch (const std::exception& e) {
-          resp = {500, "text/plain; charset=utf-8",
-                  std::string("handler error: ") + e.what() + "\n"};
-        } catch (...) {
-          resp = {500, "text/plain; charset=utf-8", "handler error\n"};
+        // Body: Content-Length-bounded. 411 on a POST that declares none,
+        // 413 past max_body_bytes (the payload is never read), 400 on a
+        // malformed length or a body cut short.
+        std::optional<std::size_t> content_length;
+        if (!parse_content_length(buf, head_end, &content_length)) {
+          resp = {400, "text/plain; charset=utf-8", "bad content-length\n"};
+        } else if (req.method == "POST" && !content_length.has_value()) {
+          resp = {411, "text/plain; charset=utf-8", "length required\n"};
+        } else if (content_length.value_or(0) > options.max_body_bytes) {
+          resp = {413, "text/plain; charset=utf-8", "payload too large\n"};
+        } else {
+          req.body = buf.substr(head_end);
+          if (!read_request_body(fd, content_length.value_or(0), &req.body)) {
+            resp = {400, "text/plain; charset=utf-8", "incomplete body\n"};
+          } else {
+            parsed = true;
+          }
         }
+      }
+    }
+    if (parsed) {
+      try {
+        resp = (*handler)(req);
+      } catch (const std::exception& e) {
+        resp = {500, "text/plain; charset=utf-8",
+                std::string("handler error: ") + e.what() + "\n"};
+      } catch (...) {
+        resp = {500, "text/plain; charset=utf-8", "handler error\n"};
       }
     }
     write_response(fd, resp, head_only);
@@ -230,7 +368,17 @@ HttpServer::HttpServer(HttpServerOptions options)
 HttpServer::~HttpServer() { stop(); }
 
 void HttpServer::handle(std::string path, Handler handler) {
-  impl_->routes[std::move(path)] = std::move(handler);
+  impl_->routes[std::move(path)].get = std::move(handler);
+}
+
+void HttpServer::handle_post(std::string path, Handler handler) {
+  impl_->routes[std::move(path)].post = std::move(handler);
+}
+
+void HttpServer::handle_prefix(std::string prefix, Handler handler,
+                               bool post) {
+  impl_->prefix_routes.push_back(
+      {std::move(prefix), std::move(handler), post});
 }
 
 bool HttpServer::start() {

@@ -12,10 +12,14 @@
 //
 // Design:
 //   * Dependency-free: POSIX sockets only, no third-party HTTP stack. The
-//     threat model is an operator's curl / a Prometheus scraper inside the
-//     deployment perimeter, so the parser accepts exactly "METHOD SP target
-//     SP HTTP/1.x" plus headers it ignores, bounds the request at
-//     max_request_bytes, and answers everything else with 400.
+//     threat model is an operator's curl / a Prometheus scraper / the
+//     multi-tenant ingest plane (src/service) inside the deployment
+//     perimeter, so the parser accepts exactly "METHOD SP target SP
+//     HTTP/1.x" plus headers, bounds the request head at max_request_bytes
+//     and the body at max_body_bytes (413 beyond it; a routed POST without
+//     a Content-Length answers 411), and answers everything else with 400.
+//     Routing resolves before the body ladder, so 404/405 never wait on —
+//     or require — a payload.
 //   * One blocking accept thread + a bounded worker pool (the
 //     common::ThreadPool idiom scaled down: fixed threads, one mutex +
 //     condvar, bounded queue). A full queue answers 503 from the accept
@@ -41,24 +45,30 @@
 #include <cstdint>
 #include <functional>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "obs/registry.h"
 
 namespace funnel::obs {
 
-/// One parsed request line. Only the pieces handlers route on; headers are
-/// consumed and discarded (the exposition endpoints need none).
+/// One parsed request. Headers beyond Content-Length are consumed and
+/// discarded (the exposition endpoints need none).
 struct HttpRequest {
-  std::string method;  ///< "GET" / "HEAD" (anything else is answered 405)
+  std::string method;  ///< "GET" / "HEAD" / "POST" (others answer 405)
   std::string target;  ///< raw request target, e.g. "/metrics?x=1"
   std::string path;    ///< target with the query string stripped
   std::string query;   ///< bytes after '?' (empty when none)
+  std::string body;    ///< Content-Length-bounded request body (may be empty)
 };
 
 struct HttpResponse {
   int status = 200;
   std::string content_type = "text/plain; charset=utf-8";
   std::string body;
+  /// Extra response headers, e.g. {"Retry-After", "2"} on a 429. Names and
+  /// values are emitted verbatim; keep them token/CRLF-clean.
+  std::vector<std::pair<std::string, std::string>> headers;
 };
 
 struct HttpServerOptions {
@@ -72,8 +82,11 @@ struct HttpServerOptions {
   /// Accepted connections waiting for a worker; beyond this the accept
   /// thread answers 503 and closes (clamped to >= 1).
   std::size_t queue_capacity = 32;
-  /// Request-head size bound; longer requests are answered 400.
+  /// Request-head size bound; longer heads are answered 400.
   std::size_t max_request_bytes = 8192;
+  /// Request-body size bound (Content-Length); bigger bodies answer 413
+  /// without reading the payload.
+  std::size_t max_body_bytes = 1 << 20;
 };
 
 #ifdef FUNNEL_OBS_OFF
@@ -90,6 +103,8 @@ class HttpServer {
   HttpServer& operator=(const HttpServer&) = delete;
 
   void handle(std::string, Handler) {}
+  void handle_post(std::string, Handler) {}
+  void handle_prefix(std::string, Handler, bool = false) {}
   bool start() { return false; }
   void stop() {}
   bool running() const { return false; }
@@ -119,10 +134,20 @@ class HttpServer {
   HttpServer(const HttpServer&) = delete;
   HttpServer& operator=(const HttpServer&) = delete;
 
-  /// Register `handler` for exact path `path` (e.g. "/metrics"). Register
-  /// everything before start(); GET and HEAD are routed, HEAD suppresses
-  /// the body, other methods answer 405, unknown paths 404.
+  /// Register `handler` for GET/HEAD on exact path `path` (e.g.
+  /// "/metrics"). Register everything before start(); HEAD suppresses the
+  /// body, methods with no handler on a known path answer 405, unknown
+  /// paths 404.
   void handle(std::string path, Handler handler);
+
+  /// Register `handler` for POST on exact path `path`. The request body is
+  /// already read (Content-Length-bounded) when the handler runs.
+  void handle_post(std::string path, Handler handler);
+
+  /// Register `handler` for every path starting with `prefix` (e.g.
+  /// "/v1/ingest/"), for POST when `post` is true, GET/HEAD otherwise.
+  /// Exact routes win over prefixes; among prefixes the longest match wins.
+  void handle_prefix(std::string prefix, Handler handler, bool post = false);
 
   /// Bind + listen + spawn the accept thread and worker pool. Returns false
   /// (with error() set) when the socket cannot be created, bound — the

@@ -1,0 +1,101 @@
+// Per-tenant admission control — the quota layer of the multi-tenant
+// service mode (docs/SERVICE.md, "Quotas & admission").
+//
+// Two independent caps gate every ingest batch before a single sample is
+// appended, so an abusive or runaway tenant is rejected at the door — with
+// a 429 + Retry-After — instead of filling its queue and stalling an HTTP
+// worker (head-of-line isolation; "IaaS Signature Change Detection with
+// Performance Noise", arXiv:2110.03229, motivates exactly this per-workload
+// noise/quota separation):
+//   * TokenBucket: sustained sample rate + burst allowance. Time is passed
+//     in explicitly (seconds on any monotonic clock), so the daemon drives
+//     it from steady_clock while tests drive a virtual clock and assert the
+//     refusal/retry arithmetic deterministically.
+//   * Queue share (QuotaConfig::queue_share): an admitted batch must fit
+//     into the tenant's own bounded ingest queue — depth + batch size may
+//     not exceed share * capacity. Since each tenant owns its dispatcher
+//     queue outright, this bounds how long an admitted batch can occupy an
+//     HTTP worker under kBlock backpressure.
+//
+// Not thread-safe by itself: the owning Tenant serializes all quota calls
+// under its tenant mutex (docs/CONCURRENCY.md, "Service plane").
+#pragma once
+
+#include <algorithm>
+
+namespace funnel::service {
+
+struct QuotaConfig {
+  /// Sustained admission rate in samples/second; 0 (default) = unlimited.
+  double rate_per_sec = 0.0;
+  /// Bucket capacity in samples — the largest instantaneous burst. 0 picks
+  /// one second's worth (rate_per_sec, floored at 1).
+  double burst = 0.0;
+  /// Max fraction of the tenant's ingest-queue capacity one admitted batch
+  /// may occupy on top of the current depth (ignored for sync stores).
+  double queue_share = 1.0;
+};
+
+class TokenBucket {
+ public:
+  TokenBucket() = default;
+  TokenBucket(double rate_per_sec, double burst) {
+    configure(rate_per_sec, burst);
+  }
+
+  /// Replace rate/burst (the SIGHUP-reload path). The current fill is
+  /// clamped into the new burst; an unlimited bucket stays full.
+  void configure(double rate_per_sec, double burst) {
+    rate_ = rate_per_sec > 0.0 ? rate_per_sec : 0.0;
+    burst_ = burst > 0.0 ? burst : std::max(rate_, 1.0);
+    if (!primed_) tokens_ = burst_;
+    tokens_ = std::min(tokens_, burst_);
+  }
+
+  bool unlimited() const { return rate_ <= 0.0; }
+
+  /// Take `n` tokens at monotonic time `now_s`; false when the bucket
+  /// cannot cover them, with `*retry_after_s` (when non-null) set to the
+  /// shortest wait after which the same request could succeed. Batches
+  /// larger than the burst are admitted against a full bucket and drive the
+  /// fill negative (debt), throttling the average rather than starving the
+  /// request forever.
+  bool try_acquire(double n, double now_s, double* retry_after_s = nullptr) {
+    if (unlimited() || n <= 0.0) return true;
+    refill(now_s);
+    const double need = std::min(n, burst_);
+    if (tokens_ >= need) {
+      tokens_ -= n;
+      return true;
+    }
+    if (retry_after_s != nullptr) *retry_after_s = (need - tokens_) / rate_;
+    return false;
+  }
+
+  /// Current fill after refilling to `now_s` (test introspection).
+  double available(double now_s) {
+    refill(now_s);
+    return unlimited() ? burst_ : tokens_;
+  }
+
+ private:
+  void refill(double now_s) {
+    if (!primed_) {
+      primed_ = true;
+      last_ = now_s;
+      return;
+    }
+    if (now_s > last_) {
+      tokens_ = std::min(burst_, tokens_ + (now_s - last_) * rate_);
+      last_ = now_s;
+    }
+  }
+
+  double rate_ = 0.0;
+  double burst_ = 1.0;
+  double tokens_ = 1.0;
+  double last_ = 0.0;
+  bool primed_ = false;
+};
+
+}  // namespace funnel::service

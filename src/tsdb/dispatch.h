@@ -96,6 +96,10 @@ class IngestDispatcher {
 
   std::size_t depth() const;
 
+  /// Configured queue capacity (the admission-control denominator the
+  /// service layer's queue-share caps divide by).
+  std::size_t capacity() const { return capacity_; }
+
   /// Attach a telemetry registry (null detaches): queue-depth and
   /// queue-capacity gauges (`tsdb.store.queue_depth` /
   /// `tsdb.store.queue_capacity` — the pair the selfmon backlog fraction

@@ -251,6 +251,19 @@ class MetricStore {
     return dispatcher_ ? dispatcher_->dropped() : 0;
   }
 
+  /// Async mode: samples currently queued for the dispatcher thread (0 in
+  /// sync mode). Racy by nature — an admission-control input, not a
+  /// barrier.
+  std::size_t queue_depth() const {
+    return dispatcher_ ? dispatcher_->depth() : 0;
+  }
+
+  /// Async mode: the ingest queue's configured capacity (0 in sync mode) —
+  /// the denominator for queue-share admission caps (src/service).
+  std::size_t queue_capacity() const {
+    return dispatcher_ ? dispatcher_->capacity() : 0;
+  }
+
   /// Attach a telemetry registry (null detaches): append() counts samples
   /// (`tsdb.store.appends`), delivery counts callbacks
   /// (`tsdb.store.notifications`) and times the dispatch loop

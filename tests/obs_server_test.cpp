@@ -169,6 +169,151 @@ TEST(ObsServer, OversizedRequestHeadIsRejected) {
   EXPECT_EQ(status_of(rsp), 400);
 }
 
+/// Like http_exchange but half-closes the write side after sending, so the
+/// server sees EOF immediately instead of waiting out its read timeout —
+/// needed to exercise the body-cut-short path without a 5 s stall.
+std::string http_exchange_halfclose(std::uint16_t port,
+                                    const std::string& request) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return "";
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return "";
+  }
+  std::size_t sent = 0;
+  while (sent < request.size()) {
+    const ssize_t n =
+        ::send(fd, request.data() + sent, request.size() - sent, 0);
+    if (n <= 0) {
+      ::close(fd);
+      return "";
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  ::shutdown(fd, SHUT_WR);
+  std::string response;
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    response.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  return response;
+}
+
+TEST(ObsServer, PostBodyRoundTripsThroughTheHandler) {
+  SKIP_IF_OBS_OFF();
+  HttpServer server;
+  server.handle_post("/sink", [](const HttpRequest& req) {
+    HttpResponse r;
+    r.body = "len=" + std::to_string(req.body.size()) + " body=" + req.body;
+    return r;
+  });
+  ASSERT_TRUE(server.start()) << server.error();
+
+  const std::string rsp = http_exchange(
+      server.port(),
+      "POST /sink HTTP/1.1\r\nHost: t\r\nContent-Length: 11\r\n\r\n"
+      "hello\nworld");
+  EXPECT_EQ(status_of(rsp), 200);
+  EXPECT_EQ(body_of(rsp), "len=11 body=hello\nworld");
+
+  // An empty body is a valid body: Content-Length: 0 routes normally.
+  const std::string empty = http_exchange(
+      server.port(),
+      "POST /sink HTTP/1.1\r\nHost: t\r\nContent-Length: 0\r\n\r\n");
+  EXPECT_EQ(status_of(empty), 200);
+  EXPECT_EQ(body_of(empty), "len=0 body=");
+
+  // GET on a POST-only path: the path is known, so 405 rather than 404.
+  EXPECT_EQ(status_of(http_get(server.port(), "/sink")), 405);
+}
+
+TEST(ObsServer, PostBodyErrorLadder411_413_400) {
+  SKIP_IF_OBS_OFF();
+  HttpServerOptions options;
+  options.max_body_bytes = 64;
+  HttpServer server(options);
+  server.handle_post("/sink",
+                     [](const HttpRequest&) { return HttpResponse{}; });
+  ASSERT_TRUE(server.start()) << server.error();
+
+  // POST without Content-Length: 411, never an implicit empty body.
+  EXPECT_EQ(status_of(http_exchange(
+                server.port(), "POST /sink HTTP/1.1\r\nHost: t\r\n\r\n")),
+            411);
+
+  // Declared length past max_body_bytes: 413 before reading the payload.
+  EXPECT_EQ(status_of(http_exchange(
+                server.port(),
+                "POST /sink HTTP/1.1\r\nHost: t\r\nContent-Length: 65"
+                "\r\n\r\n")),
+            413);
+
+  // Malformed Content-Length value: 400.
+  EXPECT_EQ(status_of(http_exchange(
+                server.port(),
+                "POST /sink HTTP/1.1\r\nHost: t\r\nContent-Length: nope"
+                "\r\n\r\nxx")),
+            400);
+
+  // Body cut short of the declared length (peer half-closes): 400.
+  EXPECT_EQ(status_of(http_exchange_halfclose(
+                server.port(),
+                "POST /sink HTTP/1.1\r\nHost: t\r\nContent-Length: 10"
+                "\r\n\r\nabc")),
+            400);
+
+  // At the bound exactly: accepted.
+  const std::string max_body(64, 'x');
+  EXPECT_EQ(status_of(http_exchange(
+                server.port(),
+                "POST /sink HTTP/1.1\r\nHost: t\r\nContent-Length: 64"
+                "\r\n\r\n" +
+                    max_body)),
+            200);
+}
+
+TEST(ObsServer, PrefixRoutesLongestMatchAndExactWins) {
+  SKIP_IF_OBS_OFF();
+  HttpServer server;
+  const auto tag = [](std::string name) {
+    return [name](const HttpRequest& req) {
+      HttpResponse r;
+      r.body = name + ":" + req.path;
+      return r;
+    };
+  };
+  server.handle_prefix("/v1/", tag("root"));
+  server.handle_prefix("/v1/report/", tag("report"));
+  server.handle("/v1/report/exact", tag("exact"));
+  server.handle_prefix("/v1/ingest/", tag("ingest"), /*post=*/true);
+  ASSERT_TRUE(server.start()) << server.error();
+
+  // Longest matching prefix wins over a shorter one.
+  EXPECT_EQ(body_of(http_get(server.port(), "/v1/report/tenant-a")),
+            "report:/v1/report/tenant-a");
+  EXPECT_EQ(body_of(http_get(server.port(), "/v1/other")), "root:/v1/other");
+  // Exact routes win over any prefix.
+  EXPECT_EQ(body_of(http_get(server.port(), "/v1/report/exact")),
+            "exact:/v1/report/exact");
+  // Prefix routes are method-scoped: a POST prefix serves POST...
+  const std::string post = http_exchange(
+      server.port(),
+      "POST /v1/ingest/tenant-a HTTP/1.1\r\nHost: t\r\nContent-Length: 2"
+      "\r\n\r\nok");
+  EXPECT_EQ(status_of(post), 200);
+  EXPECT_EQ(body_of(post), "ingest:/v1/ingest/tenant-a");
+  // ...while a GET to it falls back to the shorter GET prefix.
+  EXPECT_EQ(body_of(http_get(server.port(), "/v1/ingest/tenant-a")),
+            "root:/v1/ingest/tenant-a");
+}
+
 TEST(ObsServer, RestartsAfterStop) {
   SKIP_IF_OBS_OFF();
   HttpServer server;

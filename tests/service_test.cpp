@@ -1,0 +1,523 @@
+// Tests for the multi-tenant service plane (src/service): quota arithmetic
+// on a virtual clock, the Tenant ingest/changes line protocols, the
+// dirty-feed quarantine tripwire, cross-tenant verdict-byte isolation, the
+// crash-recovery protocol (recovered_seq alignment, journal repair across
+// REPEATED recoveries), and the /v1 HTTP surface end to end. The soak
+// harness (tools/soak_harness) drills the same contracts against a live
+// daemon under fault injection; these are the deterministic in-process
+// versions CI runs on every build (docs/SERVICE.md).
+#include "service/service.h"
+
+#include <arpa/inet.h>
+#include <gtest/gtest.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "service/quota.h"
+#include "service/tenant.h"
+
+namespace funnel::service {
+namespace {
+
+namespace fs = std::filesystem;
+
+#define SKIP_IF_OBS_OFF()                                         \
+  if (!obs::kEnabled) GTEST_SKIP() << "obs compiled to no-ops "   \
+                                      "(FUNNEL_OBS=OFF)"
+
+// ---------------------------------------------------------------------------
+// TokenBucket: deterministic refusal/retry arithmetic on a virtual clock.
+
+TEST(TokenBucket, UnlimitedByDefaultAndAtRateZero) {
+  TokenBucket none;
+  EXPECT_TRUE(none.unlimited());
+  EXPECT_TRUE(none.try_acquire(1e9, 0.0));
+
+  TokenBucket zero(0.0, 100.0);
+  EXPECT_TRUE(zero.unlimited());
+  EXPECT_TRUE(zero.try_acquire(1e9, 0.0));
+}
+
+TEST(TokenBucket, BurstThenRefillAtTheConfiguredRate) {
+  TokenBucket bucket(10.0, 5.0);  // 10 samples/s, burst 5
+  double retry = 0.0;
+  // The full burst is available immediately...
+  EXPECT_TRUE(bucket.try_acquire(5.0, 0.0, &retry));
+  // ...and an empty bucket refuses with the exact wait for the shortfall.
+  EXPECT_FALSE(bucket.try_acquire(2.0, 0.0, &retry));
+  EXPECT_DOUBLE_EQ(retry, 0.2);  // need 2 tokens at 10/s
+  // 0.1 s later one token has refilled: still short for 2.
+  EXPECT_FALSE(bucket.try_acquire(2.0, 0.1, &retry));
+  EXPECT_DOUBLE_EQ(retry, 0.1);
+  // At 0.2 s the two tokens are there.
+  EXPECT_TRUE(bucket.try_acquire(2.0, 0.2, &retry));
+  // Refill saturates at the burst: after a long idle, exactly 5 tokens.
+  EXPECT_DOUBLE_EQ(bucket.available(100.0), 5.0);
+}
+
+TEST(TokenBucket, OversizedBatchesRunDebtInsteadOfStarving) {
+  TokenBucket bucket(10.0, 5.0);
+  // A batch larger than the burst can never find `n` tokens; it is admitted
+  // against a full bucket and drives the fill negative, throttling the
+  // average rate without refusing the request forever.
+  EXPECT_TRUE(bucket.try_acquire(25.0, 0.0));
+  EXPECT_DOUBLE_EQ(bucket.available(0.0), -20.0);
+  // The debt pays down at the configured rate; a 1-sample request needs the
+  // fill back to +1, i.e. 21 tokens at 10/s.
+  double retry = 0.0;
+  EXPECT_FALSE(bucket.try_acquire(1.0, 0.0, &retry));
+  EXPECT_DOUBLE_EQ(retry, 2.1);
+  EXPECT_TRUE(bucket.try_acquire(1.0, 2.1, &retry));
+}
+
+TEST(TokenBucket, ReconfigureClampsFillAndKeepsDefaults) {
+  TokenBucket bucket(10.0, 100.0);
+  EXPECT_TRUE(bucket.try_acquire(10.0, 0.0));  // fill now 90
+  bucket.configure(10.0, 20.0);                // shrink the burst
+  EXPECT_DOUBLE_EQ(bucket.available(0.0), 20.0);
+  // burst = 0 defaults to one second's worth of rate.
+  TokenBucket secondish(8.0, 0.0);
+  EXPECT_DOUBLE_EQ(secondish.available(0.0), 8.0);
+}
+
+// ---------------------------------------------------------------------------
+// Tenant line protocols (in-memory).
+
+/// Deterministic sample feed shared by the isolation/recovery tests: two
+/// servers of "svc", one KPI, values varied by a seeded Rng; a dark change
+/// on s0 at minute 45 with a level shift so the verdict is a detection.
+std::string sample_lines(MinuteTime from, MinuteTime to, unsigned seed) {
+  Rng rng(seed);
+  std::ostringstream out;
+  for (MinuteTime t = from; t < to; ++t) {
+    for (const char* srv : {"s0", "s1"}) {
+      double v = 10.0 + rng.uniform(-0.5, 0.5);
+      if (srv[1] == '0' && t >= 45) v += 8.0;  // the shifted (treated) server
+      out << "svc," << srv << ",cpu," << t << "," << v << "\n";
+    }
+  }
+  return out.str();
+}
+
+TenantOptions small_funnel(std::string name) {
+  TenantOptions opts;
+  opts.name = std::move(name);
+  opts.funnel.horizon = 20;
+  opts.funnel.lookback = 30;
+  opts.funnel.min_did_window = 6;
+  return opts;
+}
+
+TEST(Tenant, IngestParsesCountsAndAlignsAppliedSeq) {
+  Tenant tenant(small_funnel("t"));
+  const IngestResult r = tenant.ingest(
+      "svc,s0,cpu,1,10.5\n"
+      "svc,s1,cpu,1,nan\n"       // delivered-but-broken reading: accepted
+      "\n"                        // blank: ignored entirely
+      "# comment\n"               // comment: ignored entirely
+      "svc,s0,cpu,not-a-minute,1\n"
+      "too,few\n");
+  EXPECT_EQ(r.accepted, 2u);
+  EXPECT_EQ(r.malformed, 2u);
+  EXPECT_FALSE(r.quarantined);
+  // Seq alignment: one accepted sample = one WAL-visible action.
+  EXPECT_EQ(tenant.applied_seq(), 2u);
+  EXPECT_EQ(tenant.accepted_samples(), 2u);
+  EXPECT_EQ(tenant.malformed_lines(), 2u);
+}
+
+TEST(Tenant, ChangeRegistrationIsIdempotentOnServiceTimeDescription) {
+  Tenant tenant(small_funnel("t"));
+  tenant.ingest(sample_lines(0, 50, 1));
+  const auto first = tenant.register_changes("45,svc,dark,s0,chg-0\n");
+  ASSERT_EQ(first.size(), 1u);
+  const std::uint64_t seq_after_first = tenant.applied_seq();
+
+  // A re-sent line (the crash-resume path) reuses the id and does NOT
+  // advance the seq again — the watch marker already exists.
+  std::size_t malformed = 0;
+  const auto again = tenant.register_changes("45,svc,dark,s0,chg-0\n",
+                                             &malformed);
+  ASSERT_EQ(again.size(), 1u);
+  EXPECT_EQ(again[0], first[0]);
+  EXPECT_EQ(malformed, 0u);
+  EXPECT_EQ(tenant.applied_seq(), seq_after_first);
+
+  // '*' expands to every server of the service; parse failures count.
+  const auto starred = tenant.register_changes(
+      "60,svc,full,*,chg-1\n"
+      "not,a,change\n",
+      &malformed);
+  ASSERT_EQ(starred.size(), 1u);
+  EXPECT_NE(starred[0], first[0]);
+  EXPECT_EQ(malformed, 1u);
+}
+
+TEST(Tenant, WatchFinalizesIntoTheReport) {
+  Tenant tenant(small_funnel("t"));
+  tenant.ingest(sample_lines(0, 46, 1));
+  tenant.register_changes("45,svc,dark,s0,chg-0\n");
+  EXPECT_EQ(tenant.active_watches(), 1u);
+  tenant.ingest(sample_lines(46, 100, 2));
+  EXPECT_EQ(tenant.active_watches(), 0u);
+  const std::string report = tenant.report_json();
+  EXPECT_NE(report.find("\"reports\":["), std::string::npos);
+  EXPECT_NE(report.find("\"change_id\":0"), std::string::npos);
+  EXPECT_NE(report.find("\"change_time\":45"), std::string::npos);
+  EXPECT_NE(report.find("\"quarantined\":false"), std::string::npos);
+}
+
+TEST(Tenant, DirtyFeedTripsQuarantineWithMachineReadableReason) {
+  TenantOptions opts = small_funnel("t");
+  opts.max_malformed_per_batch = 3;
+  Tenant tenant(opts);
+  tenant.ingest(sample_lines(0, 46, 1));
+  tenant.register_changes("45,svc,dark,s0,chg-0\n");
+
+  std::string garbage;
+  for (int i = 0; i < 10; ++i) garbage += "complete garbage line\n";
+  const IngestResult r = tenant.ingest(garbage);
+  EXPECT_TRUE(r.quarantined);
+  EXPECT_TRUE(tenant.quarantined());
+  EXPECT_EQ(tenant.quarantine_reason().rfind("dirty-feed", 0), 0u)
+      << tenant.quarantine_reason();
+
+  // Quarantine force-finalized the active watch: the verdict exists and is
+  // inconclusive rather than silently missing.
+  EXPECT_EQ(tenant.active_watches(), 0u);
+  EXPECT_NE(tenant.report_json().find("\"change_id\":0"), std::string::npos);
+
+  // Later batches are refused outright, and the FIRST reason sticks.
+  const IngestResult refused = tenant.ingest("svc,s0,cpu,50,10\n");
+  EXPECT_TRUE(refused.quarantined);
+  EXPECT_EQ(refused.accepted, 0u);
+  tenant.quarantine("second-reason");
+  EXPECT_EQ(tenant.quarantine_reason().rfind("dirty-feed", 0), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Cross-tenant isolation: a neighbour's abuse never alters verdict bytes.
+
+std::string slurp(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+TEST(Tenant, NeighbourFaultsNeverAlterACleanTenantsVerdictBytes) {
+  SKIP_IF_OBS_OFF();  // the byte-compare is over the verdict journal
+  const fs::path work =
+      fs::temp_directory_path() / "funnel_service_isolation_test";
+  fs::remove_all(work);
+  fs::create_directories(work);
+
+  const auto drive_clean = [&](Tenant& tenant) {
+    tenant.ingest(sample_lines(0, 46, 1));
+    tenant.register_changes("45,svc,dark,s0,chg-0\n");
+    tenant.ingest(sample_lines(46, 100, 2));
+    tenant.report_json();  // flush so every verdict is finalized
+  };
+
+  // Baseline: the clean tenant alone in a process.
+  {
+    TenantOptions opts = small_funnel("solo");
+    opts.journal_path = (work / "solo.jsonl").string();
+    Tenant solo(opts);
+    drive_clean(solo);
+  }
+
+  // Same feed, same tenant shape — but a noisy neighbour in-process that
+  // ingests garbage, trips quarantine, and hammers its own quota.
+  {
+    TenantOptions clean_opts = small_funnel("clean");
+    clean_opts.journal_path = (work / "clean.jsonl").string();
+    Tenant clean(clean_opts);
+    TenantOptions dirty_opts = small_funnel("dirty");
+    dirty_opts.journal_path = (work / "dirty.jsonl").string();
+    dirty_opts.max_malformed_per_batch = 0;
+    Tenant dirty(dirty_opts);
+
+    dirty.ingest(sample_lines(0, 46, 3));
+    clean.ingest(sample_lines(0, 46, 1));
+    dirty.ingest("garbage\n");  // quarantines (max_malformed 0)
+    clean.register_changes("45,svc,dark,s0,chg-0\n");
+    EXPECT_TRUE(dirty.quarantined());
+    clean.ingest(sample_lines(46, 100, 2));
+    dirty.ingest(sample_lines(46, 100, 3));  // refused: quarantined
+    clean.report_json();
+  }
+
+  const std::string solo = slurp(work / "solo.jsonl");
+  ASSERT_FALSE(solo.empty());
+  EXPECT_EQ(slurp(work / "clean.jsonl"), solo);
+  fs::remove_all(work);
+}
+
+// ---------------------------------------------------------------------------
+// Crash recovery: seq alignment and journal repair across REPEATED
+// recoveries (regression: a recovered journal is append-mode, so checkpoints
+// must record journal_base_ + written(), not written() alone — or the next
+// recovery truncates the pre-crash prefix away).
+
+TEST(Tenant, RecoveryAlignsSeqAndPreservesJournalAcrossIncarnations) {
+  SKIP_IF_OBS_OFF();  // journal bytes are the recovery oracle
+  const fs::path work =
+      fs::temp_directory_path() / "funnel_service_recovery_test";
+  fs::remove_all(work);
+
+  TenantOptions opts = small_funnel("t");
+  opts.data_dir = (work / "t").string();
+
+  std::uint64_t seq_at_shutdown = 0;
+  std::string journal_after_run1;
+
+  // Incarnation 1: two finalized changes, but only the FIRST is covered by
+  // a checkpoint — the second verdict exists only in journal + WAL tail.
+  {
+    Tenant tenant(opts);
+    EXPECT_EQ(tenant.recovered_seq(), 0u);
+    tenant.ingest(sample_lines(0, 46, 1));
+    tenant.register_changes("45,svc,dark,s0,chg-0\n");
+    tenant.ingest(sample_lines(46, 100, 2));
+    EXPECT_EQ(tenant.active_watches(), 0u);  // chg-0 finalized
+    tenant.checkpoint();
+    tenant.register_changes("95,svc,dark,s1,chg-1\n");
+    tenant.ingest(sample_lines(100, 150, 3));
+    EXPECT_EQ(tenant.active_watches(), 0u);  // chg-1 finalized, no ckpt
+    seq_at_shutdown = tenant.applied_seq();
+  }
+  journal_after_run1 = slurp(fs::path(opts.data_dir) / "journal.jsonl");
+  ASSERT_FALSE(journal_after_run1.empty());
+
+  // Incarnation 2: recovery rewinds the journal to the checkpoint (chg-0's
+  // event) and replays the WAL tail, re-finalizing chg-1 and re-emitting
+  // its verdict byte-identically; a checkpoint HERE must account for the
+  // pre-existing journal prefix.
+  {
+    Tenant tenant(opts);
+    EXPECT_EQ(tenant.recovered_seq(), seq_at_shutdown);
+    EXPECT_EQ(tenant.applied_seq(), seq_at_shutdown);
+    EXPECT_FALSE(tenant.quarantined());
+    // Re-sent registrations dedup against the recovered index: same ids,
+    // no new WAL records.
+    const auto ids = tenant.register_changes(
+        "45,svc,dark,s0,chg-0\n"
+        "95,svc,dark,s1,chg-1\n");
+    EXPECT_EQ(ids.size(), 2u);
+    EXPECT_EQ(tenant.applied_seq(), seq_at_shutdown);
+    // The tail replay re-finalized chg-1, so THIS incarnation has its
+    // report; chg-0 retired before the checkpoint — its durable record is
+    // the journal line, not /v1/report (docs/SERVICE.md, "Crash recovery").
+    const std::string report = tenant.report_json();
+    EXPECT_NE(report.find("\"change_id\":1"), std::string::npos);
+    EXPECT_EQ(report.find("\"change_id\":0,"), std::string::npos);
+    // checkpoint() flushes the journal: the repaired prefix + the replayed
+    // re-emission must reproduce the pre-shutdown file exactly.
+    tenant.checkpoint();
+    EXPECT_EQ(slurp(fs::path(opts.data_dir) / "journal.jsonl"),
+              journal_after_run1);
+  }
+
+  // Incarnation 3: repair_journal keeps everything the incarnation-2
+  // checkpoint covered — i.e. the WHOLE file, not just the events written
+  // since the last recovery.
+  {
+    Tenant tenant(opts);
+    EXPECT_EQ(tenant.recovered_seq(), seq_at_shutdown);
+    EXPECT_FALSE(tenant.quarantined());
+    EXPECT_EQ(slurp(fs::path(opts.data_dir) / "journal.jsonl"),
+              journal_after_run1);
+  }
+  fs::remove_all(work);
+}
+
+// ---------------------------------------------------------------------------
+// The /v1 HTTP surface end to end (needs the obs HTTP server).
+
+/// Minimal raw HTTP client: one request, read to EOF, return the raw bytes.
+std::string http(int port, const std::string& request) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return "";
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return "";
+  }
+  ::send(fd, request.data(), request.size(), 0);
+  std::string response;
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    response.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  return response;
+}
+
+std::string post(int port, const std::string& path, const std::string& body) {
+  return http(port, "POST " + path + " HTTP/1.1\r\nHost: t\r\n"
+                        "Content-Length: " + std::to_string(body.size()) +
+                        "\r\n\r\n" + body);
+}
+
+std::string get(int port, const std::string& path) {
+  return http(port, "GET " + path + " HTTP/1.1\r\nHost: t\r\n\r\n");
+}
+
+int status_of(const std::string& response) {
+  if (response.size() < 12 || response.compare(0, 5, "HTTP/") != 0) return -1;
+  return std::atoi(response.c_str() + 9);
+}
+
+std::string body_of(const std::string& response) {
+  const auto pos = response.find("\r\n\r\n");
+  return pos == std::string::npos ? "" : response.substr(pos + 4);
+}
+
+TEST(FunnelService, V1SurfaceServesIngestChangesReportAndStatus) {
+  SKIP_IF_OBS_OFF();
+  ServiceOptions sopts;
+  sopts.tenant_defaults = small_funnel("");
+  FunnelService service(std::move(sopts));
+  service.add_tenant("alpha");
+  service.add_tenant("beta");
+  std::string error;
+  ASSERT_TRUE(service.start(&error)) << error;
+  const int port = service.port();
+
+  // Unknown tenant: 404 before any work happens.
+  EXPECT_EQ(status_of(post(port, "/v1/ingest/nobody", "x\n")), 404);
+
+  const std::string ingest =
+      post(port, "/v1/ingest/alpha", sample_lines(0, 46, 1));
+  EXPECT_EQ(status_of(ingest), 200);
+  EXPECT_NE(body_of(ingest).find("\"accepted\":92"), std::string::npos)
+      << body_of(ingest);
+
+  const std::string changes =
+      post(port, "/v1/changes/alpha", "45,svc,dark,s0,chg-0\n");
+  EXPECT_EQ(status_of(changes), 200);
+  EXPECT_NE(body_of(changes).find("\"registered\":[0]"), std::string::npos)
+      << body_of(changes);
+
+  EXPECT_EQ(status_of(post(port, "/v1/ingest/alpha",
+                           sample_lines(46, 100, 2))),
+            200);
+
+  const std::string report = get(port, "/v1/report/alpha");
+  EXPECT_EQ(status_of(report), 200);
+  EXPECT_NE(body_of(report).find("\"change_id\":0"), std::string::npos);
+  EXPECT_NE(body_of(report).find("\"change_time\":45"), std::string::npos);
+
+  const std::string seq = get(port, "/v1/seq/alpha");
+  EXPECT_EQ(status_of(seq), 200);
+  EXPECT_NE(body_of(seq).find("\"recovered_seq\":0"), std::string::npos);
+
+  // beta is untouched by alpha's traffic.
+  const std::string beta = get(port, "/v1/status/beta");
+  EXPECT_NE(body_of(beta).find("\"accepted_samples\":0"), std::string::npos);
+
+  const std::string tenants = get(port, "/v1/tenants");
+  EXPECT_NE(body_of(tenants).find("alpha"), std::string::npos);
+  EXPECT_NE(body_of(tenants).find("beta"), std::string::npos);
+  service.stop();
+}
+
+TEST(FunnelService, QuotaRefusalsCarryRetryAfterAndSpareOtherTenants) {
+  SKIP_IF_OBS_OFF();
+  ServiceOptions sopts;
+  sopts.tenant_defaults = small_funnel("");
+  FunnelService service(std::move(sopts));
+  TenantOptions greedy = small_funnel("greedy");
+  greedy.quota.rate_per_sec = 0.001;  // effectively no refill in-test
+  greedy.quota.burst = 4.0;
+  service.add_tenant(std::move(greedy));
+  service.add_tenant("steady");
+  std::string error;
+  ASSERT_TRUE(service.start(&error)) << error;
+  const int port = service.port();
+
+  // First batch: larger than the burst, admitted against the full bucket
+  // (debt semantics) — the door opens once.
+  EXPECT_EQ(status_of(post(port, "/v1/ingest/greedy",
+                           sample_lines(0, 10, 1))),
+            200);
+  // Second batch: the bucket is deep in debt -> 429 with a Retry-After.
+  const std::string refused =
+      post(port, "/v1/ingest/greedy", sample_lines(10, 20, 1));
+  EXPECT_EQ(status_of(refused), 429);
+  EXPECT_NE(refused.find("Retry-After:"), std::string::npos);
+  EXPECT_NE(body_of(refused).find("over-quota"), std::string::npos)
+      << body_of(refused);
+
+  // The unlimited neighbour is untouched by greedy's refusals.
+  EXPECT_EQ(status_of(post(port, "/v1/ingest/steady",
+                           sample_lines(0, 10, 2))),
+            200);
+  service.stop();
+}
+
+TEST(FunnelService, QuarantineAnswers503AndFailsItsHealthCheckOnly) {
+  SKIP_IF_OBS_OFF();
+  ServiceOptions sopts;
+  sopts.tenant_defaults = small_funnel("");
+  FunnelService service(std::move(sopts));
+  service.add_tenant("sick");
+  service.add_tenant("fine");
+  std::string error;
+  ASSERT_TRUE(service.start(&error)) << error;
+  const int port = service.port();
+
+  EXPECT_EQ(status_of(get(port, "/healthz")), 200);
+  EXPECT_EQ(status_of(post(port, "/v1/quarantine/sick", "drill-reason")),
+            200);
+
+  // Quarantined tenant: 503 carrying the machine-readable reason.
+  const std::string refused = post(port, "/v1/ingest/sick", "svc,s,cpu,1,1\n");
+  EXPECT_EQ(status_of(refused), 503);
+  EXPECT_NE(body_of(refused).find("drill-reason"), std::string::npos);
+
+  // /healthz degrades with per-tenant detail; the healthy tenant serves on.
+  const std::string health = get(port, "/healthz");
+  EXPECT_EQ(status_of(health), 503);
+  EXPECT_NE(body_of(health).find("tenant:sick"), std::string::npos);
+  EXPECT_NE(body_of(health).find("drill-reason"), std::string::npos);
+  EXPECT_EQ(status_of(post(port, "/v1/ingest/fine", "svc,s,cpu,1,1\n")), 200);
+  service.stop();
+}
+
+TEST(FunnelService, DynamicTenantsSpringIntoExistenceOnFirstPost) {
+  SKIP_IF_OBS_OFF();
+  ServiceOptions sopts;
+  sopts.tenant_defaults = small_funnel("");
+  sopts.allow_dynamic_tenants = true;
+  FunnelService service(std::move(sopts));
+  std::string error;
+  ASSERT_TRUE(service.start(&error)) << error;
+  const int port = service.port();
+
+  EXPECT_EQ(service.tenant_count(), 0u);
+  EXPECT_EQ(status_of(post(port, "/v1/ingest/new-tenant", "svc,s,cpu,1,1\n")),
+            200);
+  EXPECT_EQ(service.tenant_count(), 1u);
+  // Dynamic creation is a POST-ingest/changes privilege: GETs still 404.
+  EXPECT_EQ(status_of(get(port, "/v1/report/still-nobody")), 404);
+  EXPECT_THROW(service.add_tenant("new-tenant"), InvalidArgument);
+  service.stop();
+}
+
+}  // namespace
+}  // namespace funnel::service

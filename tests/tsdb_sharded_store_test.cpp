@@ -10,8 +10,10 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <future>
 #include <map>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
@@ -182,6 +184,80 @@ TEST(ShardedStore, DropOldestShedsExactlyTheOldestQueuedSamples) {
   EXPECT_EQ(received, (std::vector<MinuteTime>{0, 4, 5, 6, 7}));
   // The store itself is lossless either way — only notifications shed.
   EXPECT_EQ(store.query(id, 0, 8).size(), 8u);
+}
+
+TEST(ShardedStore, DropOldestAccountsEveryShedExactlyUnderConcurrentLoad) {
+  // The service plane runs one store per tenant; a tenant configured with
+  // kDropOldest must (a) account every shed sample in its own
+  // dropped_samples() counter — delivered + dropped == submitted, exactly,
+  // no matter how producers interleave — and (b) never leak drops into a
+  // neighbouring store. Three "tenants": two overloaded kDropOldest stores
+  // with deliberately stalled sinks and tiny queues, one kBlock store that
+  // must stay lossless through the same storm.
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 500;
+  struct TenantSim {
+    std::unique_ptr<MetricStore> store;
+    std::atomic<int> delivered{0};
+  };
+  TenantSim drop_a, drop_b, block;
+  const auto make = [](Backpressure policy, std::size_t capacity) {
+    return std::make_unique<MetricStore>(
+        StoreOptions{.num_shards = 2, .ingest_queue_capacity = capacity,
+                     .backpressure = policy});
+  };
+  drop_a.store = make(Backpressure::kDropOldest, 8);
+  drop_b.store = make(Backpressure::kDropOldest, 4);
+  block.store = make(Backpressure::kBlock, 8);
+  for (TenantSim* t : {&drop_a, &drop_b, &block}) {
+    const bool stall = t != &block;
+    t->store->subscribe({}, [t, stall](const MetricId&, MinuteTime, double) {
+      t->delivered.fetch_add(1, std::memory_order_relaxed);
+      // A slow sink (not a stuck one): keeps the queues brimming so the
+      // overflow path runs constantly without serializing the producers.
+      if (stall) std::this_thread::sleep_for(std::chrono::microseconds(20));
+    });
+  }
+
+  std::vector<std::thread> producers;
+  for (TenantSim* t : {&drop_a, &drop_b, &block}) {
+    for (int p = 0; p < kProducers; ++p) {
+      producers.emplace_back([t, p] {
+        const MetricId id = test_metric("s" + std::to_string(p), "kpi");
+        for (MinuteTime m = 0; m < kPerProducer; ++m) {
+          t->store->append(id, m, 1.0);
+        }
+      });
+    }
+  }
+  for (auto& th : producers) th.join();
+  drop_a.store->flush();
+  drop_b.store->flush();
+  block.store->flush();
+
+  constexpr int kTotal = kProducers * kPerProducer;
+  // Exact conservation per tenant: nothing double-counted, nothing lost
+  // without being counted.
+  EXPECT_EQ(drop_a.delivered.load() +
+                static_cast<int>(drop_a.store->dropped_samples()),
+            kTotal);
+  EXPECT_EQ(drop_b.delivered.load() +
+                static_cast<int>(drop_b.store->dropped_samples()),
+            kTotal);
+  // The stalled sinks really did overflow (the test exercised the path)...
+  EXPECT_GT(drop_a.store->dropped_samples(), 0u);
+  EXPECT_GT(drop_b.store->dropped_samples(), 0u);
+  // ...and none of it bled into the kBlock neighbour.
+  EXPECT_EQ(block.delivered.load(), kTotal);
+  EXPECT_EQ(block.store->dropped_samples(), 0u);
+  // Shedding covers notifications only — every store stays lossless at rest.
+  for (TenantSim* t : {&drop_a, &drop_b, &block}) {
+    for (int p = 0; p < kProducers; ++p) {
+      const MetricId id = test_metric("s" + std::to_string(p), "kpi");
+      EXPECT_EQ(t->store->query(id, 0, kPerProducer).size(),
+                static_cast<std::size_t>(kPerProducer));
+    }
+  }
 }
 
 TEST(ShardedStore, DeliveryIsInOrderPerMetric) {

@@ -78,7 +78,10 @@
 // after the CSV work finishes so the endpoints stay scrapeable: until
 // SIGINT/SIGTERM, or at most --serve-seconds S. --serve requires a
 // listening plane (--http-port) and is incompatible with the one-shot
-// --scores dump.
+// --scores dump. SIGHUP is a documented no-op while serving (ignored, the
+// process keeps serving): this tool has no reloadable config — the
+// multi-tenant daemon (tools/funnel_serve) is the one that reloads quotas
+// on SIGHUP.
 //
 // Exit codes: 0 success; 1 a file failed to load/parse/assess; 2 bad
 // usage; 3 an output file (--stats-json/--trace/--journal) could not be
@@ -692,6 +695,11 @@ int main(int argc, char** argv) {
     // action would kill the process instead of stopping the serve cleanly.
     std::signal(SIGINT, handle_stop_signal);
     std::signal(SIGTERM, handle_stop_signal);
+    // SIGHUP is a deliberate no-op: nothing here is reloadable, and a
+    // supervisor's hangup (e.g. a closed controlling terminal) must not
+    // kill a --serve process mid-scrape. funnel_serve, which does have
+    // reloadable quota config, handles SIGHUP as a reload instead.
+    std::signal(SIGHUP, SIG_IGN);
   }
   if (selfmon != nullptr) selfmon->start();
   if (plane != nullptr) plane->set_ready(true);
